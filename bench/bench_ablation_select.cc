@@ -1,0 +1,174 @@
+// Ablation study for the design choices DESIGN.md calls out:
+//  1. ROW_SELECT's max-energy criterion vs alternatives (always side 1,
+//     minimum energy — i.e. the criterion inverted, and plain averaging).
+//  2. Join-based stitching vs the naive union-of-samples tensor
+//     (Section I-C's "simplest alternative").
+//  3. Re-orthonormalizing the averaged pivot factor (QR after AVG), which
+//     probes the paper's observation that averages of singular vectors are
+//     not singular vectors.
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "core/je_stitch.h"
+#include "core/m2td.h"
+#include "io/table.h"
+#include "linalg/eigen.h"
+#include "linalg/qr.h"
+#include "tensor/matricize.h"
+#include "tensor/ttm.h"
+#include "tensor/tucker.h"
+
+namespace {
+
+using m2td::linalg::Matrix;
+
+/// Combines two pivot factor matrices row by row via `pick` (returns true
+/// to take the row from u1).
+Matrix CombineRows(const Matrix& u1, const Matrix& u2,
+                   const std::function<bool(std::size_t)>& pick) {
+  Matrix out(u1.rows(), u1.cols());
+  for (std::size_t i = 0; i < u1.rows(); ++i) {
+    const Matrix& src = pick(i) ? u1 : u2;
+    for (std::size_t j = 0; j < u1.cols(); ++j) out(i, j) = src(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  m2td::bench::PrintBanner("Ablation", "ROW_SELECT criterion & join value");
+
+  const std::uint32_t res = m2td::bench::kMediumRes;
+  const std::uint64_t rank = 5;
+  auto model = m2td::bench::MakeModel("double_pendulum", res);
+  M2TD_CHECK(model.ok()) << model.status();
+  const m2td::tensor::DenseTensor& ground_truth =
+      m2td::bench::GroundTruth("double_pendulum", res, model->get());
+  auto partition = m2td::core::MakePartition(5, {0});
+  M2TD_CHECK(partition.ok()) << partition.status();
+  auto subs = m2td::core::BuildSubEnsembles(model->get(), *partition, {});
+  M2TD_CHECK(subs.ok()) << subs.status();
+  const std::vector<std::uint64_t> full_shape = (*model)->space().Shape();
+
+  // Shared pieces: pivot factors of both sides, side factors, join tensor.
+  auto pivot_factor = [&](const m2td::tensor::SparseTensor& sub) {
+    auto gram = m2td::tensor::ModeGram(sub, 0);
+    M2TD_CHECK(gram.ok()) << gram.status();
+    auto u = m2td::linalg::LeadingEigenvectors(*gram, rank);
+    M2TD_CHECK(u.ok()) << u.status();
+    return std::move(u).ValueOrDie();
+  };
+  const Matrix u1 = pivot_factor(subs->x1);
+  const Matrix u2 = pivot_factor(subs->x2);
+
+  auto side_factor = [&](const m2td::tensor::SparseTensor& sub,
+                         std::size_t mode) {
+    auto gram = m2td::tensor::ModeGram(sub, mode);
+    M2TD_CHECK(gram.ok()) << gram.status();
+    auto u = m2td::linalg::LeadingEigenvectors(*gram, rank);
+    M2TD_CHECK(u.ok()) << u.status();
+    return std::move(u).ValueOrDie();
+  };
+
+  auto join = m2td::core::JeStitch(*subs, *partition, full_shape, {});
+  M2TD_CHECK(join.ok()) << join.status();
+
+  auto evaluate = [&](const Matrix& pivot_combined) {
+    std::vector<Matrix> factors(5);
+    factors[0] = pivot_combined;
+    factors[partition->side1_modes[0]] = side_factor(subs->x1, 1);
+    factors[partition->side1_modes[1]] = side_factor(subs->x1, 2);
+    factors[partition->side2_modes[0]] = side_factor(subs->x2, 1);
+    factors[partition->side2_modes[1]] = side_factor(subs->x2, 2);
+    auto core = m2td::tensor::CoreFromSparse(*join, factors);
+    M2TD_CHECK(core.ok()) << core.status();
+    m2td::tensor::TuckerDecomposition tucker;
+    tucker.core = std::move(*core);
+    tucker.factors = std::move(factors);
+    auto reconstructed = m2td::tensor::Reconstruct(tucker);
+    M2TD_CHECK(reconstructed.ok()) << reconstructed.status();
+    return m2td::tensor::ReconstructionAccuracy(*reconstructed, ground_truth);
+  };
+
+  m2td::io::TablePrinter table({"Pivot combination", "Accuracy"});
+
+  // (1) ROW_SELECT (max energy) and its ablations.
+  auto max_energy = m2td::core::RowSelect(u1, u2);
+  M2TD_CHECK(max_energy.ok());
+  table.AddRow({"ROW_SELECT (max energy, paper)",
+                m2td::io::TablePrinter::Cell(evaluate(*max_energy), 3)});
+  table.AddRow({"inverted criterion (min energy)",
+                m2td::io::TablePrinter::Cell(
+                    evaluate(CombineRows(u1, u2, [&](std::size_t i) {
+                      return u1.RowNorm(i) < u2.RowNorm(i);
+                    })),
+                    3)});
+  table.AddRow({"always side 1",
+                m2td::io::TablePrinter::Cell(
+                    evaluate(CombineRows(u1, u2,
+                                         [](std::size_t) { return true; })),
+                    3)});
+  table.AddRow(
+      {"average (M2TD-AVG)",
+       m2td::io::TablePrinter::Cell(
+           evaluate(m2td::linalg::LinearCombination(0.5, u1, 0.5, u2)), 3)});
+
+  // Extension: energy-weighted soft blend (between AVG and SELECT).
+  auto weighted = m2td::core::RowWeightedBlend(u1, u2);
+  M2TD_CHECK(weighted.ok());
+  table.AddRow({"energy-weighted blend (extension)",
+                m2td::io::TablePrinter::Cell(evaluate(*weighted), 3)});
+
+  // (3) AVG + QR re-orthonormalization.
+  auto avg_q = m2td::linalg::OrthonormalizeColumns(
+      m2td::linalg::LinearCombination(0.5, u1, 0.5, u2));
+  M2TD_CHECK(avg_q.ok());
+  table.AddRow({"average + QR orthonormalization",
+                m2td::io::TablePrinter::Cell(evaluate(*avg_q), 3)});
+
+  table.Print(std::cout);
+
+  // (2) Join vs union-of-samples, at identical simulation budget.
+  m2td::tensor::SparseTensor union_tensor(full_shape);
+  const auto& space = (*model)->space();
+  for (int side = 1; side <= 2; ++side) {
+    const auto& sub = side == 1 ? subs->x1 : subs->x2;
+    const auto modes = partition->SubTensorModes(side);
+    std::vector<std::uint32_t> idx(5);
+    for (std::uint64_t e = 0; e < sub.NumNonZeros(); ++e) {
+      for (std::size_t m = 0; m < 5; ++m) idx[m] = space.DefaultIndex(m);
+      for (std::size_t m = 0; m < modes.size(); ++m) {
+        idx[modes[m]] = sub.Index(m, e);
+      }
+      union_tensor.AppendEntry(idx, sub.Value(e));
+    }
+  }
+  union_tensor.SortAndCoalesce(m2td::tensor::CoalescePolicy::kMean);
+  auto union_outcome = m2td::core::RunUnionBaseline(
+      union_tensor, ground_truth, rank, "union of sub-ensembles");
+  M2TD_CHECK(union_outcome.ok()) << union_outcome.status();
+
+  std::cout << "\nJoin vs union (same 2*P*E simulations):\n"
+            << "  JE-stitch join nnz " << join->NumNonZeros()
+            << " -> SELECT accuracy "
+            << m2td::io::TablePrinter::Cell(evaluate(*max_energy), 3) << "\n"
+            << "  union tensor nnz   " << union_tensor.NumNonZeros()
+            << " -> accuracy "
+            << m2td::io::TablePrinter::SciCell(union_outcome->accuracy)
+            << "\n";
+  std::cout <<
+      "\nExpected: max-energy ROW_SELECT at or above every ablated variant;\n"
+      "the union baseline collapses to conventional-sampling accuracy\n"
+      "levels, demonstrating that the join's density boost (not merely the\n"
+      "partitioned sampling) drives M2TD's gains.\n";
+
+  (void)table.WriteCsv("ablation_select.csv");
+  return 0;
+}

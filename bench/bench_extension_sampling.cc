@@ -1,0 +1,94 @@
+// Extension experiments (beyond the paper): stronger conventional
+// samplers vs partition-stitch.
+//
+//  - Latin hypercube sampling (the classical space-filling design from
+//    the experiment-design literature the paper's Section II surveys);
+//  - adaptive single-run replication (incremental allocation guided by
+//    the current decomposition, exploit/explore scored);
+//  - the paper's M2TD-SELECT at the same total simulation budget.
+//
+// Question answered: does a smarter *conventional* allocation close the
+// gap to partition-stitch sampling? (Paper's implicit claim: no — the
+// join's density boost is structural, not an allocation artifact.)
+
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "core/refine.h"
+#include "io/table.h"
+#include "tensor/tucker.h"
+
+int main() {
+  m2td::bench::PrintBanner(
+      "Extension", "LHS and adaptive sampling vs partition-stitch");
+
+  const std::uint32_t res = m2td::bench::kMediumRes;
+  const std::uint64_t rank = 5;
+  auto model = m2td::bench::MakeModel("double_pendulum", res);
+  M2TD_CHECK(model.ok()) << model.status();
+  const m2td::tensor::DenseTensor& ground_truth =
+      m2td::bench::GroundTruth("double_pendulum", res, model->get());
+  auto partition = m2td::core::MakePartition(5, {0});
+  M2TD_CHECK(partition.ok()) << partition.status();
+
+  m2td::io::TablePrinter table(
+      {"Scheme", "Simulations", "Accuracy", "Notes"});
+
+  // Reference: M2TD-SELECT.
+  auto m2td_outcome = m2td::core::RunM2td(model->get(), ground_truth,
+                                          *partition,
+                                          m2td::core::M2tdMethod::kSelect,
+                                          rank, {});
+  M2TD_CHECK(m2td_outcome.ok()) << m2td_outcome.status();
+  const std::uint64_t budget =
+      m2td_outcome->budget_cells / (*model)->space().Resolution(0);
+  table.AddRow({"M2TD-SELECT (paper)", std::to_string(budget),
+                m2td::io::TablePrinter::Cell(m2td_outcome->accuracy, 3),
+                "partition-stitch"});
+
+  // Conventional one-shot schemes at the same budget.
+  for (auto scheme : {m2td::ensemble::ConventionalScheme::kRandom,
+                      m2td::ensemble::ConventionalScheme::kLatinHypercube}) {
+    auto outcome = m2td::core::RunConventional(model->get(), ground_truth,
+                                               scheme, budget, rank, 99);
+    M2TD_CHECK(outcome.ok()) << outcome.status();
+    table.AddRow({outcome->scheme, std::to_string(budget),
+                  m2td::io::TablePrinter::SciCell(outcome->accuracy),
+                  "one-shot"});
+  }
+
+  // Adaptive single-run replication at the same total budget.
+  m2td::core::RefinementOptions refine_options;
+  refine_options.initial_budget = budget / 2;
+  refine_options.rounds = 4;
+  refine_options.increment = (budget - refine_options.initial_budget) / 4;
+  refine_options.rank = rank;
+  refine_options.candidate_pool = 512;
+  refine_options.seed = 5;
+  auto refined = m2td::core::AdaptiveRefinement(model->get(),
+                                                refine_options);
+  M2TD_CHECK(refined.ok()) << refined.status();
+  auto adaptive_outcome = m2td::core::RunUnionBaseline(
+      refined->ensemble, ground_truth, rank, "Adaptive (extension)");
+  M2TD_CHECK(adaptive_outcome.ok()) << adaptive_outcome.status();
+  table.AddRow({adaptive_outcome->scheme,
+                std::to_string(refined->combinations.size()),
+                m2td::io::TablePrinter::SciCell(adaptive_outcome->accuracy),
+                "single-run replication"});
+
+  table.Print(std::cout);
+
+  std::cout << "\nAdaptive refinement trace (observed fit per round):\n";
+  for (const auto& round : refined->rounds) {
+    std::cout << "  " << round.total_simulations << " sims -> fit "
+              << m2td::io::TablePrinter::Cell(round.observed_fit, 3) << "\n";
+  }
+  std::cout <<
+      "\nExpected: LHS and adaptive allocation improve over plain Random\n"
+      "but remain orders of magnitude behind M2TD — the gap comes from the\n"
+      "join's effective-density boost, not from where the budget lands.\n";
+  (void)table.WriteCsv("extension_sampling.csv");
+  return 0;
+}

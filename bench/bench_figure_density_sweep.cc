@@ -1,0 +1,79 @@
+// Figure-style series generator: accuracy vs simulation budget for all
+// three paper systems, M2TD-SELECT (join and zero-join) vs Random
+// sampling.
+//
+// The paper's figures are architectural diagrams (no data series), but its
+// density narrative — Figure 6's "effective density" argument — implies a
+// budget-accuracy curve. This bench materializes that curve and writes a
+// CSV per system (figure_density_<system>.csv) suitable for plotting; the
+// printed table shows the same series.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "io/table.h"
+
+int main() {
+  m2td::bench::PrintBanner(
+      "Figure series", "accuracy vs budget per system (CSV output)");
+
+  const std::uint32_t res = m2td::bench::kSmallRes;
+  const std::uint64_t rank = 4;
+
+  for (const std::string system :
+       {"double_pendulum", "triple_pendulum", "lorenz"}) {
+    auto model = m2td::bench::MakeModel(system, res);
+    M2TD_CHECK(model.ok()) << model.status();
+    const m2td::tensor::DenseTensor& ground_truth =
+        m2td::bench::GroundTruth(system, res, model->get());
+    auto partition = m2td::core::MakePartition(5, {0});
+    M2TD_CHECK(partition.ok()) << partition.status();
+
+    m2td::io::TablePrinter series({"budget_cells", "select_join",
+                                   "select_zerojoin", "random"});
+    for (const double density : {1.0, 0.6, 0.4, 0.25, 0.15, 0.08}) {
+      m2td::core::SubEnsembleOptions sub_options;
+      sub_options.cell_density = density;
+      sub_options.seed = 3;
+
+      m2td::core::StitchOptions join;
+      auto with_join = m2td::core::RunM2td(model->get(), ground_truth,
+                                           *partition,
+                                           m2td::core::M2tdMethod::kSelect,
+                                           rank, sub_options, join);
+      M2TD_CHECK(with_join.ok()) << with_join.status();
+      m2td::core::StitchOptions zero;
+      zero.zero_join = true;
+      auto with_zero = m2td::core::RunM2td(model->get(), ground_truth,
+                                           *partition,
+                                           m2td::core::M2tdMethod::kSelect,
+                                           rank, sub_options, zero);
+      M2TD_CHECK(with_zero.ok()) << with_zero.status();
+
+      const std::uint64_t budget = m2td::bench::EquivalentSimulationBudget(
+          with_join->budget_cells, (*model)->space().Resolution(0));
+      auto random_outcome = m2td::core::RunConventional(
+          model->get(), ground_truth,
+          m2td::ensemble::ConventionalScheme::kRandom, budget, rank, 51);
+      M2TD_CHECK(random_outcome.ok()) << random_outcome.status();
+
+      series.AddRow({std::to_string(with_join->budget_cells),
+                     m2td::io::TablePrinter::Cell(with_join->accuracy, 4),
+                     m2td::io::TablePrinter::Cell(with_zero->accuracy, 4),
+                     m2td::io::TablePrinter::SciCell(
+                         random_outcome->accuracy)});
+    }
+    std::cout << "\n" << system << ":\n";
+    series.Print(std::cout);
+    (void)series.WriteCsv("figure_density_" + system + ".csv");
+  }
+
+  std::cout << "\nSeries written to figure_density_<system>.csv. Expected\n"
+               "shape on every system: both M2TD curves decay with budget,\n"
+               "zero-join dominating join at low budgets, Random flat and\n"
+               "orders of magnitude below.\n";
+  return 0;
+}

@@ -1,0 +1,216 @@
+// Micro-benchmarks for the sparse tensor and linear-algebra kernels that
+// dominate M2TD's runtime: Gram accumulation from COO, the Jacobi
+// eigensolver, sparse TTM / core recovery, HOSVD, sorting/coalescing, and
+// JE-stitching.
+
+#include <benchmark/benchmark.h>
+
+#include "core/je_stitch.h"
+#include "core/pf_partition.h"
+#include "linalg/eigen.h"
+#include "sim/lorenz.h"
+#include "sim/pendulum.h"
+#include "tensor/matricize.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/ttm.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+
+namespace {
+
+using m2td::Rng;
+using m2td::linalg::Matrix;
+using m2td::tensor::SparseTensor;
+
+SparseTensor MakeSparse(std::uint64_t dim, std::size_t modes,
+                        std::uint64_t nnz, std::uint64_t seed) {
+  Rng rng(seed);
+  SparseTensor x(std::vector<std::uint64_t>(modes, dim));
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(dim));
+    }
+    x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+Matrix RandomFactor(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix u(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) u(i, j) = rng.Gaussian();
+  }
+  return u;
+}
+
+void BM_ModeGram(benchmark::State& state) {
+  const std::uint64_t dim = state.range(0);
+  const std::uint64_t nnz = state.range(1);
+  SparseTensor x = MakeSparse(dim, 3, nnz, 11);
+  for (auto _ : state) {
+    auto gram = m2td::tensor::ModeGram(x, 0);
+    benchmark::DoNotOptimize(gram);
+  }
+  state.SetItemsProcessed(state.iterations() * x.NumNonZeros());
+}
+BENCHMARK(BM_ModeGram)->Args({16, 1000})->Args({16, 10000})->Args({64, 10000});
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Rng rng(3);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.Gaussian();
+    }
+  }
+  for (auto _ : state) {
+    auto eig = m2td::linalg::SymmetricEigen(a);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SparseModeProduct(benchmark::State& state) {
+  const std::uint64_t nnz = state.range(0);
+  SparseTensor x = MakeSparse(16, 4, nnz, 17);
+  Matrix u = RandomFactor(16, 5, 19);
+  for (auto _ : state) {
+    auto y = m2td::tensor::SparseModeProduct(x, u, 0, true);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * x.NumNonZeros());
+}
+BENCHMARK(BM_SparseModeProduct)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CoreFromSparse(benchmark::State& state) {
+  const std::uint64_t nnz = state.range(0);
+  SparseTensor x = MakeSparse(12, 5, nnz, 23);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < 5; ++m) factors.push_back(RandomFactor(12, 5, 29 + m));
+  for (auto _ : state) {
+    auto core = m2td::tensor::CoreFromSparse(x, factors);
+    benchmark::DoNotOptimize(core);
+  }
+}
+BENCHMARK(BM_CoreFromSparse)->Arg(10000)->Arg(50000);
+
+void BM_HosvdSparse(benchmark::State& state) {
+  const std::uint64_t nnz = state.range(0);
+  SparseTensor x = MakeSparse(12, 5, nnz, 31);
+  const std::vector<std::uint64_t> ranks(5, 5);
+  for (auto _ : state) {
+    auto tucker = m2td::tensor::HosvdSparse(x, ranks);
+    benchmark::DoNotOptimize(tucker);
+  }
+}
+BENCHMARK(BM_HosvdSparse)->Arg(10000)->Arg(50000);
+
+void BM_SortAndCoalesce(benchmark::State& state) {
+  const std::uint64_t nnz = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(37);
+    SparseTensor x(std::vector<std::uint64_t>(4, 20));
+    std::vector<std::uint32_t> idx(4);
+    for (std::uint64_t e = 0; e < nnz; ++e) {
+      for (std::size_t m = 0; m < 4; ++m) {
+        idx[m] = static_cast<std::uint32_t>(rng.UniformInt(20));
+      }
+      x.AppendEntry(idx, 1.0);
+    }
+    state.ResumeTiming();
+    x.SortAndCoalesce();
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+BENCHMARK(BM_SortAndCoalesce)->Arg(10000)->Arg(100000);
+
+void BM_JeStitch(benchmark::State& state) {
+  // Full-density 1-pivot stitch over a res^5 space.
+  const std::uint64_t res = state.range(0);
+  m2td::core::PfPartition partition;
+  partition.pivot_modes = {0};
+  partition.side1_modes = {1, 2};
+  partition.side2_modes = {3, 4};
+  m2td::core::SubEnsembles subs;
+  Rng rng(41);
+  subs.x1 = SparseTensor({res, res, res});
+  subs.x2 = SparseTensor({res, res, res});
+  std::vector<std::uint32_t> idx(3);
+  for (std::uint32_t p = 0; p < res; ++p) {
+    for (std::uint32_t a = 0; a < res; ++a) {
+      for (std::uint32_t b = 0; b < res; ++b) {
+        idx = {p, a, b};
+        subs.x1.AppendEntry(idx, rng.Gaussian());
+        subs.x2.AppendEntry(idx, rng.Gaussian());
+      }
+    }
+  }
+  subs.x1.SortAndCoalesce();
+  subs.x2.SortAndCoalesce();
+  const std::vector<std::uint64_t> shape(5, res);
+  for (auto _ : state) {
+    auto join = m2td::core::JeStitch(subs, partition, shape);
+    benchmark::DoNotOptimize(join);
+  }
+  state.SetItemsProcessed(state.iterations() * res * res * res * res * res);
+}
+BENCHMARK(BM_JeStitch)->Arg(6)->Arg(10);
+
+void BM_DoublePendulumSimulation(benchmark::State& state) {
+  // The paper quotes ~0.66 ms per double-pendulum simulation; this
+  // measures one full trajectory (RK4, 90 steps, 10 samples) on the
+  // from-scratch integrator.
+  auto pendulum = m2td::sim::ChainPendulum::Create({1.0, 1.5});
+  M2TD_CHECK(pendulum.ok());
+  m2td::sim::Rk4Options options;
+  options.dt = 0.01;
+  options.num_steps = 90;
+  options.record_every = 10;
+  const std::vector<double> initial = pendulum->InitialState({0.8, -0.5});
+  for (auto _ : state) {
+    auto trajectory = m2td::sim::IntegrateRk4(*pendulum, initial, options);
+    benchmark::DoNotOptimize(trajectory);
+  }
+}
+BENCHMARK(BM_DoublePendulumSimulation);
+
+void BM_TriplePendulumSimulation(benchmark::State& state) {
+  auto pendulum =
+      m2td::sim::ChainPendulum::Create({1.0, 1.0, 1.0}, 9.81, 0.2);
+  M2TD_CHECK(pendulum.ok());
+  m2td::sim::Rk4Options options;
+  options.dt = 0.01;
+  options.num_steps = 90;
+  options.record_every = 10;
+  const std::vector<double> initial =
+      pendulum->InitialState({0.8, -0.5, 0.3});
+  for (auto _ : state) {
+    auto trajectory = m2td::sim::IntegrateRk4(*pendulum, initial, options);
+    benchmark::DoNotOptimize(trajectory);
+  }
+}
+BENCHMARK(BM_TriplePendulumSimulation);
+
+void BM_LorenzSimulation(benchmark::State& state) {
+  m2td::sim::LorenzSystem lorenz(10.0, 28.0, 8.0 / 3.0);
+  m2td::sim::Rk4Options options;
+  options.dt = 0.01;
+  options.num_steps = 90;
+  options.record_every = 10;
+  const std::vector<double> initial = {1.0, 1.0, 25.0};
+  for (auto _ : state) {
+    auto trajectory = m2td::sim::IntegrateRk4(lorenz, initial, options);
+    benchmark::DoNotOptimize(trajectory);
+  }
+}
+BENCHMARK(BM_LorenzSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Reproduces Table III of the paper: how D-M2TD's wall-clock splits across
+// its three MapReduce phases as the number of servers (here: worker
+// threads) grows.
+//
+// Paper (18-node Hadoop cluster, res 70, rank 10, pivot t): Phase 3 (core
+// recovery) dominates; adding servers shrinks it with diminishing returns.
+// Note: this machine's core count bounds real parallel speedup — the
+// *phase distribution* is the comparable signal.
+
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dm2td.h"
+#include "io/table.h"
+#include "tensor/tucker.h"
+
+int main() {
+  m2td::bench::PrintBanner("Table III",
+                           "D-M2TD time split across phases vs #workers");
+
+  const std::uint32_t res = m2td::bench::kMediumRes;
+  const std::uint64_t rank = 5;
+
+  auto model = m2td::bench::MakeModel("double_pendulum", res);
+  M2TD_CHECK(model.ok()) << model.status();
+  const m2td::tensor::DenseTensor& ground_truth =
+      m2td::bench::GroundTruth("double_pendulum", res, model->get());
+
+  auto partition =
+      m2td::core::MakePartition((*model)->space().num_modes(), {0});
+  M2TD_CHECK(partition.ok()) << partition.status();
+  auto subs = m2td::core::BuildSubEnsembles(model->get(), *partition, {});
+  M2TD_CHECK(subs.ok()) << subs.status();
+
+  m2td::io::TablePrinter table({"Workers", "Phase1 (ms)", "Phase2 (ms)",
+                                "Phase3 (ms)", "Total (ms)", "Accuracy"});
+
+  for (int workers : {1, 2, 4, 8}) {
+    m2td::core::DM2tdOptions options;
+    options.method = m2td::core::M2tdMethod::kSelect;
+    options.ranks = m2td::core::UniformRanks(**model, rank);
+    options.num_workers = workers;
+    auto result = m2td::core::DM2tdDecompose(*subs, *partition,
+                                             (*model)->space().Shape(),
+                                             options);
+    M2TD_CHECK(result.ok()) << result.status();
+    auto reconstructed = m2td::tensor::Reconstruct(result->tucker);
+    M2TD_CHECK(reconstructed.ok()) << reconstructed.status();
+    const double accuracy =
+        m2td::tensor::ReconstructionAccuracy(*reconstructed, ground_truth);
+
+    table.AddRow({std::to_string(workers),
+                  m2td::io::TablePrinter::Cell(
+                      result->phase1.TotalSeconds() * 1e3, 1),
+                  m2td::io::TablePrinter::Cell(
+                      result->phase2.TotalSeconds() * 1e3, 1),
+                  m2td::io::TablePrinter::Cell(
+                      result->phase3.TotalSeconds() * 1e3, 1),
+                  m2td::io::TablePrinter::Cell(
+                      result->TotalSeconds() * 1e3, 1),
+                  m2td::io::TablePrinter::Cell(accuracy, 3)});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nHardware concurrency on this machine: "
+            << std::thread::hardware_concurrency() << "\n";
+  std::cout <<
+      "Paper reference (Table III): Phase 3 dominates (e.g. 1187s of 1606s\n"
+      "total at 1 server); more servers shrink it with diminishing returns.\n"
+      "Expected shape here: Phase 3 >> Phases 1-2 at every worker count;\n"
+      "accuracy identical across worker counts (determinism).\n";
+
+  (void)table.WriteCsv("table3_distributed.csv");
+  return 0;
+}

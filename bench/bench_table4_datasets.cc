@@ -1,0 +1,88 @@
+// Reproduces Table IV of the paper: M2TD vs conventional sampling on the
+// other two dynamic systems — the triple pendulum with variable friction
+// and the chaotic Lorenz system.
+//
+// Paper: the Table II pattern repeats on both systems — M2TD-SELECT best,
+// conventional schemes orders of magnitude behind.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "io/table.h"
+
+namespace {
+
+using m2td::core::M2tdMethod;
+using m2td::ensemble::ConventionalScheme;
+using m2td::io::TablePrinter;
+
+}  // namespace
+
+int main() {
+  m2td::bench::PrintBanner("Table IV",
+                           "triple pendulum and Lorenz system results");
+
+  const std::uint32_t res = m2td::bench::kMediumRes;
+  TablePrinter accuracy({"System", "Rank", "AVG", "CONCAT", "SELECT",
+                         "Random", "Grid", "Slice"});
+  TablePrinter time({"System", "Rank", "AVG", "CONCAT", "SELECT", "Random",
+                     "Grid", "Slice"});
+
+  for (const std::string system : {"triple_pendulum", "lorenz"}) {
+    auto model = m2td::bench::MakeModel(system, res);
+    M2TD_CHECK(model.ok()) << model.status();
+    const m2td::tensor::DenseTensor& ground_truth =
+        m2td::bench::GroundTruth(system, res, model->get());
+    auto partition =
+        m2td::core::MakePartition((*model)->space().num_modes(), {0});
+    M2TD_CHECK(partition.ok()) << partition.status();
+
+    for (std::uint64_t rank : {3ULL, 5ULL}) {
+      std::vector<std::string> accuracy_row = {system, std::to_string(rank)};
+      std::vector<std::string> time_row = accuracy_row;
+      std::uint64_t m2td_cells = 0;
+      for (M2tdMethod method :
+           {M2tdMethod::kAvg, M2tdMethod::kConcat, M2tdMethod::kSelect}) {
+        auto outcome = m2td::core::RunM2td(model->get(), ground_truth,
+                                           *partition, method, rank, {});
+        M2TD_CHECK(outcome.ok()) << outcome.status();
+        m2td_cells = outcome->budget_cells;
+        accuracy_row.push_back(TablePrinter::Cell(outcome->accuracy, 3));
+        time_row.push_back(
+            TablePrinter::Cell(outcome->decompose_seconds * 1e3, 1));
+      }
+      const std::uint64_t budget = m2td::bench::EquivalentSimulationBudget(
+          m2td_cells, (*model)->space().Resolution(0));
+      for (ConventionalScheme scheme :
+           {ConventionalScheme::kRandom, ConventionalScheme::kGrid,
+            ConventionalScheme::kSlice}) {
+        auto outcome = m2td::core::RunConventional(
+            model->get(), ground_truth, scheme, budget, rank,
+            /*seed=*/4000 + rank);
+        M2TD_CHECK(outcome.ok()) << outcome.status();
+        accuracy_row.push_back(TablePrinter::SciCell(outcome->accuracy));
+        time_row.push_back(
+            TablePrinter::Cell(outcome->decompose_seconds * 1e3, 1));
+      }
+      accuracy.AddRow(accuracy_row);
+      time.AddRow(time_row);
+    }
+  }
+
+  std::cout << "\n(a) Accuracy\n";
+  accuracy.Print(std::cout);
+  std::cout << "\n(b) Decomposition time (ms)\n";
+  time.Print(std::cout);
+  std::cout <<
+      "\nPaper reference (Table IV): same pattern as the double pendulum —\n"
+      "M2TD-SELECT best on both systems, conventional schemes orders of\n"
+      "magnitude behind.\n";
+
+  (void)accuracy.WriteCsv("table4_accuracy.csv");
+  (void)time.WriteCsv("table4_time.csv");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Table V of the paper: reduced simulation budgets, and the
+// zero-join density booster.
+//
+// Paper: cutting the budget to 1/10 of the samples drops accuracy for all
+// schemes, but M2TD stays orders of magnitude ahead; at low budgets,
+// zero-join stitching beats plain join stitching.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "io/table.h"
+
+namespace {
+
+using m2td::core::M2tdMethod;
+using m2td::core::StitchOptions;
+using m2td::core::SubEnsembleOptions;
+using m2td::ensemble::ConventionalScheme;
+using m2td::io::TablePrinter;
+
+}  // namespace
+
+int main() {
+  m2td::bench::PrintBanner("Table V", "reduced budgets and zero-join");
+
+  const std::uint32_t res = m2td::bench::kMediumRes;
+  const std::uint64_t rank = 5;
+  auto model = m2td::bench::MakeModel("double_pendulum", res);
+  M2TD_CHECK(model.ok()) << model.status();
+  const m2td::tensor::DenseTensor& ground_truth =
+      m2td::bench::GroundTruth("double_pendulum", res, model->get());
+  auto partition =
+      m2td::core::MakePartition((*model)->space().num_modes(), {0});
+  M2TD_CHECK(partition.ok()) << partition.status();
+
+  TablePrinter table({"Budget", "Stitch", "SELECT acc", "join nnz",
+                      "Random", "Grid", "Slice"});
+
+  for (const double cell_density : {1.0, 0.3, 0.1}) {
+    SubEnsembleOptions sub_options;
+    sub_options.cell_density = cell_density;
+    sub_options.seed = 21;
+
+    std::uint64_t m2td_cells = 0;
+    for (const bool zero_join : {false, true}) {
+      StitchOptions stitch;
+      stitch.zero_join = zero_join;
+      auto outcome =
+          m2td::core::RunM2td(model->get(), ground_truth, *partition,
+                              M2tdMethod::kSelect, rank, sub_options, stitch);
+      M2TD_CHECK(outcome.ok()) << outcome.status();
+      m2td_cells = outcome->budget_cells;
+
+      std::vector<std::string> row = {
+          m2td::io::TablePrinter::Cell(cell_density * 100.0, 0) + "%",
+          zero_join ? "zero-join" : "join",
+          TablePrinter::Cell(outcome->accuracy, 3),
+          std::to_string(outcome->nnz)};
+      if (!zero_join) {
+        // Conventional baselines at the equivalent simulation budget; only
+        // printed once per budget level.
+        const std::uint64_t budget = m2td::bench::EquivalentSimulationBudget(
+            m2td_cells, (*model)->space().Resolution(0));
+        for (ConventionalScheme scheme :
+             {ConventionalScheme::kRandom, ConventionalScheme::kGrid,
+              ConventionalScheme::kSlice}) {
+          auto conventional = m2td::core::RunConventional(
+              model->get(), ground_truth, scheme, budget, rank, 77);
+          M2TD_CHECK(conventional.ok()) << conventional.status();
+          row.push_back(TablePrinter::SciCell(conventional->accuracy));
+        }
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
+      table.AddRow(row);
+    }
+  }
+
+  table.Print(std::cout);
+  std::cout <<
+      "\nPaper reference (Table V): at 1/10 budget all schemes drop, M2TD\n"
+      "stays orders ahead; zero-join > join at low budgets. Expected shape\n"
+      "here: accuracy decreasing with budget; at reduced budgets the\n"
+      "zero-join row beats the plain join row and raises join nnz.\n";
+
+  (void)table.WriteCsv("table5_budget_zerojoin.csv");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table VIII of the paper: sensitivity to the choice of pivot
+// parameter. Sub-systems are formed so free parameters of the same
+// pendulum stay together (the paper's construction).
+//
+// Paper: pivot choice moves M2TD accuracy somewhat (0.35-0.71 for SELECT
+// at res 70 / rank 10), but every pivot stays orders of magnitude ahead of
+// conventional sampling — precise a-priori knowledge is not needed.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "io/table.h"
+
+namespace {
+
+struct PivotCase {
+  std::string label;
+  std::size_t pivot_mode;
+  std::vector<std::size_t> side1;  // explicit same-pendulum grouping
+};
+
+}  // namespace
+
+int main() {
+  m2td::bench::PrintBanner("Table VIII", "choice of pivot parameter");
+
+  // Modes: 0=t, 1=phi1, 2=phi2, 3=m1, 4=m2.
+  const std::vector<PivotCase> cases = {
+      {"t", 0, {1, 3}},     // S1 = pendulum 1 (phi1, m1), S2 = (phi2, m2)
+      {"phi1", 1, {3, 0}},  // S1 = (m1, t),   S2 = (phi2, m2)
+      {"phi2", 2, {1, 3}},  // S1 = (phi1, m1), S2 = (m2, t)
+      {"m1", 3, {1, 0}},    // S1 = (phi1, t), S2 = (phi2, m2)
+      {"m2", 4, {1, 3}},    // S1 = (phi1, m1), S2 = (phi2, t)
+  };
+
+  const std::uint32_t res = m2td::bench::kMediumRes;
+  const std::uint64_t rank = 5;
+  auto model = m2td::bench::MakeModel("double_pendulum", res);
+  M2TD_CHECK(model.ok()) << model.status();
+  const m2td::tensor::DenseTensor& ground_truth =
+      m2td::bench::GroundTruth("double_pendulum", res, model->get());
+
+  m2td::io::TablePrinter accuracy({"Pivot", "AVG", "CONCAT", "SELECT"});
+  m2td::io::TablePrinter time({"Pivot", "AVG", "CONCAT", "SELECT"});
+  double worst_select = 1.0;
+
+  for (const PivotCase& pivot_case : cases) {
+    auto partition = m2td::core::MakePartition(
+        5, {pivot_case.pivot_mode}, pivot_case.side1);
+    M2TD_CHECK(partition.ok()) << partition.status();
+
+    std::vector<std::string> accuracy_row = {pivot_case.label};
+    std::vector<std::string> time_row = {pivot_case.label};
+    for (m2td::core::M2tdMethod method :
+         {m2td::core::M2tdMethod::kAvg, m2td::core::M2tdMethod::kConcat,
+          m2td::core::M2tdMethod::kSelect}) {
+      auto outcome = m2td::core::RunM2td(model->get(), ground_truth,
+                                         *partition, method, rank, {});
+      M2TD_CHECK(outcome.ok()) << outcome.status();
+      accuracy_row.push_back(
+          m2td::io::TablePrinter::Cell(outcome->accuracy, 3));
+      time_row.push_back(
+          m2td::io::TablePrinter::Cell(outcome->decompose_seconds * 1e3, 1));
+      if (method == m2td::core::M2tdMethod::kSelect) {
+        worst_select = std::min(worst_select, outcome->accuracy);
+      }
+    }
+    accuracy.AddRow(accuracy_row);
+    time.AddRow(time_row);
+  }
+
+  std::cout << "\n(a) Accuracy\n";
+  accuracy.Print(std::cout);
+  std::cout << "\n(b) Decomposition time (ms)\n";
+  time.Print(std::cout);
+
+  // Conventional reference at the same budget, for the orders-of-magnitude
+  // claim.
+  const std::uint64_t budget = 2 * res * res / res + 1;
+  auto random_outcome = m2td::core::RunConventional(
+      model->get(), ground_truth, m2td::ensemble::ConventionalScheme::kRandom,
+      2 * res * res, rank, 123);
+  M2TD_CHECK(random_outcome.ok()) << random_outcome.status();
+  (void)budget;
+  std::cout << "\nRandom baseline at the same simulation budget: "
+            << m2td::io::TablePrinter::SciCell(random_outcome->accuracy)
+            << "  (worst SELECT pivot: "
+            << m2td::io::TablePrinter::Cell(worst_select, 3) << ")\n";
+  std::cout <<
+      "Paper reference (Table VIII): SELECT 0.40-0.71 depending on pivot —\n"
+      "variation exists, but every pivot beats conventional by orders of\n"
+      "magnitude.\n";
+
+  (void)accuracy.WriteCsv("table8_accuracy.csv");
+  (void)time.WriteCsv("table8_time.csv");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Epidemic ensemble study — the paper's introductory motivation made
+// concrete: a decision maker explores SEIR intervention scenarios
+// (transmission rate beta standing in for contact restrictions, gamma for
+// treatment capacity) under a fixed simulation budget, and needs the
+// ensemble tensor analysis to stay accurate despite sparsity.
+//
+// Build & run:  ./build/examples/epidemic_study
+
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/experiment.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "io/table.h"
+#include "util/logging.h"
+
+int main() {
+  m2td::ensemble::ModelOptions options;
+  options.parameter_resolution = 10;
+  options.time_resolution = 10;
+  options.record_every = 10;
+  auto model = m2td::ensemble::MakeSeirModel(options);
+  M2TD_CHECK(model.ok()) << model.status();
+
+  const auto& space = (*model)->space();
+  std::cout << "SEIR scenario space (" << space.NumCells() << " cells):\n";
+  for (std::size_t m = 0; m < space.num_modes(); ++m) {
+    std::cout << "  " << space.def(m).name << " in [" << space.def(m).min_value
+              << ", " << space.def(m).max_value << "]\n";
+  }
+
+  auto ground_truth = m2td::ensemble::BuildFullTensor(model->get());
+  M2TD_CHECK(ground_truth.ok()) << ground_truth.status();
+
+  // Partition: pivot on time; S1 varies the disease course (beta, sigma),
+  // S2 the response side (gamma, i0).
+  auto partition = m2td::core::MakePartition(5, {0}, {1, 2});
+  M2TD_CHECK(partition.ok()) << partition.status();
+
+  m2td::io::TablePrinter table({"Scheme", "Accuracy"});
+  std::uint64_t budget_cells = 0;
+  for (auto method : {m2td::core::M2tdMethod::kSelect,
+                      m2td::core::M2tdMethod::kConcat}) {
+    auto outcome = m2td::core::RunM2td(model->get(), *ground_truth,
+                                       *partition, method, /*rank=*/5, {});
+    M2TD_CHECK(outcome.ok()) << outcome.status();
+    budget_cells = outcome->budget_cells;
+    table.AddRow({outcome->scheme,
+                  m2td::io::TablePrinter::Cell(outcome->accuracy, 3)});
+  }
+  const std::uint64_t budget = budget_cells / space.Resolution(0);
+  auto random_outcome = m2td::core::RunConventional(
+      model->get(), *ground_truth, m2td::ensemble::ConventionalScheme::kRandom,
+      budget, /*rank=*/5, /*seed=*/3);
+  M2TD_CHECK(random_outcome.ok()) << random_outcome.status();
+  table.AddRow({random_outcome->scheme,
+                m2td::io::TablePrinter::SciCell(random_outcome->accuracy)});
+
+  std::cout << "\nScheme comparison at a budget of " << budget
+            << " simulations:\n";
+  table.Print(std::cout);
+
+  // What drives the ensemble? Inspect the strongest patterns.
+  auto subs = m2td::core::BuildSubEnsembles(model->get(), *partition, {});
+  M2TD_CHECK(subs.ok()) << subs.status();
+  m2td::core::M2tdOptions m2td_options;
+  m2td_options.ranks = std::vector<std::uint64_t>(5, 3);
+  auto decomposition = m2td::core::M2tdDecompose(*subs, *partition,
+                                                 space.Shape(), m2td_options);
+  M2TD_CHECK(decomposition.ok()) << decomposition.status();
+  auto patterns =
+      m2td::core::ExtractModePatterns(decomposition->tucker, 2);
+  M2TD_CHECK(patterns.ok()) << patterns.status();
+  std::cout << "\nDominant scenario patterns:\n"
+            << m2td::core::DescribePatterns(*patterns, space);
+  std::cout << "\nReading: the heavy beta/gamma loadings identify the\n"
+               "transmission/recovery regimes that most distinguish the\n"
+               "scenarios from the observed reference epidemic.\n";
+  return 0;
+}

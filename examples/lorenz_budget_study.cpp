@@ -1,0 +1,78 @@
+// Lorenz budget study: how much simulation budget does a chaotic system
+// need before its ensemble tensor becomes analyzable?
+//
+// Sweeps the sub-ensemble cell density (the fraction of the P x E cross
+// product actually simulated) for the Lorenz system and records, for both
+// plain join and zero-join stitching, the reconstruction accuracy — the
+// Table V phenomenon as a budget-accuracy curve, written as CSV for
+// plotting.
+//
+// Build & run:  ./build/examples/lorenz_budget_study [output.csv]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/simulation_model.h"
+#include "io/table.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  const std::string csv_path =
+      argc > 1 ? argv[1] : "lorenz_budget_study.csv";
+
+  m2td::ensemble::ModelOptions options;
+  options.parameter_resolution = 10;
+  options.time_resolution = 10;
+  auto model = m2td::ensemble::MakeLorenzModel(options);
+  M2TD_CHECK(model.ok()) << model.status();
+  std::cout << "System: " << (*model)->name()
+            << " (modes t, z, sigma, beta, rho)\n";
+
+  auto ground_truth = m2td::ensemble::BuildFullTensor(model->get());
+  M2TD_CHECK(ground_truth.ok()) << ground_truth.status();
+
+  auto partition = m2td::core::MakePartition(5, {0});
+  M2TD_CHECK(partition.ok()) << partition.status();
+
+  m2td::io::TablePrinter curve({"cell_density", "simulated_cells",
+                                "join_accuracy", "join_nnz",
+                                "zerojoin_accuracy", "zerojoin_nnz"});
+
+  for (const double density : {1.0, 0.7, 0.5, 0.3, 0.2, 0.1}) {
+    m2td::core::SubEnsembleOptions sub_options;
+    sub_options.cell_density = density;
+    sub_options.seed = 5;
+
+    std::vector<std::string> row = {
+        m2td::io::TablePrinter::Cell(density, 2)};
+    bool first = true;
+    for (const bool zero_join : {false, true}) {
+      m2td::core::StitchOptions stitch;
+      stitch.zero_join = zero_join;
+      auto outcome = m2td::core::RunM2td(model->get(), *ground_truth,
+                                         *partition,
+                                         m2td::core::M2tdMethod::kSelect,
+                                         /*rank=*/5, sub_options, stitch);
+      M2TD_CHECK(outcome.ok()) << outcome.status();
+      if (first) {
+        row.push_back(std::to_string(outcome->budget_cells));
+        first = false;
+      }
+      row.push_back(m2td::io::TablePrinter::Cell(outcome->accuracy, 4));
+      row.push_back(std::to_string(outcome->nnz));
+    }
+    curve.AddRow(row);
+  }
+
+  curve.Print(std::cout);
+  M2TD_CHECK(curve.WriteCsv(csv_path).ok());
+  std::cout << "\nCurve written to " << csv_path
+            << ". Expected: accuracy falls with density; the zero-join\n"
+               "column dominates the plain join column once the\n"
+               "sub-ensembles become sparse.\n";
+  return 0;
+}

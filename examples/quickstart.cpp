@@ -1,0 +1,70 @@
+// Quickstart: the smallest end-to-end M2TD pipeline.
+//
+//  1. Define a simulation model (double pendulum, 5-mode ensemble space).
+//  2. PF-partition the parameter space around a pivot (time).
+//  3. Run the two cheap sub-ensembles.
+//  4. M2TD-SELECT: decompose the stitched join tensor from the sub-tensor
+//     decompositions alone.
+//  5. Compare against random sampling at the same simulation budget.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "tensor/tucker.h"
+#include "util/logging.h"
+
+int main() {
+  // --- 1. A double-pendulum ensemble space: modes (t, phi1, phi2, m1, m2),
+  //        10 grid values per mode.
+  m2td::ensemble::ModelOptions model_options;
+  m2td::ensemble::ModelOptions& mo = model_options;
+  mo.parameter_resolution = 10;
+  mo.time_resolution = 10;
+  auto model = m2td::ensemble::MakeDoublePendulumModel(model_options);
+  M2TD_CHECK(model.ok()) << model.status();
+  std::cout << "Model: " << (*model)->name() << ", full space "
+            << (*model)->space().NumCells() << " cells\n";
+
+  // Ground truth (feasible only at this miniature scale): every simulation.
+  auto ground_truth = m2td::ensemble::BuildFullTensor(model->get());
+  M2TD_CHECK(ground_truth.ok()) << ground_truth.status();
+
+  // --- 2. PF-partition: pivot = time (mode 0); the remaining four
+  //        parameters split into (phi1, phi2 | m1, m2).
+  auto partition = m2td::core::MakePartition(5, /*pivot_modes=*/{0});
+  M2TD_CHECK(partition.ok()) << partition.status();
+
+  // --- 3 + 4. Sub-ensembles, stitch, decompose, score — one call.
+  auto m2td_outcome = m2td::core::RunM2td(
+      model->get(), *ground_truth, *partition,
+      m2td::core::M2tdMethod::kSelect, /*rank=*/5,
+      m2td::core::SubEnsembleOptions{});
+  M2TD_CHECK(m2td_outcome.ok()) << m2td_outcome.status();
+
+  // --- 5. Random sampling with the same number of simulations.
+  const std::uint64_t budget =
+      m2td_outcome->budget_cells / (*model)->space().Resolution(0);
+  auto random_outcome = m2td::core::RunConventional(
+      model->get(), *ground_truth,
+      m2td::ensemble::ConventionalScheme::kRandom, budget, /*rank=*/5,
+      /*seed=*/42);
+  M2TD_CHECK(random_outcome.ok()) << random_outcome.status();
+
+  std::cout << "\nSimulation budget: " << budget << " runs ("
+            << m2td_outcome->budget_cells << " tensor cells)\n";
+  std::cout << "M2TD-SELECT accuracy:     " << m2td_outcome->accuracy
+            << "  (join tensor nnz " << m2td_outcome->nnz << ")\n";
+  std::cout << "Random sampling accuracy: " << random_outcome->accuracy
+            << "\n";
+  std::cout << "\nThe partition-stitch ensemble reconstructs the full "
+            << (*model)->space().NumCells()
+            << "-cell space orders of magnitude better from the same "
+               "budget.\n";
+  return 0;
+}

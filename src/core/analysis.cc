@@ -1,0 +1,116 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace m2td::core {
+
+Result<std::vector<ModePattern>> ExtractModePatterns(
+    const tensor::TuckerDecomposition& tucker, std::size_t top_k) {
+  if (top_k == 0) return Status::InvalidArgument("top_k must be positive");
+  std::vector<ModePattern> patterns;
+  for (std::size_t m = 0; m < tucker.factors.size(); ++m) {
+    const linalg::Matrix& factor = tucker.factors[m];
+    for (std::size_t c = 0; c < factor.cols(); ++c) {
+      ModePattern pattern;
+      pattern.mode = m;
+      pattern.component = c;
+      std::vector<std::uint32_t> order(factor.rows());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&factor, c](std::uint32_t a, std::uint32_t b) {
+                  return std::fabs(factor(a, c)) > std::fabs(factor(b, c));
+                });
+      const std::size_t keep = std::min(top_k, order.size());
+      for (std::size_t i = 0; i < keep; ++i) {
+        pattern.top_indices.push_back(order[i]);
+        pattern.loadings.push_back(std::fabs(factor(order[i], c)));
+      }
+      patterns.push_back(std::move(pattern));
+    }
+  }
+  return patterns;
+}
+
+std::string DescribePatterns(const std::vector<ModePattern>& patterns,
+                             const ensemble::ParameterSpace& space,
+                             std::size_t max_entries_per_pattern) {
+  std::string out;
+  for (const ModePattern& pattern : patterns) {
+    if (pattern.mode >= space.num_modes()) continue;
+    const ensemble::ParameterDef& def = space.def(pattern.mode);
+    out += StrFormat("mode %zu (%s), component %zu:", pattern.mode,
+                     def.name.c_str(), pattern.component);
+    const std::size_t n =
+        std::min(max_entries_per_pattern, pattern.top_indices.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out += StrFormat(" %s=%.3g (%.2f)", def.name.c_str(),
+                       space.Value(pattern.mode, pattern.top_indices[i]),
+                       pattern.loadings[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::vector<CoreInteraction>> TopCoreInteractions(
+    const tensor::TuckerDecomposition& tucker, std::size_t top_k) {
+  if (top_k == 0) return Status::InvalidArgument("top_k must be positive");
+  const double norm = tucker.core.FrobeniusNorm();
+  if (norm == 0.0) return std::vector<CoreInteraction>{};
+
+  std::vector<std::uint64_t> order(tucker.core.NumElements());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t keep =
+      std::min<std::size_t>(top_k, order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&tucker](std::uint64_t a, std::uint64_t b) {
+                      return std::fabs(tucker.core.flat(a)) >
+                             std::fabs(tucker.core.flat(b));
+                    });
+
+  std::vector<CoreInteraction> interactions;
+  interactions.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    CoreInteraction interaction;
+    interaction.component_indices = tucker.core.MultiIndex(order[i]);
+    interaction.strength = std::fabs(tucker.core.flat(order[i])) / norm;
+    interactions.push_back(std::move(interaction));
+  }
+  return interactions;
+}
+
+Result<std::vector<ResidualOutlier>> ResidualOutliers(
+    const tensor::TuckerDecomposition& tucker, const tensor::SparseTensor& x,
+    std::size_t top_k) {
+  if (top_k == 0) return Status::InvalidArgument("top_k must be positive");
+  if (x.num_modes() != tucker.factors.size()) {
+    return Status::InvalidArgument("tensor/decomposition arity mismatch");
+  }
+  std::vector<ResidualOutlier> all;
+  all.reserve(x.NumNonZeros());
+  std::vector<std::uint32_t> idx(x.num_modes());
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    for (std::size_t m = 0; m < x.num_modes(); ++m) idx[m] = x.Index(m, e);
+    M2TD_ASSIGN_OR_RETURN(double reconstructed,
+                          tensor::ReconstructCell(tucker, idx));
+    ResidualOutlier outlier;
+    outlier.indices = idx;
+    outlier.observed = x.Value(e);
+    outlier.reconstructed = reconstructed;
+    outlier.residual = std::fabs(outlier.observed - reconstructed);
+    all.push_back(std::move(outlier));
+  }
+  const std::size_t keep = std::min<std::size_t>(top_k, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const ResidualOutlier& a, const ResidualOutlier& b) {
+                      return a.residual > b.residual;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace m2td::core

@@ -1,0 +1,70 @@
+#ifndef M2TD_CORE_ANALYSIS_H_
+#define M2TD_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ensemble/parameter_space.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/tucker.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// One latent pattern along one mode: the factor column plus the domain
+/// indices that load most heavily on it.
+struct ModePattern {
+  std::size_t mode = 0;
+  std::size_t component = 0;
+  /// Domain indices sorted by decreasing |loading|.
+  std::vector<std::uint32_t> top_indices;
+  /// |U(i, component)| for the corresponding top_indices.
+  std::vector<double> loadings;
+};
+
+/// \brief Extracts, for every mode and factor component, the `top_k`
+/// grid values with the largest absolute loadings — the paper's
+/// "high-level understanding of the dynamic processes": which parameter
+/// values (and timestamps) drive each latent pattern.
+Result<std::vector<ModePattern>> ExtractModePatterns(
+    const tensor::TuckerDecomposition& tucker, std::size_t top_k);
+
+/// Pretty-prints patterns using the parameter space's names and grid
+/// values ("phi1=1.23 (0.87)").
+std::string DescribePatterns(const std::vector<ModePattern>& patterns,
+                             const ensemble::ParameterSpace& space,
+                             std::size_t max_entries_per_pattern = 3);
+
+/// Interaction strength of each core entry, sorted: the dominant
+/// component combinations (|G(g)| normalized by the core norm).
+struct CoreInteraction {
+  std::vector<std::uint32_t> component_indices;
+  double strength = 0.0;  // |G(g)| / ||G||_F
+};
+
+/// Top `top_k` core interactions — which cross-mode pattern combinations
+/// carry the ensemble's energy.
+Result<std::vector<CoreInteraction>> TopCoreInteractions(
+    const tensor::TuckerDecomposition& tucker, std::size_t top_k);
+
+/// One observed simulation cell poorly explained by the decomposition.
+struct ResidualOutlier {
+  std::vector<std::uint32_t> indices;
+  double observed = 0.0;
+  double reconstructed = 0.0;
+  double residual = 0.0;  // |observed - reconstructed|
+};
+
+/// \brief The `top_k` observed entries of `x` with the largest absolute
+/// reconstruction residual under `tucker` — simulations the global
+/// patterns fail to explain (candidate anomalies / regions worth denser
+/// sampling). Evaluates cells lazily via ReconstructCell; never
+/// materializes the dense reconstruction.
+Result<std::vector<ResidualOutlier>> ResidualOutliers(
+    const tensor::TuckerDecomposition& tucker, const tensor::SparseTensor& x,
+    std::size_t top_k);
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_ANALYSIS_H_

@@ -1,0 +1,64 @@
+#ifndef M2TD_CORE_DM2TD_H_
+#define M2TD_CORE_DM2TD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "mapreduce/engine.h"
+#include "tensor/tucker.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// Options for the distributed decomposition.
+struct DM2tdOptions {
+  M2tdMethod method = M2tdMethod::kSelect;
+  /// Target rank per original mode.
+  std::vector<std::uint64_t> ranks;
+  StitchOptions stitch;
+  /// Number of map/reduce workers — the paper's "servers" axis in
+  /// Table III.
+  int num_workers = 4;
+};
+
+/// Per-phase wall-clock and MapReduce statistics.
+struct DM2tdResult {
+  tensor::TuckerDecomposition tucker;
+  std::uint64_t join_nnz = 0;
+  /// Phase 1: parallel sub-tensor decomposition (Gram accumulation).
+  mapreduce::JobStats phase1;
+  /// Phase 2: parallel JE-stitching (shuffle on pivot configuration).
+  mapreduce::JobStats phase2;
+  /// Phase 3: parallel tensor-matrix chain recovering the core (summed
+  /// over the N per-mode jobs) — the dominant cost, per the paper.
+  mapreduce::JobStats phase3;
+
+  double TotalSeconds() const {
+    return phase1.TotalSeconds() + phase2.TotalSeconds() +
+           phase3.TotalSeconds();
+  }
+};
+
+/// \brief D-M2TD (Section VI-D): the three-phase distributed M2TD on the
+/// in-process MapReduce engine.
+///
+/// Phase 1 ships each sub-tensor's cells to a reducer that accumulates its
+/// per-mode Gram matrices; the driver turns Grams into (combined) factor
+/// matrices. Phase 2 shuffles cells of both sub-tensors by pivot
+/// configuration and joins within each reduce group. Phase 3 runs one
+/// MapReduce job per mode, each contracting the current tensor's fibers
+/// with that mode's factor matrix, ending at the dense core.
+///
+/// Produces the same decomposition as M2tdDecompose (up to floating-point
+/// reassociation in the Gram sums).
+Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
+                                   const PfPartition& partition,
+                                   const std::vector<std::uint64_t>&
+                                       full_shape,
+                                   const DM2tdOptions& options);
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_DM2TD_H_

@@ -1,0 +1,68 @@
+#ifndef M2TD_CORE_EXPERIMENT_H_
+#define M2TD_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "tensor/dense_tensor.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// One row of a paper-style results table: a scheme's accuracy (the
+/// 1 - ||X~ - Y|| / ||Y|| metric) and its decomposition wall-clock.
+struct SchemeOutcome {
+  std::string scheme;
+  double accuracy = 0.0;
+  /// Decomposition time only (sampling/simulation excluded), matching the
+  /// paper's "Decomposition Time" tables.
+  double decompose_seconds = 0.0;
+  /// Simulated cells consumed by the scheme.
+  std::uint64_t budget_cells = 0;
+  /// Stored entries of the tensor that was decomposed (for M2TD: the join
+  /// tensor — the "effective density" numerator).
+  std::uint64_t nnz = 0;
+  /// M2TD phase breakdown (zeros for conventional schemes).
+  M2tdTimings timings;
+};
+
+/// \brief Runs a conventional baseline end to end: sample `budget`
+/// simulations by `scheme`, HOSVD the sparse ensemble tensor at uniform
+/// rank `rank`, reconstruct, and score against `ground_truth`.
+Result<SchemeOutcome> RunConventional(ensemble::SimulationModel* model,
+                                      const tensor::DenseTensor& ground_truth,
+                                      ensemble::ConventionalScheme scheme,
+                                      std::uint64_t budget,
+                                      std::uint64_t rank,
+                                      std::uint64_t seed);
+
+/// \brief Runs an M2TD pipeline end to end: PF-partitioned sub-ensembles,
+/// M2TD decomposition of the join tensor, reconstruction, and scoring.
+Result<SchemeOutcome> RunM2td(ensemble::SimulationModel* model,
+                              const tensor::DenseTensor& ground_truth,
+                              const PfPartition& partition,
+                              M2tdMethod method, std::uint64_t rank,
+                              const SubEnsembleOptions& sub_options,
+                              const StitchOptions& stitch_options = {});
+
+/// Uniform per-mode rank vector for a model's space.
+std::vector<std::uint64_t> UniformRanks(const ensemble::SimulationModel& model,
+                                        std::uint64_t rank);
+
+/// Decomposes a *pre-built* union-of-samples sparse tensor (the naive
+/// "union the sub-ensembles into one N-mode tensor" alternative of
+/// Section I-C) and scores it — the ablation baseline for the join.
+Result<SchemeOutcome> RunUnionBaseline(const tensor::SparseTensor& ensemble_x,
+                                       const tensor::DenseTensor&
+                                           ground_truth,
+                                       std::uint64_t rank,
+                                       const std::string& label);
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_EXPERIMENT_H_

@@ -1,0 +1,156 @@
+#include "core/m2td.h"
+
+#include <algorithm>
+
+#include "linalg/svd.h"
+#include "tensor/matricize.h"
+#include "tensor/ttm.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace m2td::core {
+
+const char* M2tdMethodName(M2tdMethod method) {
+  switch (method) {
+    case M2tdMethod::kAvg:
+      return "M2TD-AVG";
+    case M2tdMethod::kConcat:
+      return "M2TD-CONCAT";
+    case M2tdMethod::kSelect:
+      return "M2TD-SELECT";
+    case M2tdMethod::kWeighted:
+      return "M2TD-WEIGHTED";
+  }
+  return "?";
+}
+
+Result<linalg::Matrix> RowSelect(const linalg::Matrix& u1,
+                                 const linalg::Matrix& u2) {
+  if (u1.rows() != u2.rows() || u1.cols() != u2.cols()) {
+    return Status::InvalidArgument("RowSelect requires same-shaped inputs");
+  }
+  linalg::Matrix out(u1.rows(), u1.cols());
+  for (std::size_t i = 0; i < u1.rows(); ++i) {
+    const bool take_first = u1.RowNorm(i) >= u2.RowNorm(i);
+    const double* src = take_first ? u1.RowPtr(i) : u2.RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (std::size_t j = 0; j < u1.cols(); ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Result<linalg::Matrix> RowWeightedBlend(const linalg::Matrix& u1,
+                                        const linalg::Matrix& u2) {
+  if (u1.rows() != u2.rows() || u1.cols() != u2.cols()) {
+    return Status::InvalidArgument(
+        "RowWeightedBlend requires same-shaped inputs");
+  }
+  linalg::Matrix out(u1.rows(), u1.cols());
+  for (std::size_t i = 0; i < u1.rows(); ++i) {
+    const double w1 = u1.RowNorm(i);
+    const double w2 = u2.RowNorm(i);
+    const double total = w1 + w2;
+    if (total <= 0.0) continue;  // both rows zero: leave the row zero
+    const double* r1 = u1.RowPtr(i);
+    const double* r2 = u2.RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (std::size_t j = 0; j < u1.cols(); ++j) {
+      dst[j] = (w1 * r1[j] + w2 * r2[j]) / total;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Factor matrix of sub-tensor `sub` along its own mode `m`, at rank
+/// clamped to the mode length.
+Result<linalg::Matrix> SubFactor(const tensor::SparseTensor& sub,
+                                 std::size_t m, std::uint64_t rank) {
+  M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, tensor::ModeGram(sub, m));
+  const std::size_t k =
+      static_cast<std::size_t>(std::min<std::uint64_t>(rank, sub.dim(m)));
+  return linalg::LeftSingularVectorsFromGram(gram, k);
+}
+
+}  // namespace
+
+Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
+                                 const PfPartition& partition,
+                                 const std::vector<std::uint64_t>& full_shape,
+                                 const M2tdOptions& options) {
+  const std::size_t num_modes = full_shape.size();
+  if (partition.NumModes() != num_modes) {
+    return Status::InvalidArgument("partition does not match full shape");
+  }
+  if (options.ranks.size() != num_modes) {
+    return Status::InvalidArgument("one rank per original mode required");
+  }
+  const std::size_t k = partition.pivot_modes.size();
+
+  M2tdResult result;
+  Timer timer;
+
+  // --- Sub-tensor decompositions + pivot-factor combination. ---
+  std::vector<linalg::Matrix> factors(num_modes);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t mode = partition.pivot_modes[i];
+    const std::uint64_t rank = options.ranks[mode];
+    linalg::Matrix combined;
+    if (options.method == M2tdMethod::kConcat) {
+      // Gram of the concatenated matricization [X1_(n) | X2_(n)].
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix g1, tensor::ModeGram(subs.x1, i));
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix g2, tensor::ModeGram(subs.x2, i));
+      const linalg::Matrix sum = linalg::LinearCombination(1.0, g1, 1.0, g2);
+      const std::size_t rk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(rank, full_shape[mode]));
+      M2TD_ASSIGN_OR_RETURN(combined,
+                            linalg::LeftSingularVectorsFromGram(sum, rk));
+    } else {
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u1,
+                            SubFactor(subs.x1, i, rank));
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u2,
+                            SubFactor(subs.x2, i, rank));
+      if (options.method == M2tdMethod::kAvg) {
+        combined = linalg::LinearCombination(0.5, u1, 0.5, u2);
+      } else if (options.method == M2tdMethod::kWeighted) {
+        M2TD_ASSIGN_OR_RETURN(combined, RowWeightedBlend(u1, u2));
+      } else {
+        M2TD_ASSIGN_OR_RETURN(combined, RowSelect(u1, u2));
+      }
+    }
+    factors[mode] = std::move(combined);
+  }
+  for (std::size_t i = 0; i < partition.side1_modes.size(); ++i) {
+    const std::size_t mode = partition.side1_modes[i];
+    M2TD_ASSIGN_OR_RETURN(factors[mode],
+                          SubFactor(subs.x1, k + i, options.ranks[mode]));
+  }
+  for (std::size_t i = 0; i < partition.side2_modes.size(); ++i) {
+    const std::size_t mode = partition.side2_modes[i];
+    M2TD_ASSIGN_OR_RETURN(factors[mode],
+                          SubFactor(subs.x2, k + i, options.ranks[mode]));
+  }
+  result.timings.sub_decompose_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // --- JE-stitching. ---
+  M2TD_ASSIGN_OR_RETURN(
+      tensor::SparseTensor join,
+      JeStitch(subs, partition, full_shape, options.stitch));
+  result.join_nnz = join.NumNonZeros();
+  result.timings.stitch_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // --- Core recovery: G = J x_1 U^(1)T ... x_N U^(N)T. ---
+  M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor core,
+                        tensor::CoreFromSparse(join, factors));
+  result.timings.core_seconds = timer.ElapsedSeconds();
+
+  result.tucker.core = std::move(core);
+  result.tucker.factors = std::move(factors);
+  return result;
+}
+
+}  // namespace m2td::core

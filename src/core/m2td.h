@@ -1,0 +1,94 @@
+#ifndef M2TD_CORE_M2TD_H_
+#define M2TD_CORE_M2TD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/je_stitch.h"
+#include "core/pf_partition.h"
+#include "linalg/matrix.h"
+#include "tensor/tucker.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// The three pivot-factor combination schemes of Section VI.
+enum class M2tdMethod {
+  /// Elementwise average of the two pivot factor matrices (Algorithm 2).
+  kAvg,
+  /// Left singular vectors of the row-wise concatenated pivot
+  /// matricizations [X1_(n) | X2_(n)] (Algorithm 3) — via the Gram identity
+  /// [A|B][A|B]^T = A A^T + B B^T.
+  kConcat,
+  /// Per-row energy selection between the two factor matrices
+  /// (Algorithms 4 and 5) — the paper's best performer.
+  kSelect,
+  /// Extension (not in the paper): soft variant of kSelect that blends
+  /// each row pair weighted by the row energies instead of hard-picking
+  /// the stronger one. Degenerates to kAvg for equal energies and to
+  /// kSelect when one side dominates; the ablation bench quantifies where
+  /// it lands between them.
+  kWeighted,
+};
+
+const char* M2tdMethodName(M2tdMethod method);
+
+struct M2tdOptions {
+  M2tdMethod method = M2tdMethod::kSelect;
+  /// Target rank per *original* mode; clamped to the mode lengths. A single
+  /// value replicated across modes reproduces the paper's "Rank" column.
+  std::vector<std::uint64_t> ranks;
+  StitchOptions stitch;
+};
+
+/// Where the time went; mirrors the phase split reported in Table III
+/// (sub-tensor decomposition / stitching / core recovery).
+struct M2tdTimings {
+  double sub_decompose_seconds = 0.0;
+  double stitch_seconds = 0.0;
+  double core_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return sub_decompose_seconds + stitch_seconds + core_seconds;
+  }
+};
+
+struct M2tdResult {
+  /// Tucker decomposition of the join tensor, factors in original mode
+  /// order — directly comparable against the full-space ground truth.
+  tensor::TuckerDecomposition tucker;
+  /// Non-zeros of the stitched join tensor (its effective density
+  /// numerator).
+  std::uint64_t join_nnz = 0;
+  M2tdTimings timings;
+};
+
+/// \brief Algorithm 5 (ROW_SELECT): builds a combined factor matrix taking
+/// each row from whichever input has the larger row 2-norm ("energy").
+///
+/// Inputs must have identical shape.
+Result<linalg::Matrix> RowSelect(const linalg::Matrix& u1,
+                                 const linalg::Matrix& u2);
+
+/// \brief Energy-weighted row blend (the kWeighted extension): row i of
+/// the output is (||r1|| r1 + ||r2|| r2) / (||r1|| + ||r2||); rows with
+/// zero total energy come out zero. Inputs must have identical shape.
+Result<linalg::Matrix> RowWeightedBlend(const linalg::Matrix& u1,
+                                        const linalg::Matrix& u2);
+
+/// \brief Multi-Task Tensor Decomposition: the Tucker decomposition of the
+/// join tensor obtained from the two sub-ensemble decompositions
+/// (Algorithms 2-4).
+///
+/// Factor matrices for pivot modes combine the two sub-tensor factors per
+/// `options.method`; non-pivot factors come from the owning sub-tensor.
+/// The join tensor is stitched (per `options.stitch`) only to recover the
+/// core — the N-modal tensor is never decomposed directly.
+Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
+                                 const PfPartition& partition,
+                                 const std::vector<std::uint64_t>& full_shape,
+                                 const M2tdOptions& options);
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_M2TD_H_

@@ -1,0 +1,176 @@
+#include "core/ooc_m2td.h"
+
+#include <algorithm>
+
+#include "core/je_stitch.h"
+#include "io/out_of_core.h"
+#include "linalg/svd.h"
+#include "tensor/ttm.h"
+#include "util/timer.h"
+
+namespace m2td::core {
+
+namespace {
+
+/// Reads the slab of `store` with pivot coordinates `pivot_index` (the
+/// store's first k modes) and any free coordinates.
+Result<tensor::SparseTensor> ReadPivotSlab(
+    const io::ChunkStore& store, const std::vector<std::uint32_t>&
+        pivot_index, std::size_t k) {
+  std::vector<std::uint64_t> lo(store.shape().size(), 0);
+  std::vector<std::uint64_t> hi = store.shape();
+  for (std::size_t i = 0; i < k; ++i) {
+    lo[i] = pivot_index[i];
+    hi[i] = pivot_index[i] + 1;
+  }
+  return store.ReadRegion(lo, hi);
+}
+
+}  // namespace
+
+Result<M2tdResult> M2tdDecomposeFromStores(
+    const io::ChunkStore& store1, const io::ChunkStore& store2,
+    const PfPartition& partition,
+    const std::vector<std::uint64_t>& full_shape,
+    const M2tdOptions& options) {
+  const std::size_t num_modes = full_shape.size();
+  if (partition.NumModes() != num_modes) {
+    return Status::InvalidArgument("partition does not match full shape");
+  }
+  if (options.ranks.size() != num_modes) {
+    return Status::InvalidArgument("one rank per original mode required");
+  }
+  if (options.stitch.zero_join) {
+    return Status::Unimplemented(
+        "zero-join needs globally consistent candidate sets; use the "
+        "in-memory M2tdDecompose");
+  }
+  const std::size_t k = partition.pivot_modes.size();
+  // Validate the stores' shapes against the partition.
+  auto expected_shape = [&](int side) {
+    std::vector<std::uint64_t> shape;
+    for (std::size_t m : partition.SubTensorModes(side)) {
+      shape.push_back(full_shape[m]);
+    }
+    return shape;
+  };
+  if (store1.shape() != expected_shape(1) ||
+      store2.shape() != expected_shape(2)) {
+    return Status::InvalidArgument(
+        "store shapes do not match the partition's sub-tensor layout");
+  }
+
+  M2tdResult result;
+  Timer timer;
+
+  // --- Factor matrices from streamed Grams. ---
+  std::vector<linalg::Matrix> factors(num_modes);
+  auto factor_from_store = [&](const io::ChunkStore& store,
+                               std::size_t sub_mode,
+                               std::size_t original_mode)
+      -> Result<linalg::Matrix> {
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram,
+                          io::ModeGramFromStore(store, sub_mode));
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min<std::uint64_t>(options.ranks[original_mode],
+                                full_shape[original_mode]));
+    return linalg::LeftSingularVectorsFromGram(gram, rank);
+  };
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t mode = partition.pivot_modes[i];
+    if (options.method == M2tdMethod::kConcat) {
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix g1,
+                            io::ModeGramFromStore(store1, i));
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix g2,
+                            io::ModeGramFromStore(store2, i));
+      const linalg::Matrix sum = linalg::LinearCombination(1.0, g1, 1.0, g2);
+      const std::size_t rank = static_cast<std::size_t>(
+          std::min<std::uint64_t>(options.ranks[mode], full_shape[mode]));
+      M2TD_ASSIGN_OR_RETURN(factors[mode],
+                            linalg::LeftSingularVectorsFromGram(sum, rank));
+    } else {
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u1,
+                            factor_from_store(store1, i, mode));
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u2,
+                            factor_from_store(store2, i, mode));
+      if (options.method == M2tdMethod::kAvg) {
+        factors[mode] = linalg::LinearCombination(0.5, u1, 0.5, u2);
+      } else if (options.method == M2tdMethod::kWeighted) {
+        M2TD_ASSIGN_OR_RETURN(factors[mode], RowWeightedBlend(u1, u2));
+      } else {
+        M2TD_ASSIGN_OR_RETURN(factors[mode], RowSelect(u1, u2));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < partition.side1_modes.size(); ++i) {
+    const std::size_t mode = partition.side1_modes[i];
+    M2TD_ASSIGN_OR_RETURN(factors[mode],
+                          factor_from_store(store1, k + i, mode));
+  }
+  for (std::size_t i = 0; i < partition.side2_modes.size(); ++i) {
+    const std::size_t mode = partition.side2_modes[i];
+    M2TD_ASSIGN_OR_RETURN(factors[mode],
+                          factor_from_store(store2, k + i, mode));
+  }
+  result.timings.sub_decompose_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // --- Core accumulated pivot-slab by pivot-slab. ---
+  std::vector<std::uint64_t> core_shape(num_modes);
+  for (std::size_t m = 0; m < num_modes; ++m) {
+    core_shape[m] = factors[m].cols();
+  }
+  tensor::DenseTensor core(core_shape);
+
+  std::vector<std::uint64_t> pivot_dims;
+  for (std::size_t m : partition.pivot_modes) {
+    pivot_dims.push_back(full_shape[m]);
+  }
+  std::uint64_t pivot_total = 1;
+  for (std::uint64_t d : pivot_dims) pivot_total *= d;
+
+  double stitch_seconds = 0.0;
+  double core_seconds = 0.0;
+  std::vector<std::uint32_t> pivot_index(k);
+  for (std::uint64_t linear = 0; linear < pivot_total; ++linear) {
+    std::uint64_t rest = linear;
+    for (std::size_t i = k; i-- > 0;) {
+      pivot_index[i] = static_cast<std::uint32_t>(rest % pivot_dims[i]);
+      rest /= pivot_dims[i];
+    }
+    Timer slab_timer;
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab1,
+                          ReadPivotSlab(store1, pivot_index, k));
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab2,
+                          ReadPivotSlab(store2, pivot_index, k));
+    if (slab1.NumNonZeros() == 0 || slab2.NumNonZeros() == 0) continue;
+
+    SubEnsembles slab_subs;
+    slab_subs.x1 = std::move(slab1);
+    slab_subs.x2 = std::move(slab2);
+    M2TD_ASSIGN_OR_RETURN(
+        tensor::SparseTensor join_slab,
+        JeStitch(slab_subs, partition, full_shape, options.stitch));
+    result.join_nnz += join_slab.NumNonZeros();
+    stitch_seconds += slab_timer.ElapsedSeconds();
+    slab_timer.Restart();
+
+    if (join_slab.NumNonZeros() > 0) {
+      M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
+                            tensor::CoreFromSparse(join_slab, factors));
+      for (std::uint64_t i = 0; i < core.NumElements(); ++i) {
+        core.flat(i) += partial.flat(i);
+      }
+    }
+    core_seconds += slab_timer.ElapsedSeconds();
+  }
+  result.timings.stitch_seconds = stitch_seconds;
+  result.timings.core_seconds = core_seconds;
+
+  result.tucker.core = std::move(core);
+  result.tucker.factors = std::move(factors);
+  return result;
+}
+
+}  // namespace m2td::core

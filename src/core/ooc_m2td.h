@@ -1,0 +1,44 @@
+#ifndef M2TD_CORE_OOC_M2TD_H_
+#define M2TD_CORE_OOC_M2TD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "io/chunk_store.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// \brief Out-of-core M2TD: the decomposition of the join tensor computed
+/// with *bounded memory* from two sub-ensemble tensors living in chunked
+/// on-disk stores — the TensorDB-flavored deployment of the algorithm.
+///
+/// Memory profile:
+///  - Factor matrices come from per-mode Grams streamed chunk-by-chunk
+///    (io::ModeGramFromStore); peak memory is one chunk slab plus an
+///    I_n x I_n Gram.
+///  - The join tensor is *never materialized*: join cells only pair
+///    entries sharing a pivot configuration, and core (TTM) contributions
+///    are additive over any partition of the join's entries — so the core
+///    is accumulated one pivot-slab join at a time. Peak memory is one
+///    pivot slab of each sub-tensor plus that slab's join.
+///
+/// Each store must hold the corresponding side's sub-tensor in *sub-tensor
+/// mode order* (pivots first, then that side's free modes), with shapes
+/// matching the partition. Zero-join stitching needs globally consistent
+/// candidate sets and is not supported here (Unimplemented); use the
+/// in-memory pipeline for it.
+///
+/// The result is identical (up to floating-point reassociation) to
+/// M2tdDecompose over the fully-loaded sub-ensembles; the equivalence is
+/// asserted by tests.
+Result<M2tdResult> M2tdDecomposeFromStores(
+    const io::ChunkStore& store1, const io::ChunkStore& store2,
+    const PfPartition& partition,
+    const std::vector<std::uint64_t>& full_shape, const M2tdOptions& options);
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_OOC_M2TD_H_

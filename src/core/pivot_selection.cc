@@ -1,0 +1,60 @@
+#include "core/pivot_selection.h"
+
+#include <algorithm>
+
+#include "core/pf_partition.h"
+#include "linalg/svd.h"
+#include "tensor/matricize.h"
+
+namespace m2td::core {
+
+Result<std::vector<PivotScore>> RankPivotChoices(
+    ensemble::SimulationModel* model, const PivotSelectionOptions& options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  if (options.rank == 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  if (options.probe_density <= 0.0 || options.probe_density > 1.0) {
+    return Status::InvalidArgument("probe_density must be in (0, 1]");
+  }
+  const ensemble::ParameterSpace& space = model->space();
+
+  std::vector<PivotScore> scores;
+  scores.reserve(space.num_modes());
+  for (std::size_t mode = 0; mode < space.num_modes(); ++mode) {
+    M2TD_ASSIGN_OR_RETURN(PfPartition partition,
+                          MakePartition(space.num_modes(), {mode}));
+    SubEnsembleOptions sub_options;
+    sub_options.cell_density = options.probe_density;
+    sub_options.seed = options.seed + mode;  // decorrelate probes
+    M2TD_ASSIGN_OR_RETURN(SubEnsembles subs,
+                          BuildSubEnsembles(model, partition, sub_options));
+
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min<std::uint64_t>(options.rank, space.Resolution(mode)));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix g1, tensor::ModeGram(subs.x1, 0));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix g2, tensor::ModeGram(subs.x2, 0));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix u1,
+                          linalg::LeftSingularVectorsFromGram(g1, rank));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix u2,
+                          linalg::LeftSingularVectorsFromGram(g2, rank));
+
+    // Alignment: ||U1^T U2||_F^2 / r, 1 for identical subspaces.
+    const linalg::Matrix overlap = linalg::MultiplyTransA(u1, u2);
+    const double fro = overlap.FrobeniusNorm();
+    PivotScore score;
+    score.mode = mode;
+    score.alignment = fro * fro / static_cast<double>(rank);
+    score.probe_cells = subs.cells_evaluated;
+    scores.push_back(score);
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const PivotScore& a, const PivotScore& b) {
+              return a.alignment > b.alignment;
+            });
+  return scores;
+}
+
+}  // namespace m2td::core

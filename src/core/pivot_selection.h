@@ -1,0 +1,50 @@
+#ifndef M2TD_CORE_PIVOT_SELECTION_H_
+#define M2TD_CORE_PIVOT_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ensemble/simulation_model.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// Alignment score of one candidate pivot mode.
+struct PivotScore {
+  std::size_t mode = 0;
+  /// Subspace alignment of the two sides' pivot factor matrices:
+  /// ||U1^T U2||_F^2 / r in [0, 1]. 1 means identical pivot subspaces —
+  /// the stitched factors will be coherent; near 0 means the two
+  /// sub-systems see unrelated pivot behavior.
+  double alignment = 0.0;
+  /// Cells spent probing this candidate.
+  std::uint64_t probe_cells = 0;
+};
+
+/// Options for the pivot-ranking probe.
+struct PivotSelectionOptions {
+  /// Factor rank used for the alignment comparison.
+  std::uint64_t rank = 3;
+  /// Fraction of each candidate's P x E cross product simulated for the
+  /// probe (keep small: the probe should cost a fraction of the real
+  /// ensemble).
+  double probe_density = 0.2;
+  std::uint64_t seed = 23;
+};
+
+/// \brief Ranks every mode of the model's space as a pivot candidate
+/// (extension; the paper's Table VIII varies the pivot manually and finds
+/// all choices workable).
+///
+/// For each candidate, a cheap probe sub-ensemble pair is simulated
+/// (default split of the remaining modes) and the two sides' pivot factor
+/// matrices are compared by subspace alignment — no ground truth needed,
+/// so this can run *before* committing the real budget. Returns scores
+/// sorted by decreasing alignment.
+Result<std::vector<PivotScore>> RankPivotChoices(
+    ensemble::SimulationModel* model,
+    const PivotSelectionOptions& options = {});
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_PIVOT_SELECTION_H_

@@ -1,0 +1,192 @@
+#include "core/refine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "ensemble/sampling.h"
+#include "tensor/tucker.h"
+
+namespace m2td::core {
+
+namespace {
+
+/// Dimensions of the parameter modes (time excluded), in mode order.
+std::vector<std::uint64_t> ParamDims(const ensemble::ParameterSpace& space,
+                                     std::size_t time_mode) {
+  std::vector<std::uint64_t> dims;
+  for (std::size_t m = 0; m < space.num_modes(); ++m) {
+    if (m != time_mode) dims.push_back(space.Resolution(m));
+  }
+  return dims;
+}
+
+std::vector<std::uint32_t> Decode(std::uint64_t linear,
+                                  const std::vector<std::uint64_t>& dims) {
+  std::vector<std::uint32_t> combo(dims.size());
+  for (std::size_t m = dims.size(); m-- > 0;) {
+    combo[m] = static_cast<std::uint32_t>(linear % dims[m]);
+    linear /= dims[m];
+  }
+  return combo;
+}
+
+/// Normalized L1 grid distance between two parameter combinations.
+double GridDistance(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b,
+                    const std::vector<std::uint64_t>& dims) {
+  double distance = 0.0;
+  for (std::size_t m = 0; m < dims.size(); ++m) {
+    distance += std::fabs(static_cast<double>(a[m]) -
+                          static_cast<double>(b[m])) /
+                static_cast<double>(dims[m]);
+  }
+  return distance / static_cast<double>(dims.size());
+}
+
+/// Appends the full time fiber of `combo` to the ensemble tensor.
+void RunSimulation(ensemble::SimulationModel* model,
+                   const std::vector<std::uint32_t>& combo,
+                   tensor::SparseTensor* ensemble_x) {
+  const ensemble::ParameterSpace& space = model->space();
+  const std::size_t time_mode = model->time_mode();
+  std::vector<std::uint32_t> idx(space.num_modes());
+  std::size_t cursor = 0;
+  for (std::size_t m = 0; m < space.num_modes(); ++m) {
+    if (m != time_mode) idx[m] = combo[cursor++];
+  }
+  for (std::uint32_t t = 0; t < space.Resolution(time_mode); ++t) {
+    idx[time_mode] = t;
+    ensemble_x->AppendEntry(idx, model->Cell(idx));
+  }
+}
+
+/// Fit of the decomposition restricted to the observed entries:
+/// 1 - ||x - x~||_obs / ||x||_obs.
+Result<double> ObservedFit(const tensor::TuckerDecomposition& tucker,
+                           const tensor::SparseTensor& x) {
+  double err_sq = 0.0;
+  double norm_sq = 0.0;
+  std::vector<std::uint32_t> idx(x.num_modes());
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    for (std::size_t m = 0; m < x.num_modes(); ++m) idx[m] = x.Index(m, e);
+    M2TD_ASSIGN_OR_RETURN(double reconstructed,
+                          tensor::ReconstructCell(tucker, idx));
+    const double v = x.Value(e);
+    err_sq += (v - reconstructed) * (v - reconstructed);
+    norm_sq += v * v;
+  }
+  if (norm_sq == 0.0) return 1.0;
+  return 1.0 - std::sqrt(err_sq) / std::sqrt(norm_sq);
+}
+
+}  // namespace
+
+Result<RefinementResult> AdaptiveRefinement(
+    ensemble::SimulationModel* model, const RefinementOptions& options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  if (options.initial_budget == 0 || options.increment == 0 ||
+      options.rounds <= 0 || options.rank == 0 ||
+      options.candidate_pool == 0) {
+    return Status::InvalidArgument("all refinement sizes must be positive");
+  }
+  if (options.exploit_weight < 0.0 || options.exploit_weight > 1.0) {
+    return Status::InvalidArgument("exploit_weight must be in [0, 1]");
+  }
+
+  const ensemble::ParameterSpace& space = model->space();
+  const std::size_t time_mode = model->time_mode();
+  const std::vector<std::uint64_t> dims = ParamDims(space, time_mode);
+  std::uint64_t total = 1;
+  for (std::uint64_t d : dims) total *= d;
+
+  Rng rng(options.seed);
+  RefinementResult result;
+  result.ensemble = tensor::SparseTensor(space.Shape());
+  std::unordered_set<std::uint64_t> sampled;
+
+  // Initial random allocation.
+  const std::uint64_t initial = std::min(options.initial_budget, total);
+  for (std::uint64_t linear : rng.SampleWithoutReplacement(total, initial)) {
+    std::vector<std::uint32_t> combo = Decode(linear, dims);
+    sampled.insert(linear);
+    RunSimulation(model, combo, &result.ensemble);
+    result.combinations.push_back(std::move(combo));
+  }
+  result.ensemble.SortAndCoalesce();
+
+  const std::vector<std::uint64_t> ranks(space.num_modes(), options.rank);
+  for (int round = 0; round < options.rounds; ++round) {
+    // Score model from what has been observed so far.
+    M2TD_ASSIGN_OR_RETURN(tensor::TuckerDecomposition tucker,
+                          tensor::HosvdSparse(result.ensemble, ranks));
+    RefinementRound trace;
+    trace.total_simulations = result.combinations.size();
+    M2TD_ASSIGN_OR_RETURN(trace.observed_fit,
+                          ObservedFit(tucker, result.ensemble));
+    result.rounds.push_back(trace);
+
+    if (sampled.size() >= total) break;
+
+    // Sample unobserved candidates and score them.
+    struct Candidate {
+      std::uint64_t linear;
+      double score;
+    };
+    std::vector<Candidate> candidates;
+    const std::uint64_t pool =
+        std::min<std::uint64_t>(options.candidate_pool,
+                                total - sampled.size());
+    std::unordered_set<std::uint64_t> pool_set;
+    while (pool_set.size() < pool) {
+      const std::uint64_t linear = rng.UniformInt(total);
+      if (sampled.count(linear) == 0) pool_set.insert(linear);
+    }
+    std::vector<std::uint32_t> idx(space.num_modes());
+    for (std::uint64_t linear : pool_set) {
+      const std::vector<std::uint32_t> combo = Decode(linear, dims);
+      // Exploit: predicted time-fiber energy at this combination.
+      double fiber_energy = 0.0;
+      std::size_t cursor = 0;
+      for (std::size_t m = 0; m < space.num_modes(); ++m) {
+        if (m != time_mode) idx[m] = combo[cursor++];
+      }
+      for (std::uint32_t t = 0; t < space.Resolution(time_mode); ++t) {
+        idx[time_mode] = t;
+        M2TD_ASSIGN_OR_RETURN(double predicted,
+                              tensor::ReconstructCell(tucker, idx));
+        fiber_energy += predicted * predicted;
+      }
+      // Explore: distance to the nearest sampled combination.
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const auto& chosen : result.combinations) {
+        nearest = std::min(nearest, GridDistance(combo, chosen, dims));
+        if (nearest == 0.0) break;
+      }
+      const double score =
+          options.exploit_weight * std::sqrt(fiber_energy) +
+          (1.0 - options.exploit_weight) * nearest;
+      candidates.push_back(Candidate{linear, score});
+    }
+    const std::uint64_t take =
+        std::min<std::uint64_t>(options.increment, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.score > b.score;
+                      });
+    for (std::uint64_t i = 0; i < take; ++i) {
+      std::vector<std::uint32_t> combo = Decode(candidates[i].linear, dims);
+      sampled.insert(candidates[i].linear);
+      RunSimulation(model, combo, &result.ensemble);
+      result.combinations.push_back(std::move(combo));
+    }
+    result.ensemble.SortAndCoalesce();
+  }
+  return result;
+}
+
+}  // namespace m2td::core

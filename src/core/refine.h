@@ -1,0 +1,63 @@
+#ifndef M2TD_CORE_REFINE_H_
+#define M2TD_CORE_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ensemble/simulation_model.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace m2td::core {
+
+/// Options for the adaptive (single-run replication) sampler.
+struct RefinementOptions {
+  /// Simulations in the initial random ensemble.
+  std::uint64_t initial_budget = 32;
+  /// Simulations added per refinement round.
+  std::uint64_t increment = 16;
+  /// Number of refinement rounds.
+  int rounds = 3;
+  /// Decomposition rank (uniform across modes) used for the scoring model.
+  std::uint64_t rank = 3;
+  /// Unobserved candidates scored per round (sampled uniformly).
+  std::uint64_t candidate_pool = 256;
+  /// Exploit weight in [0, 1]: 1 chases the largest predicted responses,
+  /// 0 maximizes distance from already-sampled points (pure exploration).
+  double exploit_weight = 0.5;
+  std::uint64_t seed = 11;
+};
+
+/// Trace of one refinement run.
+struct RefinementRound {
+  std::uint64_t total_simulations = 0;
+  /// Fit of the scoring decomposition on the observed entries.
+  double observed_fit = 0.0;
+};
+
+struct RefinementResult {
+  /// The accumulated ensemble tensor (coalesced).
+  tensor::SparseTensor ensemble;
+  /// The parameter combinations chosen, in selection order.
+  std::vector<std::vector<std::uint32_t>> combinations;
+  std::vector<RefinementRound> rounds;
+};
+
+/// \brief Adaptive ensemble construction — the "single-run replication"
+/// strategy of the simulation-design literature the paper's Section II
+/// surveys: allocate simulations incrementally, at each step decomposing
+/// what has been observed and choosing the next simulations by an
+/// exploit/explore score (predicted response magnitude from the current
+/// Tucker model vs distance to the nearest sampled combination).
+///
+/// This is an *extension* of the paper (which uses one-shot budgets); the
+/// experiment harness compares it against one-shot random sampling at the
+/// same total budget.
+Result<RefinementResult> AdaptiveRefinement(ensemble::SimulationModel* model,
+                                            const RefinementOptions& options);
+
+}  // namespace m2td::core
+
+#endif  // M2TD_CORE_REFINE_H_

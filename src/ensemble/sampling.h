@@ -1,0 +1,56 @@
+#ifndef M2TD_ENSEMBLE_SAMPLING_H_
+#define M2TD_ENSEMBLE_SAMPLING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ensemble/simulation_model.h"
+#include "tensor/sparse_tensor.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace m2td::ensemble {
+
+/// The conventional ensemble construction schemes of Section IV, used as
+/// baselines against partition-stitch sampling.
+enum class ConventionalScheme {
+  /// `budget` parameter combinations drawn uniformly without replacement.
+  kRandom,
+  /// A regular sub-grid per parameter whose cross product best fills the
+  /// budget.
+  kGrid,
+  /// Whole axis-aligned slices (one parameter pinned to a grid value, all
+  /// combinations of the others) added until the budget is exhausted; the
+  /// final slice is truncated randomly if it does not fit.
+  kSlice,
+  /// Latin hypercube sampling: per parameter, `budget` stratified grid
+  /// positions (one per stratum, jittered) independently shuffled and
+  /// zipped into combinations — the classical space-filling design from
+  /// the simulation-design literature the paper's related work surveys.
+  kLatinHypercube,
+};
+
+const char* ConventionalSchemeName(ConventionalScheme scheme);
+
+/// \brief Runs `budget` simulations chosen by `scheme` and encodes them as
+/// a sparse ensemble tensor over the model's full space.
+///
+/// A "simulation" is one parameter combination; it fills the entire time
+/// fiber (time_resolution cells) of the tensor, matching the paper's budget
+/// accounting where B counts simulation instances. The returned tensor is
+/// coalesced. `budget` is clamped to the number of parameter combinations.
+Result<tensor::SparseTensor> BuildConventionalEnsemble(
+    SimulationModel* model, ConventionalScheme scheme, std::uint64_t budget,
+    Rng* rng);
+
+/// The distinct parameter combinations (as multi-indices over the parameter
+/// modes only, time excluded) each scheme would select — exposed for tests
+/// and for the sampling-distribution example.
+Result<std::vector<std::vector<std::uint32_t>>> SelectParameterCombinations(
+    const ParameterSpace& space, std::size_t time_mode,
+    ConventionalScheme scheme, std::uint64_t budget, Rng* rng);
+
+}  // namespace m2td::ensemble
+
+#endif  // M2TD_ENSEMBLE_SAMPLING_H_

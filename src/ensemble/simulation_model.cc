@@ -1,0 +1,226 @@
+#include "ensemble/simulation_model.h"
+
+#include <cmath>
+
+#include "sim/lorenz.h"
+#include "sim/pendulum.h"
+#include "sim/seir.h"
+#include "util/logging.h"
+
+namespace m2td::ensemble {
+
+Result<std::unique_ptr<DynamicalSystemModel>> DynamicalSystemModel::Create(
+    std::string name, ParameterSpace space, TrajectoryFactory factory,
+    std::vector<double> reference_params) {
+  if (space.num_modes() < 2) {
+    return Status::InvalidArgument(
+        "model space needs a time mode plus at least one parameter");
+  }
+  if (reference_params.size() != space.num_modes() - 1) {
+    return Status::InvalidArgument(
+        "reference parameter count must match the non-time modes");
+  }
+  M2TD_ASSIGN_OR_RETURN(sim::Trajectory reference,
+                        factory(reference_params));
+  if (reference.NumSamples() != space.Resolution(0)) {
+    return Status::InvalidArgument(
+        "trajectory sample count does not match the time mode resolution");
+  }
+  return std::unique_ptr<DynamicalSystemModel>(
+      new DynamicalSystemModel(std::move(name), std::move(space),
+                               std::move(factory), std::move(reference)));
+}
+
+std::uint64_t DynamicalSystemModel::ParamLinearIndex(
+    const std::vector<std::uint32_t>& indices) const {
+  std::uint64_t linear = 0;
+  for (std::size_t m = 1; m < space_.num_modes(); ++m) {
+    linear = linear * space_.Resolution(m) + indices[m];
+  }
+  return linear;
+}
+
+const sim::Trajectory& DynamicalSystemModel::GetTrajectory(
+    const std::vector<std::uint32_t>& indices) {
+  const std::uint64_t key = ParamLinearIndex(indices);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  std::vector<double> params(space_.num_modes() - 1);
+  for (std::size_t m = 1; m < space_.num_modes(); ++m) {
+    params[m - 1] = space_.Value(m, indices[m]);
+  }
+  Result<sim::Trajectory> trajectory = factory_(params);
+  M2TD_CHECK(trajectory.ok())
+      << "trajectory factory failed: " << trajectory.status();
+  ++simulations_run_;
+  return cache_.emplace(key, std::move(trajectory).ValueOrDie())
+      .first->second;
+}
+
+double DynamicalSystemModel::Cell(const std::vector<std::uint32_t>& indices) {
+  M2TD_CHECK(indices.size() == space_.num_modes());
+  const sim::Trajectory& trajectory = GetTrajectory(indices);
+  return sim::ObservableDistance(trajectory, reference_, indices[0]);
+}
+
+namespace {
+
+ParameterDef TimeAxis(const ModelOptions& options) {
+  const double horizon =
+      options.dt * options.record_every * (options.time_resolution - 1);
+  return ParameterDef{"t", 0.0, horizon, options.time_resolution};
+}
+
+sim::Rk4Options IntegratorOptions(const ModelOptions& options) {
+  sim::Rk4Options rk4;
+  rk4.dt = options.dt;
+  rk4.record_every = options.record_every;
+  rk4.num_steps =
+      options.record_every * static_cast<int>(options.time_resolution - 1);
+  if (rk4.num_steps <= 0) rk4.num_steps = options.record_every;
+  return rk4;
+}
+
+std::vector<double> MidpointReference(const ParameterSpace& space) {
+  std::vector<double> reference(space.num_modes() - 1);
+  for (std::size_t m = 1; m < space.num_modes(); ++m) {
+    reference[m - 1] = space.Value(m, space.DefaultIndex(m));
+  }
+  return reference;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DynamicalSystemModel>> MakeDoublePendulumModel(
+    const ModelOptions& options) {
+  const std::uint32_t res = options.parameter_resolution;
+  std::vector<ParameterDef> defs = {
+      TimeAxis(options),
+      ParameterDef{"phi1", 0.3, 1.8, res},
+      ParameterDef{"phi2", 0.3, 1.8, res},
+      ParameterDef{"m1", 0.5, 2.5, res},
+      ParameterDef{"m2", 0.5, 2.5, res},
+  };
+  M2TD_ASSIGN_OR_RETURN(ParameterSpace space,
+                        ParameterSpace::Create(std::move(defs)));
+  const sim::Rk4Options rk4 = IntegratorOptions(options);
+  auto factory = [rk4](const std::vector<double>& p)
+      -> Result<sim::Trajectory> {
+    // p = (phi1, phi2, m1, m2).
+    M2TD_ASSIGN_OR_RETURN(sim::ChainPendulum pendulum,
+                          sim::ChainPendulum::Create({p[2], p[3]}));
+    return sim::IntegrateRk4(pendulum, pendulum.InitialState({p[0], p[1]}),
+                             rk4);
+  };
+  std::vector<double> reference = MidpointReference(space);
+  return DynamicalSystemModel::Create("double pendulum", std::move(space),
+                                      std::move(factory),
+                                      std::move(reference));
+}
+
+Result<std::unique_ptr<DynamicalSystemModel>> MakeTriplePendulumModel(
+    const ModelOptions& options) {
+  const std::uint32_t res = options.parameter_resolution;
+  std::vector<ParameterDef> defs = {
+      TimeAxis(options),
+      ParameterDef{"phi1", 0.3, 1.8, res},
+      ParameterDef{"phi2", 0.3, 1.8, res},
+      ParameterDef{"phi3", 0.3, 1.8, res},
+      ParameterDef{"f", 0.0, 0.5, res},
+  };
+  M2TD_ASSIGN_OR_RETURN(ParameterSpace space,
+                        ParameterSpace::Create(std::move(defs)));
+  const sim::Rk4Options rk4 = IntegratorOptions(options);
+  auto factory = [rk4](const std::vector<double>& p)
+      -> Result<sim::Trajectory> {
+    // p = (phi1, phi2, phi3, f); unit masses, friction f.
+    M2TD_ASSIGN_OR_RETURN(
+        sim::ChainPendulum pendulum,
+        sim::ChainPendulum::Create({1.0, 1.0, 1.0}, 9.81, p[3]));
+    return sim::IntegrateRk4(pendulum,
+                             pendulum.InitialState({p[0], p[1], p[2]}), rk4);
+  };
+  std::vector<double> reference = MidpointReference(space);
+  return DynamicalSystemModel::Create("triple pendulum", std::move(space),
+                                      std::move(factory),
+                                      std::move(reference));
+}
+
+Result<std::unique_ptr<DynamicalSystemModel>> MakeLorenzModel(
+    const ModelOptions& options) {
+  const std::uint32_t res = options.parameter_resolution;
+  std::vector<ParameterDef> defs = {
+      TimeAxis(options),
+      ParameterDef{"z", 20.0, 30.0, res},
+      ParameterDef{"sigma", 8.0, 12.0, res},
+      ParameterDef{"beta", 2.0, 3.3, res},
+      ParameterDef{"rho", 24.0, 32.0, res},
+  };
+  M2TD_ASSIGN_OR_RETURN(ParameterSpace space,
+                        ParameterSpace::Create(std::move(defs)));
+  const sim::Rk4Options rk4 = IntegratorOptions(options);
+  auto factory = [rk4](const std::vector<double>& p)
+      -> Result<sim::Trajectory> {
+    // p = (z0, sigma, beta, rho); fixed x0 = y0 = 1.
+    sim::LorenzSystem lorenz(p[1], p[3], p[2]);
+    return sim::IntegrateRk4(lorenz,
+                             sim::LorenzSystem::InitialState(1.0, 1.0, p[0]),
+                             rk4);
+  };
+  std::vector<double> reference = MidpointReference(space);
+  return DynamicalSystemModel::Create("lorenz", std::move(space),
+                                      std::move(factory),
+                                      std::move(reference));
+}
+
+Result<std::unique_ptr<DynamicalSystemModel>> MakeSeirModel(
+    const ModelOptions& options) {
+  const std::uint32_t res = options.parameter_resolution;
+  ModelOptions epidemic = options;
+  epidemic.dt = 0.5;  // days; epidemic dynamics live on slow time scales
+  std::vector<ParameterDef> defs = {
+      TimeAxis(epidemic),
+      ParameterDef{"beta", 0.15, 0.6, res},
+      ParameterDef{"sigma", 0.1, 0.5, res},
+      ParameterDef{"gamma", 0.05, 0.3, res},
+      ParameterDef{"i0", 0.001, 0.05, res},
+  };
+  M2TD_ASSIGN_OR_RETURN(ParameterSpace space,
+                        ParameterSpace::Create(std::move(defs)));
+  const sim::Rk4Options rk4 = IntegratorOptions(epidemic);
+  auto factory = [rk4](const std::vector<double>& p)
+      -> Result<sim::Trajectory> {
+    // p = (beta, sigma, gamma, i0).
+    M2TD_ASSIGN_OR_RETURN(sim::SeirSystem seir,
+                          sim::SeirSystem::Create(p[0], p[1], p[2]));
+    M2TD_ASSIGN_OR_RETURN(std::vector<double> initial,
+                          sim::SeirSystem::InitialState(p[3]));
+    return sim::IntegrateRk4(seir, std::move(initial), rk4);
+  };
+  std::vector<double> reference = MidpointReference(space);
+  return DynamicalSystemModel::Create("seir epidemic", std::move(space),
+                                      std::move(factory),
+                                      std::move(reference));
+}
+
+Result<tensor::DenseTensor> BuildFullTensor(SimulationModel* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  const ParameterSpace& space = model->space();
+  tensor::DenseTensor full(space.Shape());
+  const std::size_t modes = space.num_modes();
+  std::vector<std::uint32_t> idx(modes, 0);
+  for (std::uint64_t linear = 0; linear < full.NumElements(); ++linear) {
+    std::uint64_t rest = linear;
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rest / full.Stride(m));
+      rest %= full.Stride(m);
+    }
+    full.flat(linear) = model->Cell(idx);
+  }
+  return full;
+}
+
+}  // namespace m2td::ensemble

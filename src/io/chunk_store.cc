@@ -1,0 +1,271 @@
+#include "io/chunk_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+
+#include "io/tensor_io.h"
+
+namespace m2td::io {
+
+namespace {
+
+constexpr char kManifestName[] = "manifest.m2td";
+constexpr char kManifestMagic[] = "m2td-chunk-store";
+
+}  // namespace
+
+Result<ChunkStore> ChunkStore::Create(const std::string& directory,
+                                      std::vector<std::uint64_t> shape,
+                                      std::vector<std::uint64_t> chunk_shape) {
+  if (shape.empty() || shape.size() != chunk_shape.size()) {
+    return Status::InvalidArgument(
+        "shape and chunk_shape must be non-empty and same arity");
+  }
+  for (std::size_t m = 0; m < shape.size(); ++m) {
+    if (shape[m] == 0 || chunk_shape[m] == 0) {
+      return Status::InvalidArgument("extents must be positive");
+    }
+    if (chunk_shape[m] > shape[m]) chunk_shape[m] = shape[m];
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory '" + directory +
+                           "': " + ec.message());
+  }
+  if (std::filesystem::exists(std::filesystem::path(directory) /
+                              kManifestName)) {
+    return Status::AlreadyExists("store already exists at '" + directory +
+                                 "'");
+  }
+  ChunkStore store(directory, std::move(shape), std::move(chunk_shape));
+  M2TD_RETURN_IF_ERROR(store.WriteManifest());
+  return store;
+}
+
+Result<ChunkStore> ChunkStore::Open(const std::string& directory) {
+  const std::string manifest_path =
+      (std::filesystem::path(directory) / kManifestName).string();
+  std::ifstream in(manifest_path);
+  if (!in) {
+    return Status::IOError("cannot open manifest '" + manifest_path + "'");
+  }
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kManifestMagic || version != 1) {
+    return Status::IOError("malformed manifest in '" + directory + "'");
+  }
+  std::size_t modes = 0;
+  std::string token;
+  if (!(in >> token >> modes) || token != "modes" || modes == 0) {
+    return Status::IOError("malformed manifest: modes");
+  }
+  auto read_shape = [&](const char* label,
+                        std::vector<std::uint64_t>* out) -> Status {
+    if (!(in >> token) || token != label) {
+      return Status::IOError(std::string("malformed manifest: ") + label);
+    }
+    out->resize(modes);
+    for (std::uint64_t& d : *out) {
+      if (!(in >> d) || d == 0) {
+        return Status::IOError("malformed manifest: extent");
+      }
+    }
+    return Status::OK();
+  };
+  std::vector<std::uint64_t> shape, chunk_shape;
+  M2TD_RETURN_IF_ERROR(read_shape("shape", &shape));
+  M2TD_RETURN_IF_ERROR(read_shape("chunk_shape", &chunk_shape));
+
+  std::size_t num_chunks = 0;
+  if (!(in >> token >> num_chunks) || token != "chunks") {
+    return Status::IOError("malformed manifest: chunks");
+  }
+  ChunkStore store(directory, std::move(shape), std::move(chunk_shape));
+  for (std::size_t i = 0; i < num_chunks; ++i) {
+    std::uint64_t id = 0, nnz = 0;
+    if (!(in >> id >> nnz)) {
+      return Status::IOError("malformed manifest: chunk entry");
+    }
+    store.chunks_[id] = nnz;
+  }
+  return store;
+}
+
+std::vector<std::uint64_t> ChunkStore::ChunkGrid() const {
+  std::vector<std::uint64_t> grid(shape_.size());
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    grid[m] = (shape_[m] + chunk_shape_[m] - 1) / chunk_shape_[m];
+  }
+  return grid;
+}
+
+std::uint64_t ChunkStore::ChunkIdOf(
+    const std::vector<std::uint64_t>& chunk_index) const {
+  const std::vector<std::uint64_t> grid = ChunkGrid();
+  std::uint64_t id = 0;
+  for (std::size_t m = 0; m < grid.size(); ++m) {
+    id = id * grid[m] + chunk_index[m];
+  }
+  return id;
+}
+
+std::string ChunkStore::ChunkPath(std::uint64_t chunk_id) const {
+  return (std::filesystem::path(directory_) /
+          ("chunk_" + std::to_string(chunk_id) + ".bin"))
+      .string();
+}
+
+Status ChunkStore::WriteManifest() const {
+  const std::string manifest_path =
+      (std::filesystem::path(directory_) / kManifestName).string();
+  std::ofstream out(manifest_path);
+  if (!out) {
+    return Status::IOError("cannot write manifest '" + manifest_path + "'");
+  }
+  out << kManifestMagic << " 1\n";
+  out << "modes " << shape_.size() << "\n";
+  out << "shape";
+  for (std::uint64_t d : shape_) out << " " << d;
+  out << "\nchunk_shape";
+  for (std::uint64_t d : chunk_shape_) out << " " << d;
+  out << "\nchunks " << chunks_.size() << "\n";
+  for (const auto& [id, nnz] : chunks_) out << id << " " << nnz << "\n";
+  if (!out) return Status::IOError("manifest write failed");
+  return Status::OK();
+}
+
+std::uint64_t ChunkStore::TotalNonZeros() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, nnz] : chunks_) total += nnz;
+  return total;
+}
+
+Status ChunkStore::Write(const tensor::SparseTensor& x) {
+  if (x.shape() != shape_) {
+    return Status::InvalidArgument("tensor shape does not match store");
+  }
+  // Drop previous blobs.
+  for (const auto& [id, nnz] : chunks_) {
+    std::error_code ec;
+    std::filesystem::remove(ChunkPath(id), ec);
+  }
+  chunks_.clear();
+
+  // Bucket entries by owning chunk.
+  const std::size_t modes = shape_.size();
+  std::unordered_map<std::uint64_t, tensor::SparseTensor> buckets;
+  std::vector<std::uint64_t> chunk_index(modes);
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = x.Index(m, e);
+      chunk_index[m] = idx[m] / chunk_shape_[m];
+    }
+    const std::uint64_t id = ChunkIdOf(chunk_index);
+    auto it = buckets.find(id);
+    if (it == buckets.end()) {
+      it = buckets.emplace(id, tensor::SparseTensor(shape_)).first;
+    }
+    it->second.AppendEntry(idx, x.Value(e));
+  }
+
+  for (auto& [id, chunk] : buckets) {
+    chunk.SortAndCoalesce();
+    M2TD_RETURN_IF_ERROR(SaveSparseBinary(chunk, ChunkPath(id)));
+    chunks_[id] = chunk.NumNonZeros();
+  }
+  return WriteManifest();
+}
+
+Result<tensor::SparseTensor> ChunkStore::ReadChunk(
+    const std::vector<std::uint64_t>& chunk_index) const {
+  if (chunk_index.size() != shape_.size()) {
+    return Status::InvalidArgument("chunk index arity mismatch");
+  }
+  const std::vector<std::uint64_t> grid = ChunkGrid();
+  for (std::size_t m = 0; m < grid.size(); ++m) {
+    if (chunk_index[m] >= grid[m]) {
+      return Status::OutOfRange("chunk index outside the chunk grid");
+    }
+  }
+  const std::uint64_t id = ChunkIdOf(chunk_index);
+  if (chunks_.find(id) == chunks_.end()) {
+    tensor::SparseTensor empty(shape_);
+    empty.SortAndCoalesce();
+    return empty;
+  }
+  return LoadSparseBinary(ChunkPath(id));
+}
+
+Result<tensor::SparseTensor> ChunkStore::ReadAll() const {
+  tensor::SparseTensor out(shape_);
+  std::vector<std::uint32_t> idx(shape_.size());
+  for (const auto& [id, nnz] : chunks_) {
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
+                          LoadSparseBinary(ChunkPath(id)));
+    for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
+      for (std::size_t m = 0; m < shape_.size(); ++m) {
+        idx[m] = chunk.Index(m, e);
+      }
+      out.AppendEntry(idx, chunk.Value(e));
+    }
+  }
+  out.SortAndCoalesce();
+  return out;
+}
+
+Result<tensor::SparseTensor> ChunkStore::ReadRegion(
+    const std::vector<std::uint64_t>& lo,
+    const std::vector<std::uint64_t>& hi) const {
+  const std::size_t modes = shape_.size();
+  if (lo.size() != modes || hi.size() != modes) {
+    return Status::InvalidArgument("region arity mismatch");
+  }
+  for (std::size_t m = 0; m < modes; ++m) {
+    if (lo[m] >= hi[m] || hi[m] > shape_[m]) {
+      return Status::InvalidArgument("empty or out-of-range region");
+    }
+  }
+  // Chunk-grid bounding box of the region.
+  std::vector<std::uint64_t> chunk_lo(modes), chunk_hi(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    chunk_lo[m] = lo[m] / chunk_shape_[m];
+    chunk_hi[m] = (hi[m] - 1) / chunk_shape_[m] + 1;
+  }
+
+  tensor::SparseTensor out(shape_);
+  std::vector<std::uint64_t> cursor = chunk_lo;
+  std::vector<std::uint32_t> idx(modes);
+  while (true) {
+    const std::uint64_t id = ChunkIdOf(cursor);
+    if (chunks_.find(id) != chunks_.end()) {
+      M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
+                            LoadSparseBinary(ChunkPath(id)));
+      for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
+        bool inside = true;
+        for (std::size_t m = 0; m < modes; ++m) {
+          idx[m] = chunk.Index(m, e);
+          if (idx[m] < lo[m] || idx[m] >= hi[m]) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) out.AppendEntry(idx, chunk.Value(e));
+      }
+    }
+    // Advance the chunk cursor inside the bounding box.
+    std::size_t m = modes;
+    while (m-- > 0) {
+      if (++cursor[m] < chunk_hi[m]) break;
+      cursor[m] = chunk_lo[m];
+      if (m == 0) {
+        out.SortAndCoalesce();
+        return out;
+      }
+    }
+  }
+}
+
+}  // namespace m2td::io

@@ -1,0 +1,90 @@
+#ifndef M2TD_IO_CHUNK_STORE_H_
+#define M2TD_IO_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m2td::io {
+
+/// \brief Block-partitioned on-disk store for sparse tensors, after the
+/// chunk-based layout of TensorDB (paper references [17], [22]).
+///
+/// The logical index space is divided into a regular grid of
+/// hyper-rectangular chunks (`chunk_shape` cells per mode). Each non-empty
+/// chunk's entries live in their own binary blob under the store
+/// directory; a text manifest records the tensor shape, the chunk shape,
+/// and the non-empty chunk list. Reads can therefore touch only the chunks
+/// overlapping a region — the access pattern block-based tensor systems
+/// rely on for out-of-core mode products.
+///
+/// Concurrency: a store is single-writer; readers may share.
+class ChunkStore {
+ public:
+  /// Creates a new store directory (must not already contain a manifest).
+  /// `chunk_shape` must have the tensor's arity with positive extents.
+  static Result<ChunkStore> Create(const std::string& directory,
+                                   std::vector<std::uint64_t> shape,
+                                   std::vector<std::uint64_t> chunk_shape);
+
+  /// Opens an existing store by reading its manifest.
+  static Result<ChunkStore> Open(const std::string& directory);
+
+  const std::vector<std::uint64_t>& shape() const { return shape_; }
+  const std::vector<std::uint64_t>& chunk_shape() const {
+    return chunk_shape_;
+  }
+  /// Number of non-empty chunks currently stored.
+  std::size_t NumChunks() const { return chunks_.size(); }
+  /// Total stored entries across chunks.
+  std::uint64_t TotalNonZeros() const;
+
+  /// Distributes the tensor's entries across chunks and writes every
+  /// non-empty chunk blob plus the manifest. Replaces existing content.
+  /// The tensor's shape must match the store's.
+  Status Write(const tensor::SparseTensor& x);
+
+  /// Reads the chunk at grid position `chunk_index` (one coordinate per
+  /// mode). Returns a tensor with the *full* logical shape containing only
+  /// that chunk's entries; an empty tensor if the chunk has no entries.
+  Result<tensor::SparseTensor> ReadChunk(
+      const std::vector<std::uint64_t>& chunk_index) const;
+
+  /// Reads the entire tensor back (union of all chunks), coalesced.
+  Result<tensor::SparseTensor> ReadAll() const;
+
+  /// Reads all entries with lo[m] <= index[m] < hi[m], touching only the
+  /// chunks overlapping the region.
+  Result<tensor::SparseTensor> ReadRegion(
+      const std::vector<std::uint64_t>& lo,
+      const std::vector<std::uint64_t>& hi) const;
+
+  /// Grid extent (number of chunk slots) along each mode.
+  std::vector<std::uint64_t> ChunkGrid() const;
+
+ private:
+  ChunkStore(std::string directory, std::vector<std::uint64_t> shape,
+             std::vector<std::uint64_t> chunk_shape)
+      : directory_(std::move(directory)),
+        shape_(std::move(shape)),
+        chunk_shape_(std::move(chunk_shape)) {}
+
+  std::uint64_t ChunkIdOf(const std::vector<std::uint64_t>& chunk_index) const;
+  std::string ChunkPath(std::uint64_t chunk_id) const;
+  Status WriteManifest() const;
+
+  std::string directory_;
+  std::vector<std::uint64_t> shape_;
+  std::vector<std::uint64_t> chunk_shape_;
+  /// chunk id -> stored nnz.
+  std::map<std::uint64_t, std::uint64_t> chunks_;
+};
+
+}  // namespace m2td::io
+
+#endif  // M2TD_IO_CHUNK_STORE_H_

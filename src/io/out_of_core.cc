@@ -1,0 +1,182 @@
+#include "io/out_of_core.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "linalg/svd.h"
+#include "tensor/matricize.h"
+#include "tensor/ttm.h"
+
+namespace m2td::io {
+
+namespace {
+
+/// Chunk ids of `store` grouped into slabs: chunks agreeing on every grid
+/// coordinate except along `mode` (those can share matricization columns
+/// and must be processed together).
+std::map<std::uint64_t, std::vector<std::vector<std::uint64_t>>>
+SlabsOfStore(const ChunkStore& store, std::size_t mode) {
+  const std::vector<std::uint64_t> grid = store.ChunkGrid();
+  std::map<std::uint64_t, std::vector<std::vector<std::uint64_t>>> slabs;
+  // Enumerate the full grid; empty chunks read back as empty tensors.
+  std::vector<std::uint64_t> cursor(grid.size(), 0);
+  while (true) {
+    std::uint64_t slab_key = 0;
+    for (std::size_t m = 0; m < grid.size(); ++m) {
+      if (m == mode) continue;
+      slab_key = slab_key * grid[m] + cursor[m];
+    }
+    slabs[slab_key].push_back(cursor);
+    std::size_t m = grid.size();
+    bool done = true;
+    while (m-- > 0) {
+      if (++cursor[m] < grid[m]) {
+        done = false;
+        break;
+      }
+      cursor[m] = 0;
+      if (m == 0) break;
+    }
+    if (done) break;
+  }
+  return slabs;
+}
+
+/// Merges the entries of several chunks into one coalesced tensor.
+Result<tensor::SparseTensor> MergeChunks(
+    const ChunkStore& store,
+    const std::vector<std::vector<std::uint64_t>>& chunk_indices) {
+  tensor::SparseTensor merged(store.shape());
+  std::vector<std::uint32_t> idx(store.shape().size());
+  for (const auto& chunk_index : chunk_indices) {
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
+                          store.ReadChunk(chunk_index));
+    for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
+      for (std::size_t m = 0; m < idx.size(); ++m) {
+        idx[m] = chunk.Index(m, e);
+      }
+      merged.AppendEntry(idx, chunk.Value(e));
+    }
+  }
+  merged.SortAndCoalesce();
+  return merged;
+}
+
+}  // namespace
+
+Result<linalg::Matrix> ModeGramFromStore(const ChunkStore& store,
+                                         std::size_t mode) {
+  if (mode >= store.shape().size()) {
+    return Status::InvalidArgument("mode out of range");
+  }
+  const std::size_t n = static_cast<std::size_t>(store.shape()[mode]);
+  linalg::Matrix gram(n, n);
+  for (const auto& [slab_key, chunk_indices] : SlabsOfStore(store, mode)) {
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab,
+                          MergeChunks(store, chunk_indices));
+    if (slab.NumNonZeros() == 0) continue;
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix partial,
+                          tensor::ModeGram(slab, mode));
+    gram = linalg::LinearCombination(1.0, gram, 1.0, partial);
+  }
+  return gram;
+}
+
+Result<tensor::TuckerDecomposition> HosvdFromStore(
+    const ChunkStore& store, const std::vector<std::uint64_t>& ranks) {
+  const std::size_t modes = store.shape().size();
+  if (ranks.size() != modes) {
+    return Status::InvalidArgument("one rank per mode required");
+  }
+  tensor::TuckerDecomposition out;
+  out.factors.reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    if (ranks[m] == 0) {
+      return Status::InvalidArgument("rank must be positive");
+    }
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGramFromStore(store, m));
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min<std::uint64_t>(ranks[m], store.shape()[m]));
+    M2TD_ASSIGN_OR_RETURN(out.factors.emplace_back(),
+                          linalg::LeftSingularVectorsFromGram(gram, rank));
+  }
+
+  // Core: TTM contributions are additive over any partition of the
+  // entries, so accumulate one chunk at a time.
+  std::vector<std::uint64_t> core_shape(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    core_shape[m] = out.factors[m].cols();
+  }
+  tensor::DenseTensor core(core_shape);
+  const std::vector<std::uint64_t> grid = store.ChunkGrid();
+  std::vector<std::uint64_t> cursor(modes, 0);
+  while (true) {
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
+                          store.ReadChunk(cursor));
+    if (chunk.NumNonZeros() > 0) {
+      M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
+                            tensor::CoreFromSparse(chunk, out.factors));
+      for (std::uint64_t i = 0; i < core.NumElements(); ++i) {
+        core.flat(i) += partial.flat(i);
+      }
+    }
+    std::size_t m = modes;
+    bool done = true;
+    while (m-- > 0) {
+      if (++cursor[m] < grid[m]) {
+        done = false;
+        break;
+      }
+      cursor[m] = 0;
+      if (m == 0) break;
+    }
+    if (done) break;
+  }
+  out.core = std::move(core);
+  return out;
+}
+
+Result<tensor::DenseTensor> SparseModeProductFromStore(
+    const ChunkStore& store, const linalg::Matrix& u, std::size_t mode,
+    bool transpose_u) {
+  if (mode >= store.shape().size()) {
+    return Status::InvalidArgument("mode out of range");
+  }
+  const std::uint64_t contraction = transpose_u ? u.rows() : u.cols();
+  if (contraction != store.shape()[mode]) {
+    return Status::InvalidArgument("mode product contraction mismatch");
+  }
+  std::vector<std::uint64_t> out_shape = store.shape();
+  out_shape[mode] = transpose_u ? u.cols() : u.rows();
+  tensor::DenseTensor result(out_shape);
+
+  const std::vector<std::uint64_t> grid = store.ChunkGrid();
+  std::vector<std::uint64_t> cursor(grid.size(), 0);
+  while (true) {
+    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
+                          store.ReadChunk(cursor));
+    if (chunk.NumNonZeros() > 0) {
+      M2TD_ASSIGN_OR_RETURN(
+          tensor::DenseTensor partial,
+          tensor::SparseModeProduct(chunk, u, mode, transpose_u));
+      for (std::uint64_t i = 0; i < result.NumElements(); ++i) {
+        result.flat(i) += partial.flat(i);
+      }
+    }
+    std::size_t m = grid.size();
+    bool done = true;
+    while (m-- > 0) {
+      if (++cursor[m] < grid[m]) {
+        done = false;
+        break;
+      }
+      cursor[m] = 0;
+      if (m == 0) break;
+    }
+    if (done) break;
+  }
+  return result;
+}
+
+}  // namespace m2td::io

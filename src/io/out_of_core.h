@@ -1,0 +1,45 @@
+#ifndef M2TD_IO_OUT_OF_CORE_H_
+#define M2TD_IO_OUT_OF_CORE_H_
+
+#include <vector>
+
+#include "io/chunk_store.h"
+#include "linalg/matrix.h"
+#include "tensor/tucker.h"
+#include "util/result.h"
+
+namespace m2td::io {
+
+/// \brief Mode-n Gram accumulated chunk by chunk from a ChunkStore,
+/// without ever holding the whole tensor in memory.
+///
+/// Correctness note: a Gram contribution couples two entries only when
+/// they share their matricization column, i.e. agree on *every* mode
+/// except `mode`. Entries in different chunks of a store whose chunk grid
+/// is trivial (extent 1) along all modes except `mode` can never share a
+/// column across chunks, so per-chunk accumulation is exact. For general
+/// chunk grids the kernel therefore streams *chunk slabs*: all chunks
+/// sharing the same grid position along `mode` are combined column-wise.
+/// In this library's usage the slab is simply every chunk (loaded one at a
+/// time) merged into a per-column accumulation keyed by column id.
+Result<linalg::Matrix> ModeGramFromStore(const ChunkStore& store,
+                                         std::size_t mode);
+
+/// \brief HOSVD streamed from a ChunkStore: per-mode Grams are accumulated
+/// out of core, the factor matrices computed in memory (they are tiny),
+/// and the core recovered with one more streaming pass (TTM contributions
+/// per chunk are additive). Equivalent to HosvdSparse(store.ReadAll()).
+Result<tensor::TuckerDecomposition> HosvdFromStore(
+    const ChunkStore& store, const std::vector<std::uint64_t>& ranks);
+
+/// \brief Mode product Y = X ×_mode U^(T) streamed chunk-by-chunk from the
+/// store (TTM contributions are additive over any entry partition), so a
+/// tensor that does not fit in memory can still be projected. Equivalent
+/// to SparseModeProduct(store.ReadAll(), u, mode, transpose_u).
+Result<tensor::DenseTensor> SparseModeProductFromStore(
+    const ChunkStore& store, const linalg::Matrix& u, std::size_t mode,
+    bool transpose_u);
+
+}  // namespace m2td::io
+
+#endif  // M2TD_IO_OUT_OF_CORE_H_

@@ -1,0 +1,83 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace m2td::io {
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  M2TD_CHECK(row.size() == headers_.size())
+      << "row arity " << row.size() << " != header arity " << headers_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Cell(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string TablePrinter::SciCell(double value, int precision) {
+  return StrFormat("%.*e", precision, value);
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << CsvEscape(row[c]);
+    }
+    out << "\n";
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace m2td::io

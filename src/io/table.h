@@ -1,0 +1,43 @@
+#ifndef M2TD_IO_TABLE_H_
+#define M2TD_IO_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace m2td::io {
+
+/// \brief Aligned text/CSV table builder used by the experiment harness to
+/// print paper-style result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; its arity must match the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience formatters for common cell types.
+  static std::string Cell(double value, int precision = 3);
+  /// Scientific notation ("2.1e-04"), the paper's accuracy format for the
+  /// conventional schemes.
+  static std::string SciCell(double value, int precision = 1);
+
+  /// Writes the table with a header rule and space-padded columns.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (RFC-4180-style quoting for commas/quotes).
+  Status WriteCsv(const std::string& path) const;
+
+  std::size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace m2td::io
+
+#endif  // M2TD_IO_TABLE_H_

@@ -1,0 +1,33 @@
+#ifndef M2TD_IO_TUCKER_IO_H_
+#define M2TD_IO_TUCKER_IO_H_
+
+#include <string>
+
+#include "tensor/tucker.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m2td::io {
+
+/// \brief Serializes a Tucker decomposition (factors + dense core) as a
+/// self-describing text file:
+///
+///   m2td-tucker 1
+///   modes <N>
+///   factor <rows> <cols>     (N times, each followed by rows*cols values)
+///   core <d1> ... <dN>       (followed by prod(d) values)
+///
+/// Values round-trip exactly (17 significant digits). The deployment story
+/// this enables: decompose a huge ensemble once, ship the (tiny)
+/// decomposition, and answer cell queries downstream via ReconstructCell
+/// without the original data.
+Status SaveTucker(const tensor::TuckerDecomposition& tucker,
+                  const std::string& path);
+
+/// Reads the format written by SaveTucker, validating that factor column
+/// counts match the core dimensions.
+Result<tensor::TuckerDecomposition> LoadTucker(const std::string& path);
+
+}  // namespace m2td::io
+
+#endif  // M2TD_IO_TUCKER_IO_H_

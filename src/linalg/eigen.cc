@@ -1,0 +1,117 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace m2td::linalg {
+
+namespace {
+
+double OffDiagonalNorm(const Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
+                                            const JacobiOptions& options) {
+  const std::size_t n = input.rows();
+  if (input.cols() != n) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const double fro = input.FrobeniusNorm();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(input(i, j) - input(j, i)) >
+          1e-9 * std::max(1.0, fro)) {
+        return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix a = input;
+  Matrix v = Matrix::Identity(n);
+  if (n <= 1) {
+    SymmetricEigenResult result;
+    result.eigenvalues.assign(n, n == 1 ? a(0, 0) : 0.0);
+    result.eigenvectors = v;
+    return result;
+  }
+
+  const double threshold = options.tolerance * std::max(fro, 1e-300);
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (OffDiagonalNorm(a) <= threshold) break;
+    for (std::size_t p = 0; p < n - 1; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Classic stable rotation computation.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply rotation J(p, q, theta) on both sides of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+  std::sort(order.begin(), order.end(), [&diag](std::size_t x, std::size_t y) {
+    return diag[x] > diag[y];
+  });
+
+  SymmetricEigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+Result<Matrix> LeadingEigenvectors(const Matrix& gram, std::size_t rank,
+                                   const JacobiOptions& options) {
+  M2TD_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
+                        SymmetricEigen(gram, options));
+  const std::size_t k = std::min(rank, gram.rows());
+  return eig.eigenvectors.LeadingColumns(k);
+}
+
+}  // namespace m2td::linalg

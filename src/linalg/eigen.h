@@ -1,0 +1,52 @@
+#ifndef M2TD_LINALG_EIGEN_H_
+#define M2TD_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace m2td::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct SymmetricEigenResult {
+  /// Eigenvalues in decreasing order.
+  std::vector<double> eigenvalues;
+  /// Orthonormal eigenvectors as columns, ordered to match `eigenvalues`.
+  Matrix eigenvectors;
+};
+
+/// Options for the cyclic Jacobi eigensolver.
+struct JacobiOptions {
+  /// Convergence threshold on the off-diagonal Frobenius norm relative to
+  /// the matrix Frobenius norm.
+  double tolerance = 1e-12;
+  /// Maximum number of full sweeps over all off-diagonal pairs.
+  int max_sweeps = 64;
+};
+
+/// \brief Eigendecomposition of a symmetric matrix via cyclic Jacobi
+/// rotations.
+///
+/// Jacobi is chosen because the matrices this library eigendecomposes are
+/// small Gram matrices (mode-dimension squared, at most a few hundred per
+/// side), where Jacobi's unconditional numerical robustness and simplicity
+/// beat more scalable tridiagonalization schemes. Returns InvalidArgument
+/// for non-square or non-symmetric (beyond 1e-9 relative) input.
+Result<SymmetricEigenResult> SymmetricEigen(
+    const Matrix& a, const JacobiOptions& options = JacobiOptions());
+
+/// \brief Leading `rank` eigenvectors of a symmetric positive semi-definite
+/// Gram matrix, as an (n x rank) matrix of columns.
+///
+/// This is the workhorse of HOSVD in this library: the left singular
+/// vectors of a matricization X_(n) are the eigenvectors of the Gram matrix
+/// X_(n) X_(n)^T, which stays small even when X_(n) has astronomically many
+/// columns. `rank` is clamped to n.
+Result<Matrix> LeadingEigenvectors(const Matrix& gram, std::size_t rank,
+                                   const JacobiOptions& options =
+                                       JacobiOptions());
+
+}  // namespace m2td::linalg
+
+#endif  // M2TD_LINALG_EIGEN_H_

@@ -1,0 +1,72 @@
+#include "linalg/kron.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace m2td::linalg {
+
+Matrix KroneckerProduct(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ia = 0; ia < a.rows(); ++ia) {
+    for (std::size_t ja = 0; ja < a.cols(); ++ja) {
+      const double av = a(ia, ja);
+      if (av == 0.0) continue;
+      for (std::size_t ib = 0; ib < b.rows(); ++ib) {
+        for (std::size_t jb = 0; jb < b.cols(); ++jb) {
+          out(ia * b.rows() + ib, ja * b.cols() + jb) = av * b(ib, jb);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> KhatriRaoProduct(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument(
+        "Khatri-Rao requires equal column counts");
+  }
+  Matrix out(a.rows() * b.rows(), a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t ia = 0; ia < a.rows(); ++ia) {
+      const double av = a(ia, j);
+      if (av == 0.0) continue;
+      for (std::size_t ib = 0; ib < b.rows(); ++ib) {
+        out(ia * b.rows() + ib, j) = av * b(ib, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix HadamardProduct(const Matrix& a, const Matrix& b) {
+  M2TD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(i, j) = a(i, j) * b(i, j);
+    }
+  }
+  return out;
+}
+
+Result<Matrix> SymmetricPseudoInverse(const Matrix& a, double tol) {
+  M2TD_ASSIGN_OR_RETURN(SymmetricEigenResult eig, SymmetricEigen(a));
+  const std::size_t n = a.rows();
+  double max_abs = 0.0;
+  for (double w : eig.eigenvalues) max_abs = std::max(max_abs, std::fabs(w));
+  // pinv = V diag(1/w or 0) V^T.
+  Matrix scaled = eig.eigenvectors;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double w = eig.eigenvalues[j];
+    const double inv = (std::fabs(w) > tol * std::max(max_abs, 1e-300))
+                           ? 1.0 / w
+                           : 0.0;
+    for (std::size_t i = 0; i < n; ++i) scaled(i, j) *= inv;
+  }
+  return MultiplyTransB(scaled, eig.eigenvectors);
+}
+
+}  // namespace m2td::linalg

@@ -1,0 +1,27 @@
+#ifndef M2TD_LINALG_KRON_H_
+#define M2TD_LINALG_KRON_H_
+
+#include "linalg/matrix.h"
+
+namespace m2td::linalg {
+
+/// Kronecker product A (x) B: (ma*mb) x (na*nb).
+Matrix KroneckerProduct(const Matrix& a, const Matrix& b);
+
+/// Column-wise Khatri-Rao product A (.) B for same-column-count inputs:
+/// (ma*mb) x n, column j = a_j (x) b_j. This is the matricized form of the
+/// CP model and the test oracle for the sparse MTTKRP kernel.
+Result<Matrix> KhatriRaoProduct(const Matrix& a, const Matrix& b);
+
+/// Elementwise (Hadamard) product of same-shaped matrices.
+Matrix HadamardProduct(const Matrix& a, const Matrix& b);
+
+/// Moore-Penrose pseudo-inverse of a symmetric PSD matrix via its
+/// eigendecomposition; eigenvalues below `tol * lambda_max` are dropped.
+/// Used by CP-ALS to solve the normal equations stably when components
+/// become collinear.
+Result<Matrix> SymmetricPseudoInverse(const Matrix& a, double tol = 1e-12);
+
+}  // namespace m2td::linalg
+
+#endif  // M2TD_LINALG_KRON_H_

@@ -1,0 +1,215 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace m2td::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  M2TD_CHECK(data_.size() == rows_ * cols_)
+      << "data size " << data_.size() << " != " << rows_ << "x" << cols_;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::RowNorm(std::size_t i) const {
+  M2TD_CHECK(i < rows_);
+  double sum = 0.0;
+  const double* row = RowPtr(i);
+  for (std::size_t j = 0; j < cols_; ++j) sum += row[j] * row[j];
+  return std::sqrt(sum);
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+Matrix Matrix::LeadingColumns(std::size_t k) const {
+  M2TD_CHECK(k <= cols_);
+  Matrix out(rows_, k);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    double* dst = out.RowPtr(i);
+    for (std::size_t j = 0; j < k; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  M2TD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j > 0) os << " ";
+      os << (*this)(i, j);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  M2TD_CHECK(a.cols() == b.rows())
+      << "multiply shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams over rows of b, good locality in row-major.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.RowPtr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransA(const Matrix& a, const Matrix& b) {
+  M2TD_CHECK(a.rows() == b.rows())
+      << "multiplyTransA shape mismatch: (" << a.rows() << "x" << a.cols()
+      << ")^T * " << b.rows() << "x" << b.cols();
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.RowPtr(k);
+    const double* brow = b.RowPtr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aki * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MultiplyTransB(const Matrix& a, const Matrix& b) {
+  M2TD_CHECK(a.cols() == b.cols())
+      << "multiplyTransB shape mismatch: " << a.rows() << "x" << a.cols()
+      << " * (" << b.rows() << "x" << b.cols() << ")^T";
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.RowPtr(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix LinearCombination(double alpha, const Matrix& a, double beta,
+                         const Matrix& b) {
+  M2TD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    const double* brow = b.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      crow[j] = alpha * arow[j] + beta * brow[j];
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  M2TD_CHECK(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += arow[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLinearSystem requires a square A");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs length must match A dimension");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double pivot_abs = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > pivot_abs) {
+        pivot_abs = v;
+        pivot = r;
+      }
+    }
+    if (pivot_abs < 1e-300) {
+      return Status::Internal("singular linear system");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a(r, j) -= factor * a(col, j);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t j = ri + 1; j < n; ++j) sum -= a(ri, j) * x[j];
+    x[ri] = sum / a(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace m2td::linalg

@@ -1,0 +1,79 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace m2td::linalg {
+
+Result<QrResult> HouseholderQr(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("HouseholderQr requires rows >= cols");
+  }
+
+  Matrix r = a;
+  // Accumulate Householder vectors; apply to identity afterwards.
+  std::vector<std::vector<double>> vs;
+  vs.reserve(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k.
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_x += r(i, k) * r(i, k);
+    norm_x = std::sqrt(norm_x);
+    std::vector<double> v(m, 0.0);
+    if (norm_x > 0.0) {
+      const double alpha = (r(k, k) >= 0.0) ? -norm_x : norm_x;
+      double vnorm2 = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        v[i] = r(i, k);
+        if (i == k) v[i] -= alpha;
+        vnorm2 += v[i] * v[i];
+      }
+      if (vnorm2 > 1e-300) {
+        const double inv = 1.0 / std::sqrt(vnorm2);
+        for (std::size_t i = k; i < m; ++i) v[i] *= inv;
+        // R <- (I - 2 v v^T) R, restricted to columns k..n-1.
+        for (std::size_t j = k; j < n; ++j) {
+          double dot = 0.0;
+          for (std::size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
+          dot *= 2.0;
+          for (std::size_t i = k; i < m; ++i) r(i, j) -= dot * v[i];
+        }
+      }
+    }
+    vs.push_back(std::move(v));
+  }
+
+  // Q = H_0 H_1 ... H_{n-1} applied to the first n columns of I.
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    const std::vector<double>& v = vs[k];
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i] * q(i, j);
+      dot *= 2.0;
+      for (std::size_t i = k; i < m; ++i) q(i, j) -= dot * v[i];
+    }
+  }
+
+  // Zero the strictly lower part of the thin R.
+  Matrix r_thin(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) r_thin(i, j) = r(i, j);
+  }
+
+  QrResult result;
+  result.q = std::move(q);
+  result.r = std::move(r_thin);
+  return result;
+}
+
+Result<Matrix> OrthonormalizeColumns(const Matrix& a) {
+  M2TD_ASSIGN_OR_RETURN(QrResult qr, HouseholderQr(a));
+  return std::move(qr.q);
+}
+
+}  // namespace m2td::linalg

@@ -1,0 +1,28 @@
+#ifndef M2TD_LINALG_QR_H_
+#define M2TD_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace m2td::linalg {
+
+/// Thin QR factorization A = Q R with Q (m x n) having orthonormal columns
+/// and R (n x n) upper triangular.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// \brief Householder thin QR of an m x n matrix with m >= n.
+///
+/// Used to (re-)orthonormalize factor matrices (e.g. after M2TD-AVG
+/// averaging destroys orthonormality) and in tests as an independent check
+/// on the Jacobi eigensolver. Returns InvalidArgument when m < n.
+Result<QrResult> HouseholderQr(const Matrix& a);
+
+/// Orthonormalizes the columns of `a` (the Q factor of its thin QR).
+Result<Matrix> OrthonormalizeColumns(const Matrix& a);
+
+}  // namespace m2td::linalg
+
+#endif  // M2TD_LINALG_QR_H_

@@ -1,0 +1,34 @@
+#ifndef M2TD_LINALG_RSVD_H_
+#define M2TD_LINALG_RSVD_H_
+
+#include "linalg/svd.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace m2td::linalg {
+
+/// Options for the randomized range finder.
+struct RandomizedSvdOptions {
+  /// Extra sampled dimensions beyond the target rank (Halko et al.'s p).
+  std::size_t oversampling = 8;
+  /// Subspace (power) iterations; 1-2 sharpen decaying spectra.
+  int power_iterations = 2;
+  std::uint64_t seed = 3;
+};
+
+/// \brief Randomized truncated SVD (Halko/Martinsson/Tropp sketch-based
+/// range finder).
+///
+/// The MACH-style randomized alternative referenced in the paper's related
+/// work: sketch the range with a Gaussian test matrix, orthonormalize,
+/// project, and solve the small factored problem exactly. For the
+/// mode-length-sized matrices in this library the exact Gram path
+/// (TruncatedSvd) is usually fine; this exists for the wide matricizations
+/// in benches and as an accuracy/runtime tradeoff the micro-benchmarks
+/// quantify.
+Result<SvdResult> RandomizedSvd(const Matrix& a, std::size_t rank,
+                                const RandomizedSvdOptions& options = {});
+
+}  // namespace m2td::linalg
+
+#endif  // M2TD_LINALG_RSVD_H_

@@ -1,0 +1,214 @@
+#ifndef M2TD_MAPREDUCE_ENGINE_H_
+#define M2TD_MAPREDUCE_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace m2td::mapreduce {
+
+/// \brief In-process, thread-parallel MapReduce engine.
+///
+/// Substitutes the Hadoop cluster of the paper's D-M2TD experiments (see
+/// DESIGN.md): the same map -> shuffle-by-key -> reduce structure, with
+/// worker threads in place of cluster nodes. Inputs are sharded across map
+/// workers; each map worker writes to per-reducer local buffers that are
+/// merged into reducer buckets after the map barrier (the "shuffle");
+/// reduce workers then group their bucket by key and fold each group.
+///
+/// Type parameters: InputT map input record, K2/V2 intermediate key/value,
+/// OutT reduce output record. K2 needs std::hash and operator== (or a
+/// custom partitioner for placement, but grouping always uses hash+eq).
+
+/// Collects intermediate pairs from a mapper.
+template <typename K2, typename V2>
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(K2 key, V2 value) = 0;
+};
+
+/// Per-phase timing and volume counters, reported back to the caller; the
+/// Table III experiment aggregates these across the three D-M2TD phases.
+struct JobStats {
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  std::uint64_t intermediate_pairs = 0;
+  std::uint64_t output_records = 0;
+
+  double TotalSeconds() const {
+    return map_seconds + shuffle_seconds + reduce_seconds;
+  }
+};
+
+template <typename InputT, typename K2, typename V2, typename OutT>
+struct JobSpec {
+  /// Consumes one input record, emitting any number of (K2, V2) pairs.
+  std::function<void(const InputT&, Emitter<K2, V2>*)> mapper;
+  /// Consumes one key and all values shuffled to it; appends outputs.
+  /// Values arrive in an unspecified order (as on a real cluster).
+  std::function<void(const K2&, std::vector<V2>&, std::vector<OutT>*)>
+      reducer;
+  /// Optional map-side combiner: folds a key's values *within one mapper's
+  /// local buffer* before the shuffle (classic MapReduce optimization;
+  /// must be associative/commutative over V2 and compatible with the
+  /// reducer). Receives the key and the local values; replaces them with
+  /// its output (often a single element).
+  std::function<void(const K2&, std::vector<V2>*)> combiner;
+  /// Placement of keys onto reducers; defaults to std::hash<K2>.
+  std::function<std::size_t(const K2&)> partitioner;
+  /// Number of map/reduce workers ("servers").
+  int num_workers = 1;
+};
+
+namespace internal {
+
+template <typename K2, typename V2>
+class BufferEmitter : public Emitter<K2, V2> {
+ public:
+  BufferEmitter(std::size_t num_partitions,
+                std::function<std::size_t(const K2&)> partitioner)
+      : partitioner_(std::move(partitioner)), buffers_(num_partitions) {}
+
+  void Emit(K2 key, V2 value) override {
+    const std::size_t p = partitioner_(key) % buffers_.size();
+    buffers_[p].emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::vector<std::pair<K2, V2>>>& buffers() { return buffers_; }
+
+ private:
+  std::function<std::size_t(const K2&)> partitioner_;
+  std::vector<std::vector<std::pair<K2, V2>>> buffers_;
+};
+
+}  // namespace internal
+
+/// Runs a job over `inputs`; returns the concatenated reducer outputs
+/// (ordering across keys unspecified). `stats`, when non-null, receives
+/// per-phase timings.
+template <typename InputT, typename K2, typename V2, typename OutT>
+Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
+                                 const std::vector<InputT>& inputs,
+                                 JobStats* stats = nullptr) {
+  if (!spec.mapper || !spec.reducer) {
+    return Status::InvalidArgument("job needs both a mapper and a reducer");
+  }
+  if (spec.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  const std::size_t workers = static_cast<std::size_t>(spec.num_workers);
+  std::function<std::size_t(const K2&)> partitioner =
+      spec.partitioner ? spec.partitioner
+                       : [](const K2& k) { return std::hash<K2>{}(k); };
+
+  Timer timer;
+
+  // --- Map phase: shard inputs contiguously across workers. ---
+  std::vector<internal::BufferEmitter<K2, V2>> emitters;
+  emitters.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    emitters.emplace_back(workers, partitioner);
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w]() {
+        const std::size_t begin = inputs.size() * w / workers;
+        const std::size_t end = inputs.size() * (w + 1) / workers;
+        for (std::size_t i = begin; i < end; ++i) {
+          spec.mapper(inputs[i], &emitters[w]);
+        }
+        if (spec.combiner) {
+          // Fold this mapper's local pairs per key before shuffling.
+          for (auto& buffer : emitters[w].buffers()) {
+            std::unordered_map<K2, std::vector<V2>> groups;
+            for (auto& kv : buffer) {
+              groups[std::move(kv.first)].push_back(std::move(kv.second));
+            }
+            buffer.clear();
+            for (auto& [key, values] : groups) {
+              spec.combiner(key, &values);
+              for (V2& value : values) {
+                buffer.emplace_back(key, std::move(value));
+              }
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  if (stats != nullptr) stats->map_seconds = timer.ElapsedSeconds();
+  timer.Restart();
+
+  // --- Shuffle: merge per-mapper local buffers into reducer buckets. ---
+  std::vector<std::vector<std::pair<K2, V2>>> buckets(workers);
+  std::uint64_t intermediate = 0;
+  for (std::size_t p = 0; p < workers; ++p) {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      total += emitters[w].buffers()[p].size();
+    }
+    buckets[p].reserve(total);
+    for (std::size_t w = 0; w < workers; ++w) {
+      auto& local = emitters[w].buffers()[p];
+      for (auto& kv : local) buckets[p].push_back(std::move(kv));
+      local.clear();
+      local.shrink_to_fit();
+    }
+    intermediate += buckets[p].size();
+  }
+  if (stats != nullptr) {
+    stats->shuffle_seconds = timer.ElapsedSeconds();
+    stats->intermediate_pairs = intermediate;
+  }
+  timer.Restart();
+
+  // --- Reduce phase: group each bucket by key, fold groups. ---
+  std::vector<std::vector<OutT>> outputs(workers);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t p = 0; p < workers; ++p) {
+      threads.emplace_back([&, p]() {
+        std::unordered_map<K2, std::vector<V2>> groups;
+        groups.reserve(buckets[p].size());
+        for (auto& kv : buckets[p]) {
+          groups[std::move(kv.first)].push_back(std::move(kv.second));
+        }
+        buckets[p].clear();
+        buckets[p].shrink_to_fit();
+        for (auto& [key, values] : groups) {
+          spec.reducer(key, values, &outputs[p]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::vector<OutT> merged;
+  std::size_t total_out = 0;
+  for (const auto& part : outputs) total_out += part.size();
+  merged.reserve(total_out);
+  for (auto& part : outputs) {
+    for (OutT& record : part) merged.push_back(std::move(record));
+  }
+  if (stats != nullptr) {
+    stats->reduce_seconds = timer.ElapsedSeconds();
+    stats->output_records = merged.size();
+  }
+  return merged;
+}
+
+}  // namespace m2td::mapreduce
+
+#endif  // M2TD_MAPREDUCE_ENGINE_H_

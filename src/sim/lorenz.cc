@@ -1,0 +1,15 @@
+#include "sim/lorenz.h"
+
+namespace m2td::sim {
+
+void LorenzSystem::Derivative(double /*t*/, const std::vector<double>& state,
+                              std::vector<double>* derivative) const {
+  const double x = state[0];
+  const double y = state[1];
+  const double z = state[2];
+  (*derivative)[0] = sigma_ * (y - x);
+  (*derivative)[1] = x * (rho_ - z) - y;
+  (*derivative)[2] = x * y - beta_ * z;
+}
+
+}  // namespace m2td::sim

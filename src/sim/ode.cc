@@ -1,0 +1,76 @@
+#include "sim/ode.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace m2td::sim {
+
+double ObservableDistance(const Trajectory& a, const Trajectory& b,
+                          std::size_t at) {
+  M2TD_CHECK(at < a.NumSamples() && at < b.NumSamples())
+      << "sample index out of range";
+  const std::vector<double>& oa = a.observables[at];
+  const std::vector<double>& ob = b.observables[at];
+  M2TD_CHECK(oa.size() == ob.size()) << "observable arity mismatch";
+  double sum = 0.0;
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    const double d = oa[i] - ob[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Result<Trajectory> IntegrateRk4(const OdeSystem& system,
+                                std::vector<double> initial_state,
+                                const Rk4Options& options) {
+  if (options.dt <= 0.0) {
+    return Status::InvalidArgument("dt must be positive");
+  }
+  if (options.num_steps <= 0 || options.record_every <= 0) {
+    return Status::InvalidArgument("step counts must be positive");
+  }
+  const std::size_t n = system.StateSize();
+  if (initial_state.size() != n) {
+    return Status::InvalidArgument("initial state has wrong length");
+  }
+
+  Trajectory trajectory;
+  trajectory.times.reserve(1 + options.num_steps / options.record_every);
+  trajectory.observables.reserve(trajectory.times.capacity());
+
+  std::vector<double> state = std::move(initial_state);
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), scratch(n);
+
+  double t = 0.0;
+  trajectory.times.push_back(t);
+  trajectory.observables.push_back(system.Observable(state));
+
+  const double dt = options.dt;
+  for (int step = 1; step <= options.num_steps; ++step) {
+    system.Derivative(t, state, &k1);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch[i] = state[i] + 0.5 * dt * k1[i];
+    }
+    system.Derivative(t + 0.5 * dt, scratch, &k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch[i] = state[i] + 0.5 * dt * k2[i];
+    }
+    system.Derivative(t + 0.5 * dt, scratch, &k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch[i] = state[i] + dt * k3[i];
+    }
+    system.Derivative(t + dt, scratch, &k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      state[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t = step * dt;
+    if (step % options.record_every == 0) {
+      trajectory.times.push_back(t);
+      trajectory.observables.push_back(system.Observable(state));
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace m2td::sim

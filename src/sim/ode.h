@@ -1,0 +1,73 @@
+#ifndef M2TD_SIM_ODE_H_
+#define M2TD_SIM_ODE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace m2td::sim {
+
+/// \brief A first-order ODE system dx/dt = f(t, x).
+///
+/// Implementations are the dynamical processes the paper simulates (chain
+/// pendulum, Lorenz). The ensemble layer never touches states directly; it
+/// compares *observables* (e.g. pendulum angles) between a simulated and a
+/// reference trajectory.
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  /// Length of the state vector.
+  virtual std::size_t StateSize() const = 0;
+
+  /// Writes f(t, state) into `derivative` (pre-sized to StateSize()).
+  virtual void Derivative(double t, const std::vector<double>& state,
+                          std::vector<double>* derivative) const = 0;
+
+  /// Projects a state onto the observable quantities used for ensemble
+  /// cell values (default: the full state).
+  virtual std::vector<double> Observable(
+      const std::vector<double>& state) const {
+    return state;
+  }
+};
+
+/// A simulated trajectory: recorded times and the observable vector at each.
+struct Trajectory {
+  std::vector<double> times;
+  std::vector<std::vector<double>> observables;
+
+  std::size_t NumSamples() const { return times.size(); }
+};
+
+/// Euclidean distance between the observables of two trajectories at sample
+/// index `at`. Aborts when shapes disagree.
+double ObservableDistance(const Trajectory& a, const Trajectory& b,
+                          std::size_t at);
+
+/// Fixed-step integration options.
+struct Rk4Options {
+  /// Integration step.
+  double dt = 0.01;
+  /// Total number of RK4 steps.
+  int num_steps = 200;
+  /// A sample (time + observable) is recorded every `record_every` steps;
+  /// the initial state is always recorded, giving
+  /// 1 + num_steps / record_every samples.
+  int record_every = 20;
+};
+
+/// \brief Classic fixed-step fourth-order Runge–Kutta integration.
+///
+/// Fixed-step RK4 (rather than adaptive) keeps trajectories bitwise
+/// deterministic across runs and parameter sweeps, which the ensemble
+/// tensors rely on. Returns InvalidArgument for non-positive dt/steps or a
+/// wrong-length initial state.
+Result<Trajectory> IntegrateRk4(const OdeSystem& system,
+                                std::vector<double> initial_state,
+                                const Rk4Options& options);
+
+}  // namespace m2td::sim
+
+#endif  // M2TD_SIM_ODE_H_

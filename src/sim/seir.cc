@@ -1,0 +1,32 @@
+#include "sim/seir.h"
+
+namespace m2td::sim {
+
+Result<SeirSystem> SeirSystem::Create(double beta, double sigma,
+                                      double gamma) {
+  if (!(beta > 0.0) || !(sigma > 0.0) || !(gamma > 0.0)) {
+    return Status::InvalidArgument("SEIR rates must be positive");
+  }
+  return SeirSystem(beta, sigma, gamma);
+}
+
+void SeirSystem::Derivative(double /*t*/, const std::vector<double>& state,
+                            std::vector<double>* derivative) const {
+  const double s = state[0];
+  const double e = state[1];
+  const double i = state[2];
+  const double infection = beta_ * s * i;
+  (*derivative)[0] = -infection;
+  (*derivative)[1] = infection - sigma_ * e;
+  (*derivative)[2] = sigma_ * e - gamma_ * i;
+  (*derivative)[3] = gamma_ * i;
+}
+
+Result<std::vector<double>> SeirSystem::InitialState(double i0) {
+  if (!(i0 > 0.0) || !(i0 < 1.0)) {
+    return Status::InvalidArgument("i0 must be in (0, 1)");
+  }
+  return std::vector<double>{1.0 - i0, 0.0, i0, 0.0};
+}
+
+}  // namespace m2td::sim

@@ -1,0 +1,206 @@
+#include "tensor/cp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kron.h"
+#include "util/random.h"
+
+namespace m2td::tensor {
+
+Result<linalg::Matrix> Mttkrp(const SparseTensor& x,
+                              const std::vector<linalg::Matrix>& factors,
+                              std::size_t mode) {
+  if (factors.size() != x.num_modes()) {
+    return Status::InvalidArgument("one factor per mode required");
+  }
+  if (mode >= x.num_modes()) {
+    return Status::InvalidArgument("mode out of range");
+  }
+  const std::size_t rank = factors[0].cols();
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    if (factors[m].cols() != rank || factors[m].rows() != x.dim(m)) {
+      return Status::InvalidArgument("factor shape mismatch");
+    }
+  }
+  linalg::Matrix out(static_cast<std::size_t>(x.dim(mode)), rank);
+  std::vector<double> row(rank);
+  const std::size_t modes = x.num_modes();
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    const double v = x.Value(e);
+    for (std::size_t r = 0; r < rank; ++r) row[r] = v;
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (m == mode) continue;
+      const double* factor_row = factors[m].RowPtr(x.Index(m, e));
+      for (std::size_t r = 0; r < rank; ++r) row[r] *= factor_row[r];
+    }
+    double* out_row = out.RowPtr(x.Index(mode, e));
+    for (std::size_t r = 0; r < rank; ++r) out_row[r] += row[r];
+  }
+  return out;
+}
+
+namespace {
+
+/// Normalizes the columns of `u` to unit 2-norm; returns the norms (dead
+/// columns get norm 0 and are left untouched).
+std::vector<double> NormalizeColumns(linalg::Matrix* u) {
+  std::vector<double> norms(u->cols(), 0.0);
+  for (std::size_t j = 0; j < u->cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < u->rows(); ++i) sum += (*u)(i, j) * (*u)(i, j);
+    norms[j] = std::sqrt(sum);
+    if (norms[j] > 1e-300) {
+      const double inv = 1.0 / norms[j];
+      for (std::size_t i = 0; i < u->rows(); ++i) (*u)(i, j) *= inv;
+    }
+  }
+  return norms;
+}
+
+}  // namespace
+
+Result<CpDecomposition> CpAlsSparse(const SparseTensor& x, std::uint64_t rank,
+                                    const CpOptions& options, CpInfo* info) {
+  if (rank == 0) return Status::InvalidArgument("rank must be positive");
+  if (!x.IsSorted()) {
+    return Status::InvalidArgument("CpAlsSparse requires a coalesced tensor");
+  }
+  if (x.num_modes() < 2) {
+    return Status::InvalidArgument("CP needs at least two modes");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const std::size_t modes = x.num_modes();
+  const std::size_t r = static_cast<std::size_t>(rank);
+
+  // Random unit-column initialization.
+  Rng rng(options.seed);
+  CpDecomposition cp;
+  cp.factors.reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    linalg::Matrix u(static_cast<std::size_t>(x.dim(m)), r);
+    for (std::size_t i = 0; i < u.rows(); ++i) {
+      for (std::size_t j = 0; j < r; ++j) u(i, j) = rng.Gaussian();
+    }
+    NormalizeColumns(&u);
+    cp.factors.push_back(std::move(u));
+  }
+  cp.weights.assign(r, 1.0);
+
+  // Cached Gram matrices U^T U per mode.
+  std::vector<linalg::Matrix> grams(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    grams[m] = linalg::MultiplyTransA(cp.factors[m], cp.factors[m]);
+  }
+
+  const double x_norm = x.FrobeniusNorm();
+  double previous_fit = -1.0;
+  bool converged = false;
+  int iterations = 0;
+
+  for (int sweep = 0; sweep < options.max_iterations && !converged; ++sweep) {
+    ++iterations;
+    for (std::size_t n = 0; n < modes; ++n) {
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix m, Mttkrp(x, cp.factors, n));
+      // V = hadamard of all other grams.
+      linalg::Matrix v(r, r);
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < r; ++j) v(i, j) = 1.0;
+      }
+      for (std::size_t other = 0; other < modes; ++other) {
+        if (other == n) continue;
+        v = linalg::HadamardProduct(v, grams[other]);
+      }
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix v_pinv,
+                            linalg::SymmetricPseudoInverse(v));
+      cp.factors[n] = linalg::Multiply(m, v_pinv);
+      cp.weights = NormalizeColumns(&cp.factors[n]);
+      // Dead components keep weight 0 until revived by later sweeps.
+      grams[n] = linalg::MultiplyTransA(cp.factors[n], cp.factors[n]);
+    }
+
+    // Fit: ||X - X~||^2 = ||X||^2 - 2 <X, X~> + ||X~||^2.
+    double inner = 0.0;
+    {
+      std::vector<double> prod(r);
+      for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+        for (std::size_t j = 0; j < r; ++j) prod[j] = cp.weights[j];
+        for (std::size_t m = 0; m < modes; ++m) {
+          const double* row = cp.factors[m].RowPtr(x.Index(m, e));
+          for (std::size_t j = 0; j < r; ++j) prod[j] *= row[j];
+        }
+        double cell = 0.0;
+        for (std::size_t j = 0; j < r; ++j) cell += prod[j];
+        inner += x.Value(e) * cell;
+      }
+    }
+    double model_norm_sq = 0.0;
+    {
+      linalg::Matrix h(r, r);
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < r; ++j) h(i, j) = 1.0;
+      }
+      for (std::size_t m = 0; m < modes; ++m) {
+        h = linalg::HadamardProduct(h, grams[m]);
+      }
+      for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < r; ++j) {
+          model_norm_sq += cp.weights[i] * cp.weights[j] * h(i, j);
+        }
+      }
+    }
+    const double err_sq =
+        std::max(0.0, x_norm * x_norm - 2.0 * inner + model_norm_sq);
+    const double fit =
+        x_norm > 0.0 ? 1.0 - std::sqrt(err_sq) / x_norm : 1.0;
+    if (previous_fit >= 0.0 &&
+        std::fabs(fit - previous_fit) < options.tolerance) {
+      converged = true;
+    }
+    previous_fit = fit;
+  }
+
+  if (info != nullptr) {
+    info->iterations = iterations;
+    info->fit = previous_fit;
+    info->converged = converged;
+  }
+  return cp;
+}
+
+Result<DenseTensor> CpReconstruct(const CpDecomposition& cp,
+                                  const std::vector<std::uint64_t>& shape) {
+  if (cp.factors.size() != shape.size()) {
+    return Status::InvalidArgument("factor count does not match shape");
+  }
+  const std::size_t r = cp.Rank();
+  for (std::size_t m = 0; m < shape.size(); ++m) {
+    if (cp.factors[m].rows() != shape[m] || cp.factors[m].cols() != r) {
+      return Status::InvalidArgument("factor shape mismatch");
+    }
+  }
+  DenseTensor out(shape);
+  const std::size_t modes = shape.size();
+  std::vector<std::uint32_t> idx(modes);
+  std::vector<double> prod(r);
+  for (std::uint64_t linear = 0; linear < out.NumElements(); ++linear) {
+    std::uint64_t rest = linear;
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rest / out.Stride(m));
+      rest %= out.Stride(m);
+    }
+    for (std::size_t j = 0; j < r; ++j) prod[j] = cp.weights[j];
+    for (std::size_t m = 0; m < modes; ++m) {
+      const double* row = cp.factors[m].RowPtr(idx[m]);
+      for (std::size_t j = 0; j < r; ++j) prod[j] *= row[j];
+    }
+    double cell = 0.0;
+    for (std::size_t j = 0; j < r; ++j) cell += prod[j];
+    out.flat(linear) = cell;
+  }
+  return out;
+}
+
+}  // namespace m2td::tensor

@@ -1,0 +1,68 @@
+#ifndef M2TD_TENSOR_CP_H_
+#define M2TD_TENSOR_CP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// \brief A rank-R CP (CANDECOMP/PARAFAC) decomposition:
+/// X ~= sum_r lambda_r * a_r^(1) o ... o a_r^(N).
+///
+/// `factors[m]` is I_m x R with unit-norm columns; `weights` holds the
+/// lambda_r. CP is the other classical decomposition the paper's related
+/// work builds on (PARCUBE, GigaTensor are CP systems); this library
+/// provides it both as a baseline in benches and for completeness of the
+/// sparse-tensor substrate.
+struct CpDecomposition {
+  std::vector<linalg::Matrix> factors;
+  std::vector<double> weights;
+
+  std::size_t Rank() const { return weights.size(); }
+};
+
+struct CpOptions {
+  int max_iterations = 50;
+  /// Stop when the fit improves by less than this between sweeps.
+  double tolerance = 1e-6;
+  /// Seed for the random factor initialization.
+  std::uint64_t seed = 7;
+};
+
+struct CpInfo {
+  int iterations = 0;
+  /// 1 - ||X - X~||_F / ||X||_F of the input tensor.
+  double fit = 0.0;
+  bool converged = false;
+};
+
+/// \brief CP-ALS on a sparse tensor.
+///
+/// The per-mode update uses the sparse MTTKRP kernel (matricized tensor
+/// times Khatri-Rao product) computed directly from COO — cost
+/// O(nnz * R * N) per mode — and solves the normal equations through a
+/// pseudo-inverse so collinear components cannot blow up. The input must
+/// be coalesced; `rank` must be positive.
+Result<CpDecomposition> CpAlsSparse(const SparseTensor& x, std::uint64_t rank,
+                                    const CpOptions& options = {},
+                                    CpInfo* info = nullptr);
+
+/// \brief Sparse MTTKRP: M = X_(n) * (U^(N-1) (.) ... (.) U^(0), skipping
+/// U^(n)), with the same column convention as
+/// SparseTensor::MatricizationColumn. Exposed for tests and reuse.
+Result<linalg::Matrix> Mttkrp(const SparseTensor& x,
+                              const std::vector<linalg::Matrix>& factors,
+                              std::size_t mode);
+
+/// Dense reconstruction of a CP model.
+Result<DenseTensor> CpReconstruct(const CpDecomposition& cp,
+                                  const std::vector<std::uint64_t>& shape);
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_CP_H_

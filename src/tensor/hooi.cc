@@ -1,0 +1,156 @@
+#include "tensor/hooi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "tensor/matricize.h"
+#include "tensor/ttm.h"
+
+namespace m2td::tensor {
+
+namespace {
+
+Status CheckHooiInputs(std::size_t num_modes,
+                       const std::vector<std::uint64_t>& ranks,
+                       const HooiOptions& options) {
+  if (ranks.size() != num_modes) {
+    return Status::InvalidArgument("one rank per mode required");
+  }
+  for (std::uint64_t r : ranks) {
+    if (r == 0) return Status::InvalidArgument("rank must be positive");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  return Status::OK();
+}
+
+/// Projects a sparse tensor onto every factor except `skip` (transposed),
+/// leaving mode `skip` at full length.
+Result<DenseTensor> ProjectAllExceptSparse(
+    const SparseTensor& x, const std::vector<linalg::Matrix>& factors,
+    std::size_t skip) {
+  // First hop leaves the sparse domain on the first non-skip mode.
+  std::size_t first = (skip == 0) ? 1 : 0;
+  M2TD_ASSIGN_OR_RETURN(
+      DenseTensor y, SparseModeProduct(x, factors[first], first,
+                                       /*transpose_u=*/true));
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    if (m == skip || m == first) continue;
+    M2TD_ASSIGN_OR_RETURN(y,
+                          ModeProduct(y, factors[m], m, /*transpose_u=*/true));
+  }
+  return y;
+}
+
+Result<DenseTensor> ProjectAllExceptDense(
+    const DenseTensor& x, const std::vector<linalg::Matrix>& factors,
+    std::size_t skip) {
+  DenseTensor y = x;
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    if (m == skip) continue;
+    M2TD_ASSIGN_OR_RETURN(y,
+                          ModeProduct(y, factors[m], m, /*transpose_u=*/true));
+  }
+  return y;
+}
+
+/// Shared ALS loop; `project` computes the all-but-one projection of the
+/// original tensor against the current factors.
+template <typename ProjectFn, typename CoreFn>
+Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
+                                    const std::vector<std::uint64_t>& shape,
+                                    const std::vector<std::uint64_t>& ranks,
+                                    double input_norm,
+                                    const HooiOptions& options,
+                                    HooiInfo* info, ProjectFn project,
+                                    CoreFn compute_core) {
+  double previous_fit = -1.0;
+  bool converged = false;
+  int iterations = 0;
+  DenseTensor core;
+
+  for (int sweep = 0; sweep < options.max_iterations && !converged; ++sweep) {
+    ++iterations;
+    for (std::size_t n = 0; n < factors.size(); ++n) {
+      M2TD_ASSIGN_OR_RETURN(DenseTensor projected, project(factors, n));
+      M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram,
+                            ModeGramDense(projected, n));
+      const std::size_t rank = static_cast<std::size_t>(
+          std::min<std::uint64_t>(ranks[n], shape[n]));
+      M2TD_ASSIGN_OR_RETURN(factors[n],
+                            linalg::LeadingEigenvectors(gram, rank));
+    }
+    M2TD_ASSIGN_OR_RETURN(core, compute_core(factors));
+    // Orthonormal factors: ||X - X~||^2 = ||X||^2 - ||G||^2.
+    const double core_norm = core.FrobeniusNorm();
+    const double err_sq =
+        std::max(0.0, input_norm * input_norm - core_norm * core_norm);
+    const double fit =
+        input_norm > 0.0 ? 1.0 - std::sqrt(err_sq) / input_norm : 1.0;
+    if (previous_fit >= 0.0 &&
+        std::fabs(fit - previous_fit) < options.tolerance) {
+      converged = true;
+    }
+    previous_fit = fit;
+  }
+
+  if (info != nullptr) {
+    info->iterations = iterations;
+    info->fit = previous_fit;
+    info->converged = converged;
+  }
+  TuckerDecomposition out;
+  out.core = std::move(core);
+  out.factors = std::move(factors);
+  return out;
+}
+
+}  // namespace
+
+Result<TuckerDecomposition> HooiSparse(const SparseTensor& x,
+                                       std::vector<std::uint64_t> ranks,
+                                       const HooiOptions& options,
+                                       HooiInfo* info) {
+  M2TD_RETURN_IF_ERROR(CheckHooiInputs(x.num_modes(), ranks, options));
+  if (!x.IsSorted()) {
+    return Status::InvalidArgument("HooiSparse requires a coalesced tensor");
+  }
+  if (x.num_modes() < 2) {
+    return Status::InvalidArgument("HOOI needs at least two modes");
+  }
+  // HOSVD initialization (the standard warm start).
+  M2TD_ASSIGN_OR_RETURN(TuckerDecomposition init, HosvdSparse(x, ranks));
+  return RunHooi(
+      std::move(init.factors), x.shape(), ranks, x.FrobeniusNorm(), options,
+      info,
+      [&x](const std::vector<linalg::Matrix>& factors, std::size_t skip) {
+        return ProjectAllExceptSparse(x, factors, skip);
+      },
+      [&x](const std::vector<linalg::Matrix>& factors) {
+        return CoreFromSparse(x, factors);
+      });
+}
+
+Result<TuckerDecomposition> HooiDense(const DenseTensor& x,
+                                      std::vector<std::uint64_t> ranks,
+                                      const HooiOptions& options,
+                                      HooiInfo* info) {
+  M2TD_RETURN_IF_ERROR(CheckHooiInputs(x.num_modes(), ranks, options));
+  if (x.num_modes() < 2) {
+    return Status::InvalidArgument("HOOI needs at least two modes");
+  }
+  M2TD_ASSIGN_OR_RETURN(TuckerDecomposition init, HosvdDense(x, ranks));
+  return RunHooi(
+      std::move(init.factors), x.shape(), ranks, x.FrobeniusNorm(), options,
+      info,
+      [&x](const std::vector<linalg::Matrix>& factors, std::size_t skip) {
+        return ProjectAllExceptDense(x, factors, skip);
+      },
+      [&x](const std::vector<linalg::Matrix>& factors) {
+        return CoreFromDense(x, factors);
+      });
+}
+
+}  // namespace m2td::tensor

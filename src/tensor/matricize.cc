@@ -1,0 +1,99 @@
+#include "tensor/matricize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace m2td::tensor {
+
+Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
+  if (mode >= x.num_modes()) {
+    return Status::InvalidArgument("ModeGram: mode out of range");
+  }
+  if (!x.IsSorted()) {
+    return Status::InvalidArgument(
+        "ModeGram requires a coalesced tensor (call SortAndCoalesce)");
+  }
+  const std::size_t n = static_cast<std::size_t>(x.dim(mode));
+  linalg::Matrix gram(n, n);
+  const std::uint64_t nnz = x.NumNonZeros();
+  if (nnz == 0) return gram;
+
+  // Bucket entries by matricization column.
+  struct Entry {
+    std::uint64_t column;
+    std::uint32_t row;
+    double value;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(nnz);
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    entries.push_back(Entry{x.MatricizationColumn(mode, e),
+                            x.Index(mode, e), x.Value(e)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.column < b.column; });
+
+  // Each group of equal columns contributes an outer product of its
+  // (row, value) pairs. Accumulate the upper triangle, mirror at the end.
+  std::uint64_t group_begin = 0;
+  while (group_begin < entries.size()) {
+    std::uint64_t group_end = group_begin + 1;
+    while (group_end < entries.size() &&
+           entries[group_end].column == entries[group_begin].column) {
+      ++group_end;
+    }
+    for (std::uint64_t i = group_begin; i < group_end; ++i) {
+      for (std::uint64_t j = i; j < group_end; ++j) {
+        const std::uint32_t ri = entries[i].row;
+        const std::uint32_t rj = entries[j].row;
+        const double contrib = entries[i].value * entries[j].value;
+        if (ri <= rj) {
+          gram(ri, rj) += contrib;
+        } else {
+          gram(rj, ri) += contrib;
+        }
+      }
+    }
+    group_begin = group_end;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      gram(j, i) = gram(i, j);
+    }
+  }
+  return gram;
+}
+
+Result<linalg::Matrix> Matricize(const DenseTensor& x, std::size_t mode) {
+  if (mode >= x.num_modes()) {
+    return Status::InvalidArgument("Matricize: mode out of range");
+  }
+  const std::size_t n = static_cast<std::size_t>(x.dim(mode));
+  const std::uint64_t cols = x.NumElements() / n;
+  linalg::Matrix out(n, static_cast<std::size_t>(cols));
+
+  const std::size_t modes = x.num_modes();
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t linear = 0; linear < x.NumElements(); ++linear) {
+    std::uint64_t rest = linear;
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rest / x.Stride(m));
+      rest %= x.Stride(m);
+    }
+    std::uint64_t column = 0;
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (m == mode) continue;
+      column = column * x.dim(m) + idx[m];
+    }
+    out(idx[mode], static_cast<std::size_t>(column)) = x.flat(linear);
+  }
+  return out;
+}
+
+Result<linalg::Matrix> ModeGramDense(const DenseTensor& x, std::size_t mode) {
+  M2TD_ASSIGN_OR_RETURN(linalg::Matrix unfolded, Matricize(x, mode));
+  return linalg::MultiplyTransB(unfolded, unfolded);
+}
+
+}  // namespace m2td::tensor

@@ -1,0 +1,36 @@
+#ifndef M2TD_TENSOR_MATRICIZE_H_
+#define M2TD_TENSOR_MATRICIZE_H_
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// \brief Gram matrix G = X_(n) X_(n)^T of the mode-n matricization of a
+/// sparse tensor, computed directly from COO data.
+///
+/// The matricization itself (I_n rows, prod-of-other-dims columns) is never
+/// materialized: entries are bucketed by their matricization column, and
+/// each column's entries contribute an outer product to the I_n x I_n Gram.
+/// This is what makes HOSVD of extremely sparse, high-modal ensemble
+/// tensors cheap — the paper's key computational primitive. Requires a
+/// coalesced tensor (duplicate coordinates would double-count; aborts if
+/// unsorted).
+Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode);
+
+/// Dense-tensor Gram of the mode-n matricization (test oracle for
+/// ModeGram and used on small dense tensors).
+Result<linalg::Matrix> ModeGramDense(const DenseTensor& x, std::size_t mode);
+
+/// \brief Fully materialized mode-n matricization of a dense tensor
+/// (I_n x prod-of-others), row-major.
+///
+/// Column ordering matches SparseTensor::MatricizationColumn: the remaining
+/// modes in increasing mode order, last varying fastest.
+Result<linalg::Matrix> Matricize(const DenseTensor& x, std::size_t mode);
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_MATRICIZE_H_

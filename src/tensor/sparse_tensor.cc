@@ -1,0 +1,221 @@
+#include "tensor/sparse_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace m2td::tensor {
+
+SparseTensor::SparseTensor(std::vector<std::uint64_t> shape)
+    : shape_(std::move(shape)), indices_(shape_.size()) {
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    M2TD_CHECK(shape_[m] > 0) << "zero-length mode " << m;
+    M2TD_CHECK(shape_[m] <= (1ULL << 32)) << "mode too long for uint32 index";
+  }
+}
+
+std::uint64_t SparseTensor::LogicalSize() const {
+  std::uint64_t total = 1;
+  for (std::uint64_t d : shape_) {
+    if (d != 0 && total > ~0ULL / d) return ~0ULL;  // saturate
+    total *= d;
+  }
+  return total;
+}
+
+double SparseTensor::Density() const {
+  const std::uint64_t logical = LogicalSize();
+  if (logical == 0) return 0.0;
+  return static_cast<double>(NumNonZeros()) / static_cast<double>(logical);
+}
+
+void SparseTensor::Reserve(std::uint64_t nnz) {
+  for (auto& idx : indices_) idx.reserve(nnz);
+  values_.reserve(nnz);
+}
+
+void SparseTensor::AppendEntry(const std::vector<std::uint32_t>& indices,
+                               double value) {
+  M2TD_CHECK(indices.size() == shape_.size())
+      << "entry arity " << indices.size() << " != tensor modes "
+      << shape_.size();
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    M2TD_CHECK(indices[m] < shape_[m])
+        << "index " << indices[m] << " out of range for mode " << m
+        << " of shape " << ShapeToString(shape_);
+    indices_[m].push_back(indices[m]);
+  }
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void SparseTensor::SortAndCoalesce(CoalescePolicy policy) {
+  const std::uint64_t n = values_.size();
+  if (n == 0) {
+    sorted_ = true;
+    return;
+  }
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t modes = shape_.size();
+  std::sort(order.begin(), order.end(),
+            [this, modes](std::uint64_t a, std::uint64_t b) {
+              for (std::size_t m = 0; m < modes; ++m) {
+                if (indices_[m][a] != indices_[m][b]) {
+                  return indices_[m][a] < indices_[m][b];
+                }
+              }
+              return false;
+            });
+
+  std::vector<std::vector<std::uint32_t>> new_indices(modes);
+  std::vector<double> new_values;
+  std::vector<std::uint64_t> run_counts;
+  for (auto& idx : new_indices) idx.reserve(n);
+  new_values.reserve(n);
+  run_counts.reserve(n);
+
+  auto same_coords = [this, modes](std::uint64_t a, std::uint64_t b) {
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (indices_[m][a] != indices_[m][b]) return false;
+    }
+    return true;
+  };
+
+  for (std::uint64_t pos = 0; pos < n; ++pos) {
+    const std::uint64_t e = order[pos];
+    if (!new_values.empty() && same_coords(e, order[pos - 1])) {
+      new_values.back() += values_[e];
+      ++run_counts.back();
+    } else {
+      for (std::size_t m = 0; m < modes; ++m) {
+        new_indices[m].push_back(indices_[m][e]);
+      }
+      new_values.push_back(values_[e]);
+      run_counts.push_back(1);
+    }
+  }
+
+  if (policy == CoalescePolicy::kMean) {
+    for (std::size_t i = 0; i < new_values.size(); ++i) {
+      new_values[i] /= static_cast<double>(run_counts[i]);
+    }
+  }
+
+  indices_ = std::move(new_indices);
+  values_ = std::move(new_values);
+  sorted_ = true;
+}
+
+std::optional<double> SparseTensor::Find(
+    const std::vector<std::uint32_t>& indices) const {
+  M2TD_CHECK(sorted_) << "Find requires SortAndCoalesce first";
+  M2TD_CHECK(indices.size() == shape_.size());
+  const std::size_t modes = shape_.size();
+  // Binary search over the lexicographic order.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = values_.size();
+  auto compare = [this, modes, &indices](std::uint64_t e) {
+    // <0 if entry < target, 0 if equal, >0 if entry > target.
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (indices_[m][e] < indices[m]) return -1;
+      if (indices_[m][e] > indices[m]) return 1;
+    }
+    return 0;
+  };
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const int c = compare(mid);
+    if (c == 0) return values_[mid];
+    if (c < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+DenseTensor SparseTensor::ToDense() const {
+  DenseTensor dense(shape_);
+  const std::size_t modes = shape_.size();
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t e = 0; e < values_.size(); ++e) {
+    for (std::size_t m = 0; m < modes; ++m) idx[m] = indices_[m][e];
+    dense.at(idx) += values_[e];
+  }
+  return dense;
+}
+
+SparseTensor SparseTensor::FromDense(const DenseTensor& dense,
+                                     double zero_tol) {
+  SparseTensor sparse(dense.shape());
+  const std::size_t modes = dense.num_modes();
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t linear = 0; linear < dense.NumElements(); ++linear) {
+    const double v = dense.flat(linear);
+    if (std::fabs(v) <= zero_tol) continue;
+    std::uint64_t rest = linear;
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rest / dense.Stride(m));
+      rest %= dense.Stride(m);
+    }
+    sparse.AppendEntry(idx, v);
+  }
+  sparse.sorted_ = true;  // dense scan order is lexicographic and duplicate-free
+  return sparse;
+}
+
+double SparseTensor::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Result<SparseTensor> SparseTensor::SliceMode(std::size_t mode,
+                                             std::uint32_t index) const {
+  if (mode >= shape_.size()) {
+    return Status::InvalidArgument("SliceMode: mode out of range");
+  }
+  if (shape_.size() < 2) {
+    return Status::InvalidArgument("SliceMode needs at least two modes");
+  }
+  if (index >= shape_[mode]) {
+    return Status::OutOfRange("SliceMode: index outside the mode");
+  }
+  std::vector<std::uint64_t> slice_shape;
+  slice_shape.reserve(shape_.size() - 1);
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    if (m != mode) slice_shape.push_back(shape_[m]);
+  }
+  SparseTensor slice(slice_shape);
+  std::vector<std::uint32_t> idx(slice_shape.size());
+  for (std::uint64_t e = 0; e < values_.size(); ++e) {
+    if (indices_[mode][e] != index) continue;
+    std::size_t cursor = 0;
+    for (std::size_t m = 0; m < shape_.size(); ++m) {
+      if (m != mode) idx[cursor++] = indices_[m][e];
+    }
+    slice.AppendEntry(idx, values_[e]);
+  }
+  // Lexicographic order of a sorted parent restricted to one slice stays
+  // lexicographic after dropping the fixed mode... only when `mode` is not
+  // reordered past a differing mode — which holds because all remaining
+  // comparisons are on the same mode sequence. Preserve the flag.
+  slice.sorted_ = sorted_;
+  return slice;
+}
+
+std::uint64_t SparseTensor::MatricizationColumn(std::size_t mode,
+                                                std::uint64_t entry) const {
+  std::uint64_t column = 0;
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    if (m == mode) continue;
+    column = column * shape_[m] + indices_[m][entry];
+  }
+  return column;
+}
+
+}  // namespace m2td::tensor

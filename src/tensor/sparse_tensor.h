@@ -1,0 +1,114 @@
+#ifndef M2TD_TENSOR_SPARSE_TENSOR_H_
+#define M2TD_TENSOR_SPARSE_TENSOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tensor/dense_tensor.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// How SortAndCoalesce merges duplicate coordinates.
+enum class CoalescePolicy {
+  /// Duplicate values are summed (default COO semantics).
+  kSum,
+  /// Duplicate values are averaged — the paper's join semantics, where a
+  /// cell observed by both sub-ensembles takes the mean of the two
+  /// observations.
+  kMean,
+};
+
+/// \brief Sparse N-mode tensor in coordinate (COO) format,
+/// struct-of-arrays layout.
+///
+/// One uint32 index array per mode plus one value array; this is the format
+/// the ensemble samplers emit and the layout the Gram/TTM kernels consume.
+/// Mutation (AppendEntry) may create duplicates and unsorted order; call
+/// SortAndCoalesce before handing the tensor to a kernel that requires
+/// canonical form (kernels that do say so in their contract).
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+
+  /// Tensor of the given logical shape with no stored entries.
+  explicit SparseTensor(std::vector<std::uint64_t> shape);
+
+  SparseTensor(const SparseTensor&) = default;
+  SparseTensor& operator=(const SparseTensor&) = default;
+  SparseTensor(SparseTensor&&) = default;
+  SparseTensor& operator=(SparseTensor&&) = default;
+
+  const std::vector<std::uint64_t>& shape() const { return shape_; }
+  std::size_t num_modes() const { return shape_.size(); }
+  std::uint64_t dim(std::size_t mode) const { return shape_[mode]; }
+  std::uint64_t NumNonZeros() const { return values_.size(); }
+
+  /// Total number of cells in the logical (dense) space.
+  std::uint64_t LogicalSize() const;
+
+  /// nnz / logical size.
+  double Density() const;
+
+  void Reserve(std::uint64_t nnz);
+
+  /// Appends one entry. Aborts when an index is out of range.
+  void AppendEntry(const std::vector<std::uint32_t>& indices, double value);
+
+  /// Index of entry `e` along `mode`.
+  std::uint32_t Index(std::size_t mode, std::uint64_t entry) const {
+    return indices_[mode][entry];
+  }
+  double Value(std::uint64_t entry) const { return values_[entry]; }
+  double& MutableValue(std::uint64_t entry) { return values_[entry]; }
+
+  const std::vector<std::uint32_t>& IndexArray(std::size_t mode) const {
+    return indices_[mode];
+  }
+  const std::vector<double>& Values() const { return values_; }
+
+  /// Sorts entries lexicographically by coordinates and merges duplicates
+  /// per `policy`. Idempotent.
+  void SortAndCoalesce(CoalescePolicy policy = CoalescePolicy::kSum);
+
+  bool IsSorted() const { return sorted_; }
+
+  /// Looks up the value stored at `indices`. Requires a prior
+  /// SortAndCoalesce (aborts otherwise). Returns nullopt for cells with no
+  /// stored entry.
+  std::optional<double> Find(const std::vector<std::uint32_t>& indices) const;
+
+  /// Materializes the tensor densely, unset cells becoming 0. Fails if the
+  /// logical space is too large for DenseTensor.
+  DenseTensor ToDense() const;
+
+  /// Builds a sparse tensor from all non-zero cells of `dense`.
+  static SparseTensor FromDense(const DenseTensor& dense,
+                                double zero_tol = 0.0);
+
+  double FrobeniusNorm() const;
+
+  /// Row-major linear index over all modes *except* `mode` for entry `e` —
+  /// i.e. the column index of the mode-`mode` matricization. Used by the
+  /// Gram kernel.
+  std::uint64_t MatricizationColumn(std::size_t mode,
+                                    std::uint64_t entry) const;
+
+  /// The (N-1)-mode tensor obtained by fixing `mode` to `index` (entries
+  /// not matching are dropped; the mode disappears from the shape).
+  /// Requires at least two modes. Preserves sortedness.
+  Result<SparseTensor> SliceMode(std::size_t mode,
+                                 std::uint32_t index) const;
+
+ private:
+  std::vector<std::uint64_t> shape_;
+  std::vector<std::vector<std::uint32_t>> indices_;
+  std::vector<double> values_;
+  bool sorted_ = true;  // trivially true while empty
+};
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_SPARSE_TENSOR_H_

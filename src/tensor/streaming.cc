@@ -1,0 +1,94 @@
+#include "tensor/streaming.h"
+
+#include <algorithm>
+
+#include "linalg/svd.h"
+#include "tensor/ttm.h"
+
+namespace m2td::tensor {
+
+StreamingGram::StreamingGram(std::vector<std::uint64_t> shape)
+    : shape_(std::move(shape)), columns_(shape_.size()) {
+  grams_.reserve(shape_.size());
+  for (std::uint64_t d : shape_) {
+    M2TD_CHECK(d > 0) << "zero-length mode";
+    grams_.emplace_back(static_cast<std::size_t>(d),
+                        static_cast<std::size_t>(d));
+  }
+}
+
+void StreamingGram::Add(const std::vector<std::uint32_t>& indices,
+                        double value) {
+  M2TD_CHECK(indices.size() == shape_.size()) << "entry arity mismatch";
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    M2TD_CHECK(indices[m] < shape_[m]) << "index out of range";
+  }
+  for (std::size_t mode = 0; mode < shape_.size(); ++mode) {
+    // Matricization column key over the other modes.
+    std::uint64_t column_key = 0;
+    for (std::size_t m = 0; m < shape_.size(); ++m) {
+      if (m == mode) continue;
+      column_key = column_key * shape_[m] + indices[m];
+    }
+    const std::uint32_t row = indices[mode];
+    linalg::Matrix& gram = grams_[mode];
+    Column& column = columns_[mode][column_key];
+    // Rank-2 correction against the pre-update column content.
+    for (const auto& [other_row, other_value] : column) {
+      gram(row, other_row) += value * other_value;
+      gram(other_row, row) += value * other_value;
+    }
+    gram(row, row) += value * value;
+    column[row] += value;
+  }
+  ++num_updates_;
+}
+
+IncrementalDecomposer::IncrementalDecomposer(
+    std::vector<std::uint64_t> shape)
+    : grams_(shape), accumulated_(shape) {}
+
+void IncrementalDecomposer::Add(const std::vector<std::uint32_t>& indices,
+                                double value) {
+  grams_.Add(indices, value);
+  accumulated_.AppendEntry(indices, value);
+}
+
+Result<linalg::Matrix> IncrementalDecomposer::CurrentFactor(
+    std::size_t mode, std::uint64_t rank) const {
+  if (mode >= grams_.shape().size()) {
+    return Status::InvalidArgument("mode out of range");
+  }
+  const std::size_t k = static_cast<std::size_t>(
+      std::min<std::uint64_t>(rank, grams_.shape()[mode]));
+  return linalg::LeftSingularVectorsFromGram(grams_.Gram(mode), k);
+}
+
+Result<TuckerDecomposition> IncrementalDecomposer::Decompose(
+    const std::vector<std::uint64_t>& ranks) const {
+  const std::size_t modes = grams_.shape().size();
+  if (ranks.size() != modes) {
+    return Status::InvalidArgument("one rank per mode required");
+  }
+  TuckerDecomposition out;
+  out.factors.reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    if (ranks[m] == 0) {
+      return Status::InvalidArgument("rank must be positive");
+    }
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix factor,
+                          CurrentFactor(m, ranks[m]));
+    out.factors.push_back(std::move(factor));
+  }
+  SparseTensor snapshot = Snapshot();
+  M2TD_ASSIGN_OR_RETURN(out.core, CoreFromSparse(snapshot, out.factors));
+  return out;
+}
+
+SparseTensor IncrementalDecomposer::Snapshot() const {
+  SparseTensor copy = accumulated_;
+  copy.SortAndCoalesce();
+  return copy;
+}
+
+}  // namespace m2td::tensor

@@ -1,0 +1,86 @@
+#ifndef M2TD_TENSOR_STREAMING_H_
+#define M2TD_TENSOR_STREAMING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/tucker.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// \brief Maintains every mode's Gram matrix of a growing sparse tensor
+/// under entry-at-a-time insertion, in O(column size) per update.
+///
+/// Rationale: Grams are *not* additive over entries (two entries sharing a
+/// matricization column contribute a cross term), so naive re-accumulation
+/// costs O(nnz) per batch. This class keeps, per mode, the current content
+/// of each matricization column; inserting value v at row i of column c
+/// applies the exact rank-2 correction
+///   G += v * (a_c e_i^T + e_i a_c^T) + v^2 e_i e_i^T
+/// (a_c = the column before the update), which also handles repeated
+/// coordinates (values accumulate). This is the primitive an incremental
+/// ensemble (simulations arriving one at a time, cf. single-run
+/// replication) needs to keep factor matrices current without re-scanning.
+class StreamingGram {
+ public:
+  explicit StreamingGram(std::vector<std::uint64_t> shape);
+
+  const std::vector<std::uint64_t>& shape() const { return shape_; }
+  std::uint64_t NumUpdates() const { return num_updates_; }
+
+  /// Adds `value` at `indices` (summing with any previous value there).
+  /// Aborts on out-of-range indices.
+  void Add(const std::vector<std::uint32_t>& indices, double value);
+
+  /// Current Gram matrix of mode `mode`'s matricization.
+  const linalg::Matrix& Gram(std::size_t mode) const {
+    return grams_[mode];
+  }
+
+ private:
+  /// Sparse column content: row -> accumulated value.
+  using Column = std::unordered_map<std::uint32_t, double>;
+
+  std::vector<std::uint64_t> shape_;
+  std::vector<linalg::Matrix> grams_;
+  /// Per mode: matricization-column key -> column content.
+  std::vector<std::unordered_map<std::uint64_t, Column>> columns_;
+  std::uint64_t num_updates_ = 0;
+};
+
+/// \brief Incremental HOSVD: entries stream in; factor matrices are
+/// re-derived from the streaming Grams on demand (cheap: mode-length-sized
+/// eigenproblems), and the full decomposition (with core) can be cut at
+/// any point. Always equivalent to HosvdSparse over everything inserted
+/// so far.
+class IncrementalDecomposer {
+ public:
+  explicit IncrementalDecomposer(std::vector<std::uint64_t> shape);
+
+  void Add(const std::vector<std::uint32_t>& indices, double value);
+
+  std::uint64_t NumUpdates() const { return grams_.NumUpdates(); }
+
+  /// Current factor matrix for one mode at the given rank.
+  Result<linalg::Matrix> CurrentFactor(std::size_t mode,
+                                       std::uint64_t rank) const;
+
+  /// Cuts a full Tucker decomposition of everything inserted so far.
+  Result<TuckerDecomposition> Decompose(
+      const std::vector<std::uint64_t>& ranks) const;
+
+  /// The accumulated tensor (coalesced copy).
+  SparseTensor Snapshot() const;
+
+ private:
+  StreamingGram grams_;
+  SparseTensor accumulated_;
+};
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_STREAMING_H_

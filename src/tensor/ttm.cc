@@ -1,0 +1,136 @@
+#include "tensor/ttm.h"
+
+#include "util/string_util.h"
+
+namespace m2td::tensor {
+
+namespace {
+
+Status CheckModeProductShapes(const std::vector<std::uint64_t>& shape,
+                              const linalg::Matrix& u, std::size_t mode,
+                              bool transpose_u) {
+  if (mode >= shape.size()) {
+    return Status::InvalidArgument("mode out of range");
+  }
+  const std::uint64_t contraction = transpose_u ? u.rows() : u.cols();
+  if (contraction != shape[mode]) {
+    return Status::InvalidArgument(StrFormat(
+        "mode product contraction mismatch: matrix %s side %llu vs mode "
+        "%zu length %llu",
+        transpose_u ? "row" : "column",
+        static_cast<unsigned long long>(contraction), mode,
+        static_cast<unsigned long long>(shape[mode])));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DenseTensor> ModeProduct(const DenseTensor& x, const linalg::Matrix& u,
+                                std::size_t mode, bool transpose_u) {
+  M2TD_RETURN_IF_ERROR(CheckModeProductShapes(x.shape(), u, mode,
+                                              transpose_u));
+  const std::uint64_t old_dim = x.dim(mode);
+  const std::uint64_t new_dim = transpose_u ? u.cols() : u.rows();
+
+  std::vector<std::uint64_t> out_shape = x.shape();
+  out_shape[mode] = new_dim;
+  DenseTensor y(out_shape);
+
+  const std::uint64_t stride = x.Stride(mode);
+  const std::uint64_t block = stride * old_dim;
+  const std::uint64_t out_stride = y.Stride(mode);
+  const std::uint64_t out_block = out_stride * new_dim;
+
+  for (std::uint64_t linear = 0; linear < x.NumElements(); ++linear) {
+    const double v = x.flat(linear);
+    if (v == 0.0) continue;
+    const std::uint64_t outer = linear / block;
+    const std::uint64_t in_mode = (linear % block) / stride;
+    const std::uint64_t inner = linear % stride;
+    const std::uint64_t out_base = outer * out_block + inner;
+    for (std::uint64_t j = 0; j < new_dim; ++j) {
+      const double coef = transpose_u
+                              ? u(static_cast<std::size_t>(in_mode),
+                                  static_cast<std::size_t>(j))
+                              : u(static_cast<std::size_t>(j),
+                                  static_cast<std::size_t>(in_mode));
+      y.flat(out_base + j * out_stride) += coef * v;
+    }
+  }
+  return y;
+}
+
+Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
+                                      const linalg::Matrix& u,
+                                      std::size_t mode, bool transpose_u) {
+  M2TD_RETURN_IF_ERROR(CheckModeProductShapes(x.shape(), u, mode,
+                                              transpose_u));
+  const std::uint64_t new_dim = transpose_u ? u.cols() : u.rows();
+
+  std::vector<std::uint64_t> out_shape = x.shape();
+  out_shape[mode] = new_dim;
+  DenseTensor y(out_shape);
+
+  const std::size_t modes = x.num_modes();
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    const double v = x.Value(e);
+    for (std::size_t m = 0; m < modes; ++m) idx[m] = x.Index(m, e);
+    const std::uint32_t in_mode = idx[mode];
+    // Linear base for the output fiber along `mode`.
+    idx[mode] = 0;
+    const std::uint64_t out_base = y.LinearIndex(idx);
+    const std::uint64_t out_stride = y.Stride(mode);
+    for (std::uint64_t j = 0; j < new_dim; ++j) {
+      const double coef = transpose_u
+                              ? u(in_mode, static_cast<std::size_t>(j))
+                              : u(static_cast<std::size_t>(j), in_mode);
+      y.flat(out_base + j * out_stride) += coef * v;
+    }
+  }
+  return y;
+}
+
+Result<DenseTensor> CoreFromSparse(
+    const SparseTensor& x, const std::vector<linalg::Matrix>& factors) {
+  if (factors.size() != x.num_modes()) {
+    return Status::InvalidArgument("one factor matrix per mode required");
+  }
+  M2TD_ASSIGN_OR_RETURN(
+      DenseTensor result,
+      SparseModeProduct(x, factors[0], 0, /*transpose_u=*/true));
+  for (std::size_t m = 1; m < factors.size(); ++m) {
+    M2TD_ASSIGN_OR_RETURN(
+        result, ModeProduct(result, factors[m], m, /*transpose_u=*/true));
+  }
+  return result;
+}
+
+Result<DenseTensor> CoreFromDense(
+    const DenseTensor& x, const std::vector<linalg::Matrix>& factors) {
+  if (factors.size() != x.num_modes()) {
+    return Status::InvalidArgument("one factor matrix per mode required");
+  }
+  DenseTensor result = x;
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    M2TD_ASSIGN_OR_RETURN(
+        result, ModeProduct(result, factors[m], m, /*transpose_u=*/true));
+  }
+  return result;
+}
+
+Result<DenseTensor> ExpandCore(const DenseTensor& core,
+                               const std::vector<linalg::Matrix>& factors) {
+  if (factors.size() != core.num_modes()) {
+    return Status::InvalidArgument("one factor matrix per mode required");
+  }
+  DenseTensor result = core;
+  for (std::size_t m = 0; m < factors.size(); ++m) {
+    M2TD_ASSIGN_OR_RETURN(
+        result, ModeProduct(result, factors[m], m, /*transpose_u=*/false));
+  }
+  return result;
+}
+
+}  // namespace m2td::tensor

@@ -1,0 +1,47 @@
+#ifndef M2TD_TENSOR_TTM_H_
+#define M2TD_TENSOR_TTM_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// \brief Mode-n tensor–matrix product Y = X ×_n U of a dense tensor.
+///
+/// Y(i_1,..,j,..,i_N) = sum_{i_n} U(j, i_n) X(i_1,..,i_n,..,i_N).
+/// With `transpose_u` the operator is U^T, i.e. the contraction runs over
+/// U's rows — the form used to project onto factor matrices when computing
+/// a Tucker core (G = X ×_n U^(n)T).
+Result<DenseTensor> ModeProduct(const DenseTensor& x, const linalg::Matrix& u,
+                                std::size_t mode, bool transpose_u);
+
+/// Mode-n product of a *sparse* tensor, producing a dense result of shape
+/// (.., new_dim, ..). This is the first hop of every core computation: the
+/// cost is nnz * new_dim regardless of the logical size of X.
+Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
+                                      const linalg::Matrix& u,
+                                      std::size_t mode, bool transpose_u);
+
+/// \brief Tucker core G = X ×_1 U^(1)T ×_2 ... ×_N U^(N)T for a sparse X.
+///
+/// `factors[m]` must have rows == X.dim(m); its column count becomes core
+/// dim m. The first product leaves the sparse domain (SparseModeProduct),
+/// the rest are dense chain products over the shrinking intermediate.
+Result<DenseTensor> CoreFromSparse(const SparseTensor& x,
+                                   const std::vector<linalg::Matrix>& factors);
+
+/// Dense-input variant of CoreFromSparse.
+Result<DenseTensor> CoreFromDense(const DenseTensor& x,
+                                  const std::vector<linalg::Matrix>& factors);
+
+/// Reconstruction X~ = G ×_1 U^(1) ×_2 ... ×_N U^(N).
+Result<DenseTensor> ExpandCore(const DenseTensor& core,
+                               const std::vector<linalg::Matrix>& factors);
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_TTM_H_

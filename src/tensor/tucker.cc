@@ -1,0 +1,119 @@
+#include "tensor/tucker.h"
+
+#include <algorithm>
+
+#include "linalg/svd.h"
+#include "tensor/matricize.h"
+#include "tensor/ttm.h"
+
+namespace m2td::tensor {
+
+std::vector<std::uint64_t> TuckerDecomposition::ReconstructedShape() const {
+  std::vector<std::uint64_t> shape;
+  shape.reserve(factors.size());
+  for (const linalg::Matrix& u : factors) shape.push_back(u.rows());
+  return shape;
+}
+
+namespace {
+
+Status CheckRanks(std::size_t num_modes,
+                  const std::vector<std::uint64_t>& ranks) {
+  if (ranks.size() != num_modes) {
+    return Status::InvalidArgument("one rank per mode required");
+  }
+  for (std::uint64_t r : ranks) {
+    if (r == 0) return Status::InvalidArgument("rank must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
+                                        std::vector<std::uint64_t> ranks) {
+  M2TD_RETURN_IF_ERROR(CheckRanks(x.num_modes(), ranks));
+  if (!x.IsSorted()) {
+    return Status::InvalidArgument("HosvdSparse requires a coalesced tensor");
+  }
+  TuckerDecomposition out;
+  out.factors.reserve(x.num_modes());
+  for (std::size_t m = 0; m < x.num_modes(); ++m) {
+    const std::size_t rank =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ranks[m], x.dim(m)));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGram(x, m));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix u,
+                          linalg::LeftSingularVectorsFromGram(gram, rank));
+    out.factors.push_back(std::move(u));
+  }
+  M2TD_ASSIGN_OR_RETURN(out.core, CoreFromSparse(x, out.factors));
+  return out;
+}
+
+Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
+                                       std::vector<std::uint64_t> ranks) {
+  M2TD_RETURN_IF_ERROR(CheckRanks(x.num_modes(), ranks));
+  TuckerDecomposition out;
+  out.factors.reserve(x.num_modes());
+  for (std::size_t m = 0; m < x.num_modes(); ++m) {
+    const std::size_t rank =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ranks[m], x.dim(m)));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGramDense(x, m));
+    M2TD_ASSIGN_OR_RETURN(linalg::Matrix u,
+                          linalg::LeftSingularVectorsFromGram(gram, rank));
+    out.factors.push_back(std::move(u));
+  }
+  M2TD_ASSIGN_OR_RETURN(out.core, CoreFromDense(x, out.factors));
+  return out;
+}
+
+Result<DenseTensor> Reconstruct(const TuckerDecomposition& tucker) {
+  return ExpandCore(tucker.core, tucker.factors);
+}
+
+Result<double> ReconstructCell(const TuckerDecomposition& tucker,
+                               const std::vector<std::uint32_t>& indices) {
+  const std::size_t modes = tucker.factors.size();
+  if (indices.size() != modes) {
+    return Status::InvalidArgument("cell index arity mismatch");
+  }
+  if (tucker.core.num_modes() != modes) {
+    return Status::InvalidArgument("core/factor arity mismatch");
+  }
+  for (std::size_t m = 0; m < modes; ++m) {
+    if (indices[m] >= tucker.factors[m].rows()) {
+      return Status::OutOfRange("cell index outside the factor domain");
+    }
+    if (tucker.factors[m].cols() != tucker.core.dim(m)) {
+      return Status::InvalidArgument("factor rank does not match core");
+    }
+  }
+  // Contract the core against the selected factor rows, one mode at a
+  // time: after mode m the intermediate has shape (r_{m+1}, ..., r_N).
+  std::vector<double> current(tucker.core.data());
+  std::uint64_t tail = tucker.core.NumElements();
+  for (std::size_t m = 0; m < modes; ++m) {
+    const std::size_t rank = static_cast<std::size_t>(tucker.core.dim(m));
+    tail /= rank;
+    const double* row = tucker.factors[m].RowPtr(indices[m]);
+    std::vector<double> next(tail, 0.0);
+    for (std::size_t g = 0; g < rank; ++g) {
+      const double coef = row[g];
+      if (coef == 0.0) continue;
+      const double* block = current.data() + g * tail;
+      for (std::uint64_t t = 0; t < tail; ++t) next[t] += coef * block[t];
+    }
+    current = std::move(next);
+  }
+  return current[0];
+}
+
+double ReconstructionAccuracy(const DenseTensor& reconstructed,
+                              const DenseTensor& ground_truth) {
+  const double denom = ground_truth.FrobeniusNorm();
+  if (denom == 0.0) return 0.0;
+  return 1.0 -
+         DenseTensor::FrobeniusDistance(reconstructed, ground_truth) / denom;
+}
+
+}  // namespace m2td::tensor

@@ -1,0 +1,61 @@
+#ifndef M2TD_TENSOR_TUCKER_H_
+#define M2TD_TENSOR_TUCKER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// \brief A Tucker decomposition [G; U^(1), ..., U^(N)].
+///
+/// `factors[m]` is (I_m x r_m); `core` has shape (r_1, ..., r_N). The
+/// reconstruction is G ×_1 U^(1) ... ×_N U^(N). M2TD produces these for the
+/// join tensor without decomposing it directly.
+struct TuckerDecomposition {
+  DenseTensor core;
+  std::vector<linalg::Matrix> factors;
+
+  /// Shape of the reconstructed tensor (factor row counts).
+  std::vector<std::uint64_t> ReconstructedShape() const;
+
+  /// Target ranks (core shape).
+  std::vector<std::uint64_t> Ranks() const { return core.shape(); }
+};
+
+/// \brief HOSVD of a sparse tensor (Algorithm 1 of the paper).
+///
+/// Per mode: accumulate the Gram of the mode-n matricization from COO,
+/// take its leading `ranks[n]` eigenvectors as U^(n); finally recover the
+/// core by the TTM chain. `ranks` entries are clamped to the mode lengths.
+/// The input must be coalesced.
+Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
+                                        std::vector<std::uint64_t> ranks);
+
+/// HOSVD of a dense tensor (test oracle / small inputs).
+Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
+                                       std::vector<std::uint64_t> ranks);
+
+/// Reconstructs the dense approximation from a Tucker decomposition.
+Result<DenseTensor> Reconstruct(const TuckerDecomposition& tucker);
+
+/// \brief Evaluates a single cell of the reconstruction,
+/// X~(i_1..i_N) = sum_g G(g) * prod_n U^(n)(i_n, g_n), without
+/// materializing the dense tensor — the right API when the logical space
+/// is huge (the regime the paper targets) and only a few cells are
+/// queried. Cost: product of the ranks per call.
+Result<double> ReconstructCell(const TuckerDecomposition& tucker,
+                               const std::vector<std::uint32_t>& indices);
+
+/// The paper's accuracy metric: 1 - ||X~ - Y||_F / ||Y||_F, where X~ is a
+/// reconstruction and Y the ground-truth tensor. 1.0 is perfect; values
+/// near 0 mean the reconstruction explains nothing.
+double ReconstructionAccuracy(const DenseTensor& reconstructed,
+                              const DenseTensor& ground_truth);
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_TUCKER_H_

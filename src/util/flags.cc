@@ -1,0 +1,167 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace m2td {
+
+namespace {
+
+std::string BoolToString(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+void FlagParser::AddString(const std::string& name, const std::string& help,
+                           std::string* out) {
+  M2TD_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Type::kString, out, *out});
+}
+
+void FlagParser::AddInt64(const std::string& name, const std::string& help,
+                          std::int64_t* out) {
+  M2TD_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Type::kInt64, out, std::to_string(*out)});
+}
+
+void FlagParser::AddDouble(const std::string& name, const std::string& help,
+                           double* out) {
+  M2TD_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Type::kDouble, out, StrFormat("%g", *out)});
+}
+
+void FlagParser::AddBool(const std::string& name, const std::string& help,
+                         bool* out) {
+  M2TD_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Type::kBool, out, BoolToString(*out)});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagParser::SetValue(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Type::kInt64: {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + flag.name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      *static_cast<std::int64_t*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + flag.name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(flag.target) = parsed;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + flag.name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::vector<std::string>> FlagParser::Parse(int argc,
+                                                   const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Status::NotFound(Usage());
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = Find(body);
+    // --noname for booleans.
+    if (flag == nullptr && body.rfind("no", 0) == 0) {
+      const Flag* negated = Find(body.substr(2));
+      if (negated != nullptr && negated->type == Type::kBool) {
+        if (has_value) {
+          return Status::InvalidArgument("--" + body +
+                                         " does not take a value");
+        }
+        *static_cast<bool*>(negated->target) = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + body + "\n" +
+                                     Usage());
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        *static_cast<bool*>(flag->target) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + body + " needs a value");
+      }
+      value = argv[++i];
+    }
+    M2TD_RETURN_IF_ERROR(SetValue(*flag, value));
+  }
+  return positional;
+}
+
+std::string FlagParser::Usage() const {
+  std::string usage = description_ + "\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    usage += "  --" + flag.name;
+    switch (flag.type) {
+      case Type::kString:
+        usage += "=<string>";
+        break;
+      case Type::kInt64:
+        usage += "=<int>";
+        break;
+      case Type::kDouble:
+        usage += "=<float>";
+        break;
+      case Type::kBool:
+        usage += "[=true|false]";
+        break;
+    }
+    usage += "\n      " + flag.help + " (default: " + flag.default_value +
+             ")\n";
+  }
+  return usage;
+}
+
+}  // namespace m2td

@@ -1,0 +1,60 @@
+#ifndef M2TD_UTIL_FLAGS_H_
+#define M2TD_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace m2td {
+
+/// \brief Minimal command-line flag parser for the CLI tools.
+///
+/// Supports `--name=value`, `--name value`, and bare `--name` for booleans
+/// (plus `--noname` to clear one). Everything that is not a registered
+/// flag is returned as a positional argument. `--help` is implicit: Parse
+/// returns a NotFound status whose message is the usage text.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registration: `out` must outlive Parse and comes pre-loaded with the
+  /// default value (printed in the usage text).
+  void AddString(const std::string& name, const std::string& help,
+                 std::string* out);
+  void AddInt64(const std::string& name, const std::string& help,
+                std::int64_t* out);
+  void AddDouble(const std::string& name, const std::string& help,
+                 double* out);
+  void AddBool(const std::string& name, const std::string& help, bool* out);
+
+  /// Parses argv (excluding argv[0]); fills registered outputs and returns
+  /// the positional arguments. InvalidArgument on unknown flags or
+  /// malformed values; NotFound with the usage text when --help is given.
+  Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
+
+  /// Human-readable usage text.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Type type;
+    void* target;
+    std::string default_value;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  static Status SetValue(const Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace m2td
+
+#endif  // M2TD_UTIL_FLAGS_H_

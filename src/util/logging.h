@@ -1,0 +1,62 @@
+#ifndef M2TD_UTIL_LOGGING_H_
+#define M2TD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace m2td {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes to stderr on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool enabled_;
+  bool fatal_;
+};
+
+}  // namespace internal
+}  // namespace m2td
+
+#define M2TD_LOG_DEBUG() \
+  ::m2td::internal::LogMessage(::m2td::LogLevel::kDebug, __FILE__, __LINE__)
+#define M2TD_LOG_INFO() \
+  ::m2td::internal::LogMessage(::m2td::LogLevel::kInfo, __FILE__, __LINE__)
+#define M2TD_LOG_WARNING() \
+  ::m2td::internal::LogMessage(::m2td::LogLevel::kWarning, __FILE__, __LINE__)
+#define M2TD_LOG_ERROR() \
+  ::m2td::internal::LogMessage(::m2td::LogLevel::kError, __FILE__, __LINE__)
+
+/// Internal invariant check. Unlike Status, a CHECK failure is a bug in the
+/// library itself, so it aborts (per the style guide, exceptions are not
+/// used).
+#define M2TD_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::m2td::internal::LogMessage(::m2td::LogLevel::kError, __FILE__,        \
+                               __LINE__, /*fatal=*/true)                  \
+      << "Check failed: " #cond " "
+
+#define M2TD_DCHECK(cond) M2TD_CHECK(cond)
+
+#endif  // M2TD_UTIL_LOGGING_H_

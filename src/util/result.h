@@ -1,0 +1,80 @@
+#ifndef M2TD_UTIL_RESULT_H_
+#define M2TD_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace m2td {
+
+/// \brief Either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// The usual access pattern is via M2TD_ASSIGN_OR_RETURN inside the library,
+/// or `ValueOrDie()` in tests/examples where failure is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error. Intentionally implicit so
+  /// functions can `return Status::InvalidArgument(...);`. Aborts if given
+  /// an OK status without a value (that would be a meaningless state).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts with the status message if this Result holds
+  /// an error. Use only where an error is a bug.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    if (!ok()) return fallback;
+    return *value_;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!status_.ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_ << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace m2td
+
+#endif  // M2TD_UTIL_RESULT_H_

@@ -1,0 +1,111 @@
+#ifndef M2TD_UTIL_STATUS_H_
+#define M2TD_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace m2td {
+
+/// \brief Error category carried by a Status.
+///
+/// Mirrors the Arrow/RocksDB convention: library code never throws; every
+/// fallible operation returns a Status (or a Result<T>, see result.h) that
+/// callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a free-form message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation) and carry a
+/// message string otherwise. Use the factory functions (Status::OK(),
+/// Status::InvalidArgument(...)) rather than the constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace m2td
+
+/// Propagates a non-OK Status to the caller.
+#define M2TD_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::m2td::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define M2TD_CONCAT_IMPL_(x, y) x##y
+#define M2TD_CONCAT_(x, y) M2TD_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define M2TD_ASSIGN_OR_RETURN(lhs, expr)                        \
+  M2TD_ASSIGN_OR_RETURN_IMPL_(M2TD_CONCAT_(_m2td_res, __LINE__), lhs, expr)
+
+#define M2TD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // M2TD_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef M2TD_UTIL_STRING_UTIL_H_
+#define M2TD_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m2td {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; empty fields are preserved.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Formats a vector of sizes as "[a, b, c]" for error messages and logs.
+std::string ShapeToString(const std::vector<std::uint64_t>& shape);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+}  // namespace m2td
+
+#endif  // M2TD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef M2TD_UTIL_TIMER_H_
+#define M2TD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace m2td {
+
+/// \brief Monotonic wall-clock stopwatch used by the experiment harness to
+/// time decomposition phases.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace m2td
+
+#endif  // M2TD_UTIL_TIMER_H_

@@ -1,0 +1,183 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/simulation_model.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+
+namespace m2td::core {
+namespace {
+
+tensor::TuckerDecomposition HandBuiltDecomposition() {
+  // Factors with clearly ordered loadings.
+  tensor::TuckerDecomposition tucker;
+  linalg::Matrix u0(3, 2);
+  u0(0, 0) = 0.9;
+  u0(1, 0) = 0.1;
+  u0(2, 0) = -0.3;
+  u0(0, 1) = 0.0;
+  u0(1, 1) = -0.8;
+  u0(2, 1) = 0.2;
+  linalg::Matrix u1(4, 2);
+  u1(3, 0) = 1.0;
+  u1(2, 1) = -0.5;
+  u1(0, 1) = 0.4;
+  tucker.factors = {u0, u1};
+  tucker.core = tensor::DenseTensor({2, 2});
+  tucker.core.at({0, 0}) = 3.0;
+  tucker.core.at({1, 1}) = -4.0;
+  tucker.core.at({0, 1}) = 0.5;
+  return tucker;
+}
+
+TEST(ExtractModePatternsTest, RanksLoadingsPerComponent) {
+  auto tucker = HandBuiltDecomposition();
+  auto patterns = ExtractModePatterns(tucker, 2);
+  ASSERT_TRUE(patterns.ok());
+  // 2 modes x 2 components.
+  ASSERT_EQ(patterns->size(), 4u);
+  // Mode 0, component 0: heaviest |loading| is index 0 (0.9) then 2 (0.3).
+  const ModePattern& p00 = (*patterns)[0];
+  EXPECT_EQ(p00.mode, 0u);
+  EXPECT_EQ(p00.component, 0u);
+  ASSERT_EQ(p00.top_indices.size(), 2u);
+  EXPECT_EQ(p00.top_indices[0], 0u);
+  EXPECT_EQ(p00.top_indices[1], 2u);
+  EXPECT_NEAR(p00.loadings[0], 0.9, 1e-12);
+  // Mode 1, component 0: index 3 dominates.
+  const ModePattern& p10 = (*patterns)[2];
+  EXPECT_EQ(p10.mode, 1u);
+  EXPECT_EQ(p10.top_indices[0], 3u);
+}
+
+TEST(ExtractModePatternsTest, TopKClampsAndValidates) {
+  auto tucker = HandBuiltDecomposition();
+  auto patterns = ExtractModePatterns(tucker, 100);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].top_indices.size(), 3u);  // mode 0 has 3 rows
+  EXPECT_FALSE(ExtractModePatterns(tucker, 0).ok());
+}
+
+TEST(DescribePatternsTest, UsesParameterNamesAndValues) {
+  auto tucker = HandBuiltDecomposition();
+  auto patterns = ExtractModePatterns(tucker, 1);
+  ASSERT_TRUE(patterns.ok());
+  auto space = ensemble::ParameterSpace::Create({
+      ensemble::ParameterDef{"t", 0.0, 2.0, 3},
+      ensemble::ParameterDef{"phi", -1.0, 1.0, 4},
+  });
+  ASSERT_TRUE(space.ok());
+  const std::string text = DescribePatterns(*patterns, *space);
+  EXPECT_NE(text.find("(t)"), std::string::npos);
+  EXPECT_NE(text.find("(phi)"), std::string::npos);
+  EXPECT_NE(text.find("t=0"), std::string::npos);   // index 0 -> value 0
+  EXPECT_NE(text.find("phi=1"), std::string::npos); // index 3 -> value 1
+}
+
+TEST(TopCoreInteractionsTest, SortsByStrength) {
+  auto tucker = HandBuiltDecomposition();
+  auto interactions = TopCoreInteractions(tucker, 3);
+  ASSERT_TRUE(interactions.ok());
+  ASSERT_EQ(interactions->size(), 3u);
+  // |G(1,1)| = 4 is the strongest, then 3, then 0.5.
+  EXPECT_EQ((*interactions)[0].component_indices,
+            (std::vector<std::uint32_t>{1, 1}));
+  EXPECT_EQ((*interactions)[1].component_indices,
+            (std::vector<std::uint32_t>{0, 0}));
+  EXPECT_GT((*interactions)[0].strength, (*interactions)[1].strength);
+  // Strengths normalized by the core norm.
+  const double norm = tucker.core.FrobeniusNorm();
+  EXPECT_NEAR((*interactions)[0].strength, 4.0 / norm, 1e-12);
+}
+
+TEST(TopCoreInteractionsTest, EmptyCoreYieldsNothing) {
+  tensor::TuckerDecomposition tucker;
+  tucker.core = tensor::DenseTensor({2, 2});
+  tucker.factors = {linalg::Matrix(2, 2), linalg::Matrix(2, 2)};
+  auto interactions = TopCoreInteractions(tucker, 5);
+  ASSERT_TRUE(interactions.ok());
+  EXPECT_TRUE(interactions->empty());
+}
+
+TEST(ResidualOutliersTest, FindsThePlantedAnomaly) {
+  // Low-rank tensor plus one corrupted cell: the outlier report must rank
+  // the corrupted cell first.
+  Rng rng(3);
+  linalg::Matrix a(6, 1), b(6, 1);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = rng.UniformDouble(0.5, 1.5);
+    b(i, 0) = rng.UniformDouble(0.5, 1.5);
+  }
+  tensor::SparseTensor clean({6, 6});
+  tensor::SparseTensor x({6, 6});
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    for (std::uint32_t j = 0; j < 6; ++j) {
+      const double value = a(i, 0) * b(j, 0);
+      clean.AppendEntry({i, j}, value);
+      // Planted anomaly in the observed tensor only.
+      x.AppendEntry({i, j}, (i == 4 && j == 2) ? value + 5.0 : value);
+    }
+  }
+  clean.SortAndCoalesce();
+  x.SortAndCoalesce();
+  // Decompose the clean rank-1 structure; score the corrupted observations.
+  auto tucker = tensor::HosvdSparse(clean, {1, 1});
+  ASSERT_TRUE(tucker.ok());
+  auto outliers = ResidualOutliers(*tucker, x, 3);
+  ASSERT_TRUE(outliers.ok());
+  ASSERT_GE(outliers->size(), 1u);
+  EXPECT_EQ((*outliers)[0].indices, (std::vector<std::uint32_t>{4, 2}));
+  EXPECT_GT((*outliers)[0].residual, (*outliers)[1].residual);
+}
+
+TEST(ResidualOutliersTest, Validation) {
+  tensor::SparseTensor x({2, 2});
+  x.SortAndCoalesce();
+  auto tucker = tensor::HosvdSparse(x, {1, 1});
+  ASSERT_TRUE(tucker.ok());
+  EXPECT_FALSE(ResidualOutliers(*tucker, x, 0).ok());
+  tensor::SparseTensor wrong({2, 2, 2});
+  wrong.SortAndCoalesce();
+  EXPECT_FALSE(ResidualOutliers(*tucker, wrong, 2).ok());
+  // Empty tensor: empty report.
+  auto outliers = ResidualOutliers(*tucker, x, 2);
+  ASSERT_TRUE(outliers.ok());
+  EXPECT_TRUE(outliers->empty());
+}
+
+TEST(AnalysisIntegrationTest, PatternsFromPendulumM2td) {
+  ensemble::ModelOptions options;
+  options.parameter_resolution = 5;
+  options.time_resolution = 5;
+  auto model = ensemble::MakeDoublePendulumModel(options);
+  ASSERT_TRUE(model.ok());
+  auto partition = MakePartition(5, {0});
+  ASSERT_TRUE(partition.ok());
+  auto subs = BuildSubEnsembles(model->get(), *partition, {});
+  ASSERT_TRUE(subs.ok());
+  M2tdOptions m2td_options;
+  m2td_options.ranks = std::vector<std::uint64_t>(5, 2);
+  auto result = M2tdDecompose(*subs, *partition, (*model)->space().Shape(),
+                              m2td_options);
+  ASSERT_TRUE(result.ok());
+
+  auto patterns = ExtractModePatterns(result->tucker, 2);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 10u);  // 5 modes x rank 2
+  const std::string described =
+      DescribePatterns(*patterns, (*model)->space());
+  EXPECT_NE(described.find("phi1"), std::string::npos);
+
+  auto interactions = TopCoreInteractions(result->tucker, 5);
+  ASSERT_TRUE(interactions.ok());
+  ASSERT_FALSE(interactions->empty());
+  EXPECT_LE((*interactions)[0].strength, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace m2td::core

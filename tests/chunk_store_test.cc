@@ -1,0 +1,200 @@
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "io/chunk_store.h"
+#include "util/random.h"
+
+namespace m2td::io {
+namespace {
+
+class ChunkStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("m2td_chunk_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string StoreDir() const { return dir_.string(); }
+
+  std::filesystem::path dir_;
+};
+
+tensor::SparseTensor MakeTensor(const std::vector<std::uint64_t>& shape,
+                                std::uint64_t nnz, std::uint64_t seed) {
+  Rng rng(seed);
+  tensor::SparseTensor x(shape);
+  std::vector<std::uint32_t> idx(shape.size());
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    for (std::size_t m = 0; m < shape.size(); ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(shape[m]));
+    }
+    x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+TEST_F(ChunkStoreTest, CreateValidation) {
+  EXPECT_FALSE(ChunkStore::Create(StoreDir(), {}, {}).ok());
+  EXPECT_FALSE(ChunkStore::Create(StoreDir(), {4, 4}, {2}).ok());
+  EXPECT_FALSE(ChunkStore::Create(StoreDir(), {4, 0}, {2, 2}).ok());
+  auto store = ChunkStore::Create(StoreDir(), {4, 4}, {2, 2});
+  ASSERT_TRUE(store.ok());
+  // Creating again over the same directory fails.
+  EXPECT_EQ(ChunkStore::Create(StoreDir(), {4, 4}, {2, 2}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ChunkStoreTest, ChunkShapeClampsToTensorShape) {
+  auto store = ChunkStore::Create(StoreDir(), {3, 3}, {10, 10});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->chunk_shape(), (std::vector<std::uint64_t>{3, 3}));
+  EXPECT_EQ(store->ChunkGrid(), (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST_F(ChunkStoreTest, WriteReadAllRoundTrip) {
+  tensor::SparseTensor x = MakeTensor({8, 6, 10}, 60, 3);
+  auto store = ChunkStore::Create(StoreDir(), x.shape(), {3, 3, 3});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(x).ok());
+  EXPECT_EQ(store->TotalNonZeros(), x.NumNonZeros());
+  EXPECT_GT(store->NumChunks(), 1u);
+
+  auto loaded = store->ReadAll();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->NumNonZeros(), x.NumNonZeros());
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    for (std::size_t m = 0; m < x.num_modes(); ++m) {
+      EXPECT_EQ(loaded->Index(m, e), x.Index(m, e));
+    }
+    EXPECT_DOUBLE_EQ(loaded->Value(e), x.Value(e));
+  }
+}
+
+TEST_F(ChunkStoreTest, OpenReloadsManifest) {
+  tensor::SparseTensor x = MakeTensor({6, 6}, 20, 5);
+  {
+    auto store = ChunkStore::Create(StoreDir(), x.shape(), {2, 2});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Write(x).ok());
+  }
+  auto reopened = ChunkStore::Open(StoreDir());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->shape(), x.shape());
+  EXPECT_EQ(reopened->chunk_shape(), (std::vector<std::uint64_t>{2, 2}));
+  EXPECT_EQ(reopened->TotalNonZeros(), x.NumNonZeros());
+  auto loaded = reopened->ReadAll();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNonZeros(), x.NumNonZeros());
+}
+
+TEST_F(ChunkStoreTest, OpenMissingStoreFails) {
+  EXPECT_EQ(ChunkStore::Open(StoreDir() + "_nope").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(ChunkStoreTest, ReadChunkContainsExactlyItsCells) {
+  tensor::SparseTensor x = MakeTensor({8, 8}, 40, 7);
+  auto store = ChunkStore::Create(StoreDir(), x.shape(), {4, 4});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(x).ok());
+
+  std::uint64_t total = 0;
+  for (std::uint64_t ci = 0; ci < 2; ++ci) {
+    for (std::uint64_t cj = 0; cj < 2; ++cj) {
+      auto chunk = store->ReadChunk({ci, cj});
+      ASSERT_TRUE(chunk.ok());
+      total += chunk->NumNonZeros();
+      for (std::uint64_t e = 0; e < chunk->NumNonZeros(); ++e) {
+        EXPECT_EQ(chunk->Index(0, e) / 4, ci);
+        EXPECT_EQ(chunk->Index(1, e) / 4, cj);
+      }
+    }
+  }
+  EXPECT_EQ(total, x.NumNonZeros());
+}
+
+TEST_F(ChunkStoreTest, ReadChunkValidation) {
+  auto store = ChunkStore::Create(StoreDir(), {4, 4}, {2, 2});
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->ReadChunk({0}).ok());
+  EXPECT_EQ(store->ReadChunk({5, 0}).status().code(),
+            StatusCode::kOutOfRange);
+  // Empty (never written) chunk returns an empty tensor.
+  auto chunk = store->ReadChunk({0, 0});
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->NumNonZeros(), 0u);
+}
+
+TEST_F(ChunkStoreTest, ReadRegionFiltersExactly) {
+  tensor::SparseTensor x = MakeTensor({10, 10}, 70, 11);
+  auto store = ChunkStore::Create(StoreDir(), x.shape(), {3, 3});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(x).ok());
+
+  const std::vector<std::uint64_t> lo = {2, 4};
+  const std::vector<std::uint64_t> hi = {7, 9};
+  auto region = store->ReadRegion(lo, hi);
+  ASSERT_TRUE(region.ok());
+
+  // Oracle: filter the original tensor.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> expected;
+  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+    const std::uint32_t i = x.Index(0, e);
+    const std::uint32_t j = x.Index(1, e);
+    if (i >= 2 && i < 7 && j >= 4 && j < 9) expected.insert({i, j});
+  }
+  ASSERT_EQ(region->NumNonZeros(), expected.size());
+  for (std::uint64_t e = 0; e < region->NumNonZeros(); ++e) {
+    EXPECT_TRUE(expected.count({region->Index(0, e), region->Index(1, e)}));
+  }
+}
+
+TEST_F(ChunkStoreTest, ReadRegionValidation) {
+  auto store = ChunkStore::Create(StoreDir(), {4, 4}, {2, 2});
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->ReadRegion({0}, {1}).ok());
+  EXPECT_FALSE(store->ReadRegion({2, 2}, {2, 3}).ok());  // empty on mode 0
+  EXPECT_FALSE(store->ReadRegion({0, 0}, {5, 4}).ok());  // out of range
+}
+
+TEST_F(ChunkStoreTest, RewriteReplacesContent) {
+  auto store = ChunkStore::Create(StoreDir(), {6, 6}, {3, 3});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(MakeTensor({6, 6}, 30, 1)).ok());
+  const std::uint64_t first_nnz = store->TotalNonZeros();
+  tensor::SparseTensor second = MakeTensor({6, 6}, 5, 2);
+  ASSERT_TRUE(store->Write(second).ok());
+  EXPECT_NE(store->TotalNonZeros(), first_nnz);
+  auto loaded = store->ReadAll();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNonZeros(), second.NumNonZeros());
+}
+
+TEST_F(ChunkStoreTest, WrongShapeWriteRejected) {
+  auto store = ChunkStore::Create(StoreDir(), {4, 4}, {2, 2});
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->Write(MakeTensor({5, 4}, 3, 1)).ok());
+}
+
+TEST_F(ChunkStoreTest, CorruptManifestRejected) {
+  {
+    auto store = ChunkStore::Create(StoreDir(), {4, 4}, {2, 2});
+    ASSERT_TRUE(store.ok());
+  }
+  std::ofstream out(std::filesystem::path(StoreDir()) / "manifest.m2td");
+  out << "garbage\n";
+  out.close();
+  EXPECT_FALSE(ChunkStore::Open(StoreDir()).ok());
+}
+
+}  // namespace
+}  // namespace m2td::io

@@ -1,0 +1,350 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ensemble/parameter_space.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "util/random.h"
+
+namespace m2td::ensemble {
+namespace {
+
+ModelOptions SmallOptions() {
+  ModelOptions options;
+  options.parameter_resolution = 4;
+  options.time_resolution = 3;
+  options.dt = 0.01;
+  options.record_every = 5;
+  return options;
+}
+
+// -------------------------------------------------------- ParameterSpace
+
+TEST(ParameterSpaceTest, CreateValidation) {
+  EXPECT_FALSE(ParameterSpace::Create({}).ok());
+  EXPECT_FALSE(
+      ParameterSpace::Create({ParameterDef{"a", 0.0, 1.0, 0}}).ok());
+  EXPECT_FALSE(
+      ParameterSpace::Create({ParameterDef{"a", 2.0, 1.0, 3}}).ok());
+  EXPECT_TRUE(
+      ParameterSpace::Create({ParameterDef{"a", 0.0, 1.0, 3}}).ok());
+}
+
+TEST(ParameterSpaceTest, ValueGridIsLinear) {
+  auto space = ParameterSpace::Create({ParameterDef{"a", 0.0, 2.0, 5}});
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ(space->Value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(space->Value(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(space->Value(0, 4), 2.0);
+}
+
+TEST(ParameterSpaceTest, SingletonResolutionSitsAtMin) {
+  auto space = ParameterSpace::Create({ParameterDef{"a", 3.0, 9.0, 1}});
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ(space->Value(0, 0), 3.0);
+}
+
+TEST(ParameterSpaceTest, ShapeCellsDefaultsAndLookup) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 3},
+      ParameterDef{"x", 0.0, 1.0, 4},
+      ParameterDef{"y", 0.0, 1.0, 5},
+  });
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->Shape(), (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(space->NumCells(), 60u);
+  EXPECT_EQ(space->DefaultIndex(1), 2u);
+  EXPECT_EQ(*space->ModeByName("y"), 2u);
+  EXPECT_FALSE(space->ModeByName("zzz").ok());
+}
+
+TEST(ParameterSpaceTest, ValuesVector) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"a", 0.0, 1.0, 2},
+      ParameterDef{"b", 0.0, 10.0, 3},
+  });
+  ASSERT_TRUE(space.ok());
+  const std::vector<double> values = space->Values({1, 2});
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 10.0);
+}
+
+// ------------------------------------------------------ SimulationModel
+
+TEST(SimulationModelTest, DoublePendulumModelBasics) {
+  auto model = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->space().num_modes(), 5u);
+  EXPECT_EQ((*model)->space().def(0).name, "t");
+  EXPECT_EQ((*model)->space().Resolution(0), 3u);
+  EXPECT_EQ((*model)->space().Resolution(1), 4u);
+  EXPECT_EQ((*model)->name(), "double pendulum");
+}
+
+TEST(SimulationModelTest, ReferenceCellIsZeroDistance) {
+  auto model = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model.ok());
+  const ParameterSpace& space = (*model)->space();
+  std::vector<std::uint32_t> idx(space.num_modes());
+  for (std::size_t m = 0; m < space.num_modes(); ++m) {
+    idx[m] = space.DefaultIndex(m);
+  }
+  // The reference simulation compared against itself at any timestamp.
+  for (std::uint32_t t = 0; t < space.Resolution(0); ++t) {
+    idx[0] = t;
+    EXPECT_NEAR((*model)->Cell(idx), 0.0, 1e-12);
+  }
+}
+
+TEST(SimulationModelTest, NonReferenceCellsArePositive) {
+  auto model = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model.ok());
+  std::vector<std::uint32_t> idx = {2, 0, 0, 0, 0};
+  EXPECT_GT((*model)->Cell(idx), 0.0);
+}
+
+TEST(SimulationModelTest, TrajectoryCacheCountsSimulations) {
+  auto model = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->SimulationsRun(), 0u);
+  std::vector<std::uint32_t> idx = {0, 1, 2, 3, 0};
+  (*model)->Cell(idx);
+  EXPECT_EQ((*model)->SimulationsRun(), 1u);
+  idx[0] = 2;  // same parameters, different timestamp: cached
+  (*model)->Cell(idx);
+  EXPECT_EQ((*model)->SimulationsRun(), 1u);
+  idx[1] = 0;  // different parameters: new simulation
+  (*model)->Cell(idx);
+  EXPECT_EQ((*model)->SimulationsRun(), 2u);
+  (*model)->ClearCache();
+  EXPECT_EQ((*model)->SimulationsRun(), 0u);
+}
+
+TEST(SimulationModelTest, AllThreeModelsConstructAndEvaluate) {
+  for (auto maker :
+       {MakeDoublePendulumModel, MakeTriplePendulumModel, MakeLorenzModel}) {
+    auto model = maker(SmallOptions());
+    ASSERT_TRUE(model.ok());
+    std::vector<std::uint32_t> idx = {1, 1, 2, 3, 0};
+    const double v = (*model)->Cell(idx);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(SimulationModelTest, BuildFullTensorMatchesCells) {
+  auto model = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model.ok());
+  auto full = BuildFullTensor(model->get());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->shape(), (*model)->space().Shape());
+  // Spot check a few cells.
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint32_t> idx((*model)->space().num_modes());
+    for (std::size_t m = 0; m < idx.size(); ++m) {
+      idx[m] = static_cast<std::uint32_t>(
+          rng.UniformInt((*model)->space().Resolution(m)));
+    }
+    EXPECT_DOUBLE_EQ(full->at(idx), (*model)->Cell(idx));
+  }
+  EXPECT_FALSE(BuildFullTensor(nullptr).ok());
+}
+
+// --------------------------------------------------------------- Sampling
+
+TEST(SamplingTest, SchemeNames) {
+  EXPECT_STREQ(ConventionalSchemeName(ConventionalScheme::kRandom), "Random");
+  EXPECT_STREQ(ConventionalSchemeName(ConventionalScheme::kGrid), "Grid");
+  EXPECT_STREQ(ConventionalSchemeName(ConventionalScheme::kSlice), "Slice");
+}
+
+class SamplingSchemeTest
+    : public ::testing::TestWithParam<ConventionalScheme> {};
+
+TEST_P(SamplingSchemeTest, SelectsDistinctCombosWithinBudget) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 3},
+      ParameterDef{"a", 0.0, 1.0, 5},
+      ParameterDef{"b", 0.0, 1.0, 5},
+      ParameterDef{"c", 0.0, 1.0, 5},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(7);
+  auto combos =
+      SelectParameterCombinations(*space, 0, GetParam(), 40, &rng);
+  ASSERT_TRUE(combos.ok());
+  EXPECT_LE(combos->size(), 40u);
+  EXPECT_GE(combos->size(), 10u);  // every scheme should use most budget
+  std::set<std::vector<std::uint32_t>> unique(combos->begin(), combos->end());
+  EXPECT_EQ(unique.size(), combos->size());
+  for (const auto& combo : *combos) {
+    ASSERT_EQ(combo.size(), 3u);
+    EXPECT_LT(combo[0], 5u);
+    EXPECT_LT(combo[1], 5u);
+    EXPECT_LT(combo[2], 5u);
+  }
+}
+
+TEST_P(SamplingSchemeTest, BudgetLargerThanSpaceClamps) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 2},
+      ParameterDef{"a", 0.0, 1.0, 3},
+      ParameterDef{"b", 0.0, 1.0, 3},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(7);
+  auto combos =
+      SelectParameterCombinations(*space, 0, GetParam(), 1000, &rng);
+  ASSERT_TRUE(combos.ok());
+  EXPECT_EQ(combos->size(), 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SamplingSchemeTest,
+                         ::testing::Values(ConventionalScheme::kRandom,
+                                           ConventionalScheme::kGrid,
+                                           ConventionalScheme::kSlice,
+                                           ConventionalScheme::kLatinHypercube),
+                         [](const auto& info) {
+                           return ConventionalSchemeName(info.param);
+                         });
+
+TEST(SamplingTest, LatinHypercubeCoversEveryValueOncePerMode) {
+  // With budget == resolution, LHS must hit every grid value of every
+  // parameter exactly once (one stratum per value).
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 2},
+      ParameterDef{"a", 0.0, 1.0, 8},
+      ParameterDef{"b", 0.0, 1.0, 8},
+      ParameterDef{"c", 0.0, 1.0, 8},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(3);
+  auto combos = SelectParameterCombinations(
+      *space, 0, ConventionalScheme::kLatinHypercube, 8, &rng);
+  ASSERT_TRUE(combos.ok());
+  ASSERT_EQ(combos->size(), 8u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    std::set<std::uint32_t> values;
+    for (const auto& combo : *combos) values.insert(combo[m]);
+    EXPECT_EQ(values.size(), 8u) << "mode " << m;
+  }
+}
+
+TEST(SamplingTest, LatinHypercubeDropsDuplicatesWhenOverSampled) {
+  // Budget beyond a mode's resolution forces repeats per column; the
+  // combination set must still be duplicate-free.
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 2},
+      ParameterDef{"a", 0.0, 1.0, 3},
+      ParameterDef{"b", 0.0, 1.0, 3},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(5);
+  auto combos = SelectParameterCombinations(
+      *space, 0, ConventionalScheme::kLatinHypercube, 9, &rng);
+  ASSERT_TRUE(combos.ok());
+  std::set<std::vector<std::uint32_t>> unique(combos->begin(), combos->end());
+  EXPECT_EQ(unique.size(), combos->size());
+  EXPECT_LE(combos->size(), 9u);
+}
+
+TEST(SamplingTest, GridIsExactSubGridCrossProduct) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 2},
+      ParameterDef{"a", 0.0, 1.0, 9},
+      ParameterDef{"b", 0.0, 1.0, 9},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(7);
+  auto combos = SelectParameterCombinations(
+      *space, 0, ConventionalScheme::kGrid, 9, &rng);
+  ASSERT_TRUE(combos.ok());
+  EXPECT_EQ(combos->size(), 9u);  // 3 x 3 sub-grid
+  std::set<std::uint32_t> a_values, b_values;
+  for (const auto& combo : *combos) {
+    a_values.insert(combo[0]);
+    b_values.insert(combo[1]);
+  }
+  EXPECT_EQ(a_values.size(), 3u);
+  EXPECT_EQ(b_values.size(), 3u);
+}
+
+TEST(SamplingTest, SliceCoversWholeSlices) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 2},
+      ParameterDef{"a", 0.0, 1.0, 6},
+      ParameterDef{"b", 0.0, 1.0, 6},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(7);
+  // Budget = exactly one slice (6 combos).
+  auto combos = SelectParameterCombinations(
+      *space, 0, ConventionalScheme::kSlice, 6, &rng);
+  ASSERT_TRUE(combos.ok());
+  ASSERT_EQ(combos->size(), 6u);
+  // One of the two coordinates must be constant across the slice.
+  std::set<std::uint32_t> a_values, b_values;
+  for (const auto& combo : *combos) {
+    a_values.insert(combo[0]);
+    b_values.insert(combo[1]);
+  }
+  EXPECT_TRUE(a_values.size() == 1 || b_values.size() == 1);
+}
+
+TEST(SamplingTest, InputValidation) {
+  auto space = ParameterSpace::Create({
+      ParameterDef{"t", 0.0, 1.0, 2},
+      ParameterDef{"a", 0.0, 1.0, 3},
+  });
+  ASSERT_TRUE(space.ok());
+  Rng rng(7);
+  EXPECT_FALSE(SelectParameterCombinations(*space, 9,
+                                           ConventionalScheme::kRandom, 5,
+                                           &rng)
+                   .ok());
+  EXPECT_FALSE(SelectParameterCombinations(*space, 0,
+                                           ConventionalScheme::kRandom, 0,
+                                           &rng)
+                   .ok());
+  EXPECT_FALSE(SelectParameterCombinations(*space, 0,
+                                           ConventionalScheme::kRandom, 5,
+                                           nullptr)
+                   .ok());
+}
+
+TEST(SamplingTest, BuildConventionalEnsembleFillsTimeFibers) {
+  auto model = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model.ok());
+  Rng rng(11);
+  auto ensemble = BuildConventionalEnsemble(
+      model->get(), ConventionalScheme::kRandom, 10, &rng);
+  ASSERT_TRUE(ensemble.ok());
+  // 10 simulations x 3 timestamps.
+  EXPECT_EQ(ensemble->NumNonZeros(), 30u);
+  EXPECT_EQ(ensemble->shape(), (*model)->space().Shape());
+  EXPECT_TRUE(ensemble->IsSorted());
+  EXPECT_EQ((*model)->SimulationsRun(), 10u);
+}
+
+TEST(SamplingTest, EnsembleIsDeterministicForSeed) {
+  auto model1 = MakeDoublePendulumModel(SmallOptions());
+  auto model2 = MakeDoublePendulumModel(SmallOptions());
+  ASSERT_TRUE(model1.ok() && model2.ok());
+  Rng rng1(13), rng2(13);
+  auto e1 = BuildConventionalEnsemble(model1->get(),
+                                      ConventionalScheme::kRandom, 8, &rng1);
+  auto e2 = BuildConventionalEnsemble(model2->get(),
+                                      ConventionalScheme::kRandom, 8, &rng2);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  ASSERT_EQ(e1->NumNonZeros(), e2->NumNonZeros());
+  for (std::uint64_t e = 0; e < e1->NumNonZeros(); ++e) {
+    EXPECT_EQ(e1->Value(e), e2->Value(e));
+  }
+}
+
+}  // namespace
+}  // namespace m2td::ensemble

@@ -1,0 +1,117 @@
+// Tests for the experiment harness (core/experiment.h): determinism,
+// budget accounting, and outcome consistency across entry points.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+
+namespace m2td::core {
+namespace {
+
+struct Env {
+  std::unique_ptr<ensemble::DynamicalSystemModel> model;
+  tensor::DenseTensor ground_truth;
+  PfPartition partition;
+};
+
+Env MakeEnv() {
+  ensemble::ModelOptions options;
+  options.parameter_resolution = 5;
+  options.time_resolution = 5;
+  auto model = ensemble::MakeDoublePendulumModel(options);
+  EXPECT_TRUE(model.ok());
+  Env env;
+  env.model = std::move(model).ValueOrDie();
+  auto truth = ensemble::BuildFullTensor(env.model.get());
+  EXPECT_TRUE(truth.ok());
+  env.ground_truth = std::move(truth).ValueOrDie();
+  env.partition = MakePartition(5, {0}).ValueOrDie();
+  return env;
+}
+
+TEST(ExperimentHarnessTest, ConventionalDeterministicForSeed) {
+  Env env = MakeEnv();
+  auto a = RunConventional(env.model.get(), env.ground_truth,
+                           ensemble::ConventionalScheme::kRandom, 12, 3, 42);
+  auto b = RunConventional(env.model.get(), env.ground_truth,
+                           ensemble::ConventionalScheme::kRandom, 12, 3, 42);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->accuracy, b->accuracy);
+  EXPECT_EQ(a->nnz, b->nnz);
+}
+
+TEST(ExperimentHarnessTest, DifferentSeedsDifferentSamples) {
+  Env env = MakeEnv();
+  auto a = RunConventional(env.model.get(), env.ground_truth,
+                           ensemble::ConventionalScheme::kRandom, 12, 3, 1);
+  auto b = RunConventional(env.model.get(), env.ground_truth,
+                           ensemble::ConventionalScheme::kRandom, 12, 3, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same budget, (almost surely) different sample sets -> different
+  // accuracy.
+  EXPECT_EQ(a->nnz, b->nnz);
+  EXPECT_NE(a->accuracy, b->accuracy);
+}
+
+TEST(ExperimentHarnessTest, M2tdOutcomeFieldsConsistent) {
+  Env env = MakeEnv();
+  auto outcome = RunM2td(env.model.get(), env.ground_truth, env.partition,
+                         M2tdMethod::kSelect, 3, {});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->scheme, "M2TD-SELECT");
+  // Full density at res 5: 2 sides x 5 pivots x 25 free configs.
+  EXPECT_EQ(outcome->budget_cells, 2u * 5u * 25u);
+  // Join covers the whole 5^5 space at full density.
+  EXPECT_EQ(outcome->nnz, 3125u);
+  EXPECT_GT(outcome->decompose_seconds, 0.0);
+  EXPECT_NEAR(outcome->decompose_seconds,
+              outcome->timings.TotalSeconds(), 1e-12);
+  EXPECT_GT(outcome->timings.core_seconds, 0.0);
+}
+
+TEST(ExperimentHarnessTest, M2tdDeterministicAcrossCalls) {
+  Env env = MakeEnv();
+  auto a = RunM2td(env.model.get(), env.ground_truth, env.partition,
+                   M2tdMethod::kConcat, 3, {});
+  auto b = RunM2td(env.model.get(), env.ground_truth, env.partition,
+                   M2tdMethod::kConcat, 3, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->accuracy, b->accuracy);
+}
+
+TEST(ExperimentHarnessTest, ModelCacheMakesSecondRunCheap) {
+  Env env = MakeEnv();
+  // Ground truth construction already simulated the whole space.
+  const std::uint64_t sims_before = env.model->SimulationsRun();
+  auto outcome = RunM2td(env.model.get(), env.ground_truth, env.partition,
+                         M2tdMethod::kSelect, 3, {});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(env.model->SimulationsRun(), sims_before)
+      << "sub-ensemble evaluation must reuse cached trajectories";
+}
+
+TEST(ExperimentHarnessTest, NullModelRejected) {
+  Env env = MakeEnv();
+  EXPECT_FALSE(RunM2td(nullptr, env.ground_truth, env.partition,
+                       M2tdMethod::kSelect, 3, {})
+                   .ok());
+  EXPECT_FALSE(RunConventional(nullptr, env.ground_truth,
+                               ensemble::ConventionalScheme::kRandom, 5, 3,
+                               1)
+                   .ok());
+}
+
+TEST(ExperimentHarnessTest, UniformRanksShape) {
+  Env env = MakeEnv();
+  const auto ranks = UniformRanks(*env.model, 7);
+  EXPECT_EQ(ranks, std::vector<std::uint64_t>(5, 7));
+}
+
+}  // namespace
+}  // namespace m2td::core

@@ -1,0 +1,202 @@
+// Failure-injection tests: the library must degrade with clear Status
+// errors (never crashes or silent corruption) when the environment
+// misbehaves — missing/corrupt/truncated files, deleted chunk blobs,
+// reducers that produce nothing, degenerate numeric inputs.
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/chunk_store.h"
+#include "io/out_of_core.h"
+#include "io/tensor_io.h"
+#include "linalg/eigen.h"
+#include "linalg/svd.h"
+#include "mapreduce/engine.h"
+#include "tensor/matricize.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+
+namespace m2td {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("m2td_fail_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+tensor::SparseTensor SmallTensor() {
+  tensor::SparseTensor x({4, 4});
+  Rng rng(1);
+  std::vector<std::uint32_t> idx(2);
+  for (int e = 0; e < 10; ++e) {
+    idx[0] = static_cast<std::uint32_t>(rng.UniformInt(4));
+    idx[1] = static_cast<std::uint32_t>(rng.UniformInt(4));
+    x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+TEST_F(FailureInjectionTest, DeletedChunkBlobSurfacesIOError) {
+  auto store = io::ChunkStore::Create(Path("store"), {4, 4}, {2, 2});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(SmallTensor()).ok());
+  // Remove one chunk blob behind the store's back.
+  bool removed = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(Path("store"))) {
+    if (entry.path().filename().string().rfind("chunk_", 0) == 0) {
+      std::filesystem::remove(entry.path());
+      removed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(removed);
+  auto all = store->ReadAll();
+  ASSERT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kIOError);
+  // Out-of-core HOSVD propagates the same failure instead of producing a
+  // silently wrong decomposition.
+  EXPECT_FALSE(io::HosvdFromStore(*store, {2, 2}).ok());
+}
+
+TEST_F(FailureInjectionTest, TruncatedBinaryBlobRejected) {
+  const std::string path = Path("t.bin");
+  ASSERT_TRUE(io::SaveSparseBinary(SmallTensor(), path).ok());
+  // Truncate the value array.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  auto loaded = io::LoadSparseBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FailureInjectionTest, BinaryBlobWithGiantNnzRejected) {
+  // A nnz count far beyond the actual payload must not drive a huge
+  // allocation into a crash; the loader fails on the truncated read.
+  const std::string path = Path("evil.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t magic = 0x4d32544453503031ULL;
+    const std::uint64_t modes = 2, d = 4, nnz = 1ULL << 20;
+    for (std::uint64_t v : {magic, modes, d, d, nnz}) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+  }
+  auto loaded = io::LoadSparseBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FailureInjectionTest, SaveToUnwritableLocationFails) {
+  EXPECT_EQ(io::SaveSparseText(SmallTensor(), Path("no/such/dir/t.txt"))
+                .code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(io::SaveSparseBinary(SmallTensor(), Path("no/such/dir/t.bin"))
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(FailureInjectionTest, ManifestWithOutOfRangeChunkIdTolerated) {
+  auto store = io::ChunkStore::Create(Path("store"), {4, 4}, {2, 2});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Write(SmallTensor()).ok());
+  // Reopen and read a never-written chunk: must be empty, not an error.
+  auto reopened = io::ChunkStore::Open(Path("store"));
+  ASSERT_TRUE(reopened.ok());
+  auto empty = reopened->ReadChunk({1, 1});
+  ASSERT_TRUE(empty.ok());
+}
+
+TEST(MapReduceFailureTest, ReducerEmittingNothingIsFine) {
+  std::vector<int> inputs = {1, 2, 3};
+  mapreduce::JobSpec<int, int, int, int> spec;
+  spec.num_workers = 2;
+  spec.mapper = [](const int& v, mapreduce::Emitter<int, int>* e) {
+    e->Emit(v, v);
+  };
+  spec.reducer = [](const int&, std::vector<int>&, std::vector<int>*) {
+    // Drops everything.
+  };
+  auto result = mapreduce::RunJob(spec, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MapReduceFailureTest, MapperEmittingNothingIsFine) {
+  std::vector<int> inputs = {1, 2, 3};
+  mapreduce::JobSpec<int, int, int, int> spec;
+  spec.num_workers = 3;
+  spec.mapper = [](const int&, mapreduce::Emitter<int, int>*) {};
+  spec.reducer = [](const int&, std::vector<int>& values,
+                    std::vector<int>* out) {
+    out->push_back(static_cast<int>(values.size()));
+  };
+  mapreduce::JobStats stats;
+  auto result = mapreduce::RunJob(spec, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(stats.intermediate_pairs, 0u);
+}
+
+TEST(NumericEdgeTest, GramOfAllZeroValuesIsZeroAndDecomposable) {
+  tensor::SparseTensor x({3, 3});
+  x.AppendEntry({0, 0}, 0.0);
+  x.AppendEntry({1, 2}, 0.0);
+  x.SortAndCoalesce();
+  auto gram = tensor::ModeGram(x, 0);
+  ASSERT_TRUE(gram.ok());
+  EXPECT_EQ(gram->FrobeniusNorm(), 0.0);
+  auto tucker = tensor::HosvdSparse(x, {2, 2});
+  ASSERT_TRUE(tucker.ok());
+  EXPECT_EQ(tucker->core.FrobeniusNorm(), 0.0);
+}
+
+TEST(NumericEdgeTest, HugeMagnitudeValuesSurvive) {
+  tensor::SparseTensor x({3, 3});
+  x.AppendEntry({0, 0}, 1e150);
+  x.AppendEntry({2, 2}, -1e150);
+  x.SortAndCoalesce();
+  auto gram = tensor::ModeGram(x, 0);
+  ASSERT_TRUE(gram.ok());
+  EXPECT_TRUE(std::isfinite((*gram)(0, 0)));
+  auto eig = linalg::SymmetricEigen(*gram);
+  ASSERT_TRUE(eig.ok());
+  for (double w : eig->eigenvalues) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(NumericEdgeTest, TinyValuesDoNotUnderflowTheWholePipeline) {
+  tensor::SparseTensor x({3, 3});
+  x.AppendEntry({0, 1}, 1e-200);
+  x.AppendEntry({1, 0}, 2e-200);
+  x.SortAndCoalesce();
+  auto tucker = tensor::HosvdSparse(x, {2, 2});
+  ASSERT_TRUE(tucker.ok());
+  auto reconstructed = tensor::Reconstruct(*tucker);
+  ASSERT_TRUE(reconstructed.ok());
+  for (std::uint64_t i = 0; i < reconstructed->NumElements(); ++i) {
+    ASSERT_TRUE(std::isfinite(reconstructed->flat(i)));
+  }
+}
+
+}  // namespace
+}  // namespace m2td

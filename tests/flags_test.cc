@@ -1,0 +1,143 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace m2td {
+namespace {
+
+std::vector<const char*> Argv(const std::vector<std::string>& args,
+                              std::vector<std::string>* storage) {
+  *storage = args;
+  std::vector<const char*> out;
+  for (const std::string& s : *storage) out.push_back(s.c_str());
+  return out;
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  std::string name = "default";
+  std::int64_t count = 1;
+  double ratio = 0.5;
+  FlagParser parser("test");
+  parser.AddString("name", "a name", &name);
+  parser.AddInt64("count", "a count", &count);
+  parser.AddDouble("ratio", "a ratio", &ratio);
+
+  std::vector<std::string> storage;
+  auto argv = Argv({"--name=alice", "--count", "42", "--ratio=0.25"},
+                   &storage);
+  auto positional = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(positional.ok());
+  EXPECT_TRUE(positional->empty());
+  EXPECT_EQ(name, "alice");
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+}
+
+TEST(FlagsTest, BoolForms) {
+  bool verbose = false;
+  bool cache = true;
+  FlagParser parser("test");
+  parser.AddBool("verbose", "chatty", &verbose);
+  parser.AddBool("cache", "use cache", &cache);
+
+  std::vector<std::string> storage;
+  auto argv = Argv({"--verbose", "--nocache"}, &storage);
+  ASSERT_TRUE(
+      parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(verbose);
+  EXPECT_FALSE(cache);
+
+  auto argv2 = Argv({"--verbose=false", "--cache=true"}, &storage);
+  ASSERT_TRUE(
+      parser.Parse(static_cast<int>(argv2.size()), argv2.data()).ok());
+  EXPECT_FALSE(verbose);
+  EXPECT_TRUE(cache);
+}
+
+TEST(FlagsTest, PositionalArgumentsPassThrough) {
+  std::string mode = "";
+  FlagParser parser("test");
+  parser.AddString("mode", "", &mode);
+  std::vector<std::string> storage;
+  auto argv = Argv({"input.txt", "--mode=fast", "output.txt"}, &storage);
+  auto positional = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(*positional,
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+  EXPECT_EQ(mode, "fast");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser parser("test");
+  std::vector<std::string> storage;
+  auto argv = Argv({"--bogus=1"}, &storage);
+  auto result = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedValuesRejected) {
+  std::int64_t count = 0;
+  double ratio = 0.0;
+  bool flag = false;
+  FlagParser parser("test");
+  parser.AddInt64("count", "", &count);
+  parser.AddDouble("ratio", "", &ratio);
+  parser.AddBool("flag", "", &flag);
+
+  std::vector<std::string> storage;
+  for (const std::string& bad :
+       {std::string("--count=abc"), std::string("--ratio=x"),
+        std::string("--flag=maybe"), std::string("--count")}) {
+    auto argv = Argv({bad}, &storage);
+    EXPECT_FALSE(
+        parser.Parse(static_cast<int>(argv.size()), argv.data()).ok())
+        << bad;
+  }
+}
+
+TEST(FlagsTest, HelpReturnsUsageAsNotFound) {
+  std::string name;
+  FlagParser parser("my tool");
+  parser.AddString("name", "the name to use", &name);
+  std::vector<std::string> storage;
+  auto argv = Argv({"--help"}, &storage);
+  auto result = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("my tool"), std::string::npos);
+  EXPECT_NE(result.status().message().find("--name"), std::string::npos);
+  EXPECT_NE(result.status().message().find("the name to use"),
+            std::string::npos);
+}
+
+TEST(FlagsTest, UsageListsDefaults) {
+  std::string name = "bob";
+  std::int64_t n = 7;
+  FlagParser parser("tool");
+  parser.AddString("name", "", &name);
+  parser.AddInt64("n", "", &n);
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("default: bob"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+TEST(FlagsTest, NegativeNumbersParse) {
+  std::int64_t count = 0;
+  double ratio = 0.0;
+  FlagParser parser("test");
+  parser.AddInt64("count", "", &count);
+  parser.AddDouble("ratio", "", &ratio);
+  std::vector<std::string> storage;
+  auto argv = Argv({"--count=-5", "--ratio=-2.5e-3"}, &storage);
+  ASSERT_TRUE(
+      parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(count, -5);
+  EXPECT_DOUBLE_EQ(ratio, -2.5e-3);
+}
+
+}  // namespace
+}  // namespace m2td

@@ -1,0 +1,152 @@
+// Integration tests asserting the paper's qualitative claims end to end
+// at miniature scale. These are the regression guards for the repository's
+// reason to exist: if a refactor silently breaks a headline shape, these
+// fail.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "tensor/dense_tensor.h"
+
+namespace m2td::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ensemble::DynamicalSystemModel> model;
+  tensor::DenseTensor ground_truth;
+  PfPartition partition;
+};
+
+Fixture MakeFixture(std::uint32_t resolution) {
+  ensemble::ModelOptions options;
+  options.parameter_resolution = resolution;
+  options.time_resolution = resolution;
+  auto model = ensemble::MakeDoublePendulumModel(options);
+  EXPECT_TRUE(model.ok());
+  Fixture fixture;
+  fixture.model = std::move(model).ValueOrDie();
+  auto truth = ensemble::BuildFullTensor(fixture.model.get());
+  EXPECT_TRUE(truth.ok());
+  fixture.ground_truth = std::move(truth).ValueOrDie();
+  auto partition = MakePartition(5, {0});
+  EXPECT_TRUE(partition.ok());
+  fixture.partition = std::move(partition).ValueOrDie();
+  return fixture;
+}
+
+// Paper claim 1 (Tables II/IV): every M2TD variant beats every
+// conventional scheme by at least an order of magnitude at equal budget.
+TEST(PaperShapeTest, AllM2tdVariantsDominateAllConventionalSchemes) {
+  Fixture f = MakeFixture(8);
+  double worst_m2td = 1.0;
+  std::uint64_t cells = 0;
+  for (M2tdMethod method :
+       {M2tdMethod::kAvg, M2tdMethod::kConcat, M2tdMethod::kSelect}) {
+    auto outcome = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                           method, 4, {});
+    ASSERT_TRUE(outcome.ok());
+    worst_m2td = std::min(worst_m2td, outcome->accuracy);
+    cells = outcome->budget_cells;
+  }
+  const std::uint64_t budget = cells / f.model->space().Resolution(0);
+  double best_conventional = 0.0;
+  for (auto scheme : {ensemble::ConventionalScheme::kRandom,
+                      ensemble::ConventionalScheme::kGrid,
+                      ensemble::ConventionalScheme::kSlice}) {
+    auto outcome = RunConventional(f.model.get(), f.ground_truth, scheme,
+                                   budget, 4, 2024);
+    ASSERT_TRUE(outcome.ok());
+    best_conventional = std::max(best_conventional, outcome->accuracy);
+  }
+  EXPECT_GT(worst_m2td, 10.0 * best_conventional)
+      << "worst M2TD " << worst_m2td << " vs best conventional "
+      << best_conventional;
+}
+
+// Paper claim 2 (Table V): zero-join stitching beats plain join when the
+// sub-ensembles are sparse.
+TEST(PaperShapeTest, ZeroJoinBeatsJoinAtLowBudget) {
+  Fixture f = MakeFixture(8);
+  SubEnsembleOptions sub_options;
+  sub_options.cell_density = 0.3;
+  sub_options.seed = 7;
+  StitchOptions join;
+  StitchOptions zero;
+  zero.zero_join = true;
+  auto with_join = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                           M2tdMethod::kSelect, 4, sub_options, join);
+  auto with_zero = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                           M2tdMethod::kSelect, 4, sub_options, zero);
+  ASSERT_TRUE(with_join.ok() && with_zero.ok());
+  EXPECT_GT(with_zero->nnz, with_join->nnz);
+  EXPECT_GT(with_zero->accuracy, with_join->accuracy);
+}
+
+// Paper claim 3 (Tables VI/VII): reducing the sub-ensemble density E hurts
+// more than reducing the pivot density P by the same factor (effective
+// density ~ P * E^2).
+TEST(PaperShapeTest, SubDensityReductionHurtsMoreThanPivotReduction) {
+  Fixture f = MakeFixture(8);
+  SubEnsembleOptions reduce_p;
+  reduce_p.pivot_density = 0.5;
+  reduce_p.seed = 5;
+  SubEnsembleOptions reduce_e;
+  reduce_e.side_density = 0.5;
+  reduce_e.seed = 5;
+  auto p_outcome = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                           M2tdMethod::kSelect, 4, reduce_p);
+  auto e_outcome = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                           M2tdMethod::kSelect, 4, reduce_e);
+  ASSERT_TRUE(p_outcome.ok() && e_outcome.ok());
+  // Join density: P-reduction halves nnz, E-reduction quarters it.
+  EXPECT_GT(p_outcome->nnz, e_outcome->nnz);
+  EXPECT_GT(p_outcome->accuracy, e_outcome->accuracy);
+}
+
+// Paper claim 4 (Table VIII): any pivot choice stays orders of magnitude
+// ahead of conventional sampling.
+TEST(PaperShapeTest, EveryPivotBeatsRandomSampling) {
+  Fixture f = MakeFixture(8);
+  auto random_outcome = RunConventional(
+      f.model.get(), f.ground_truth, ensemble::ConventionalScheme::kRandom,
+      2 * 8 * 8, 4, 11);
+  ASSERT_TRUE(random_outcome.ok());
+  for (std::size_t pivot = 0; pivot < 5; ++pivot) {
+    auto partition = MakePartition(5, {pivot});
+    ASSERT_TRUE(partition.ok());
+    auto outcome = RunM2td(f.model.get(), f.ground_truth, *partition,
+                           M2tdMethod::kSelect, 4, {});
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_GT(outcome->accuracy, 10.0 * random_outcome->accuracy)
+        << "pivot mode " << pivot;
+  }
+}
+
+// Config-selection variants both work and reach comparable accuracy.
+TEST(PaperShapeTest, EvenlySpacedConfigSelectionWorks) {
+  Fixture f = MakeFixture(8);
+  SubEnsembleOptions random_cfg;
+  random_cfg.side_density = 0.5;
+  random_cfg.config_selection = ConfigSelection::kRandom;
+  SubEnsembleOptions even_cfg;
+  even_cfg.side_density = 0.5;
+  even_cfg.config_selection = ConfigSelection::kEvenlySpaced;
+  auto r = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                   M2tdMethod::kSelect, 4, random_cfg);
+  auto e = RunM2td(f.model.get(), f.ground_truth, f.partition,
+                   M2tdMethod::kSelect, 4, even_cfg);
+  ASSERT_TRUE(r.ok() && e.ok());
+  EXPECT_GT(e->accuracy, 0.0);
+  // Same budget either way.
+  EXPECT_EQ(r->budget_cells, e->budget_cells);
+}
+
+}  // namespace
+}  // namespace m2td::core

@@ -1,0 +1,69 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/logging.h"
+
+namespace m2td {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_level_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_level_); }
+
+  LogLevel previous_level_;
+};
+
+TEST_F(LoggingTest, MessagesBelowLevelAreDropped) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_INFO() << "invisible info";
+  M2TD_LOG_WARNING() << "visible warning";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("invisible info"), std::string::npos);
+  EXPECT_NE(output.find("visible warning"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageCarriesLevelAndLocation) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_ERROR() << "boom " << 42;
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[ERROR"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(output.find("boom 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugEnabledOnlyAtDebugLevel) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_DEBUG() << "hidden";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr().find("hidden"),
+            std::string::npos);
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_DEBUG() << "shown";
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("shown"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(MatrixToStringTest, FormatsRows) {
+  linalg::Matrix m(2, 2, {1.5, 2.0, 3.0, 4.25});
+  const std::string text = m.ToString();
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_NE(text.find("4.25"), std::string::npos);
+  // Two lines, one per row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace m2td

@@ -1,0 +1,200 @@
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.h"
+
+namespace m2td::mapreduce {
+namespace {
+
+// Classic word-count over (word) tokens.
+TEST(MapReduceTest, WordCount) {
+  std::vector<std::string> words = {"a", "b", "a", "c", "b", "a"};
+  JobSpec<std::string, std::string, int, std::pair<std::string, int>> spec;
+  spec.num_workers = 2;
+  spec.mapper = [](const std::string& word,
+                   Emitter<std::string, int>* emitter) {
+    emitter->Emit(word, 1);
+  };
+  spec.reducer = [](const std::string& word, std::vector<int>& counts,
+                    std::vector<std::pair<std::string, int>>* out) {
+    out->push_back({word, std::accumulate(counts.begin(), counts.end(), 0)});
+  };
+  auto result = RunJob(spec, words);
+  ASSERT_TRUE(result.ok());
+  std::map<std::string, int> counts(result->begin(), result->end());
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+}
+
+TEST(MapReduceTest, ResultIndependentOfWorkerCount) {
+  std::vector<int> inputs(1000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto run = [&inputs](int workers) {
+    JobSpec<int, int, int, std::pair<int, long>> spec;
+    spec.num_workers = workers;
+    spec.mapper = [](const int& value, Emitter<int, int>* emitter) {
+      emitter->Emit(value % 7, value);
+    };
+    spec.reducer = [](const int& key, std::vector<int>& values,
+                      std::vector<std::pair<int, long>>* out) {
+      long sum = 0;
+      for (int v : values) sum += v;
+      out->push_back({key, sum});
+    };
+    auto result = RunJob(spec, inputs);
+    EXPECT_TRUE(result.ok());
+    return std::map<int, long>(result->begin(), result->end());
+  };
+  const auto baseline = run(1);
+  for (int workers : {2, 3, 8}) {
+    EXPECT_EQ(run(workers), baseline) << "workers=" << workers;
+  }
+}
+
+TEST(MapReduceTest, StatsAreReported) {
+  std::vector<int> inputs = {1, 2, 3, 4, 5};
+  JobSpec<int, int, int, int> spec;
+  spec.num_workers = 2;
+  spec.mapper = [](const int& v, Emitter<int, int>* emitter) {
+    emitter->Emit(v % 2, v);
+    emitter->Emit(v % 3, v);
+  };
+  spec.reducer = [](const int& key, std::vector<int>& values,
+                    std::vector<int>* out) {
+    (void)key;
+    out->push_back(static_cast<int>(values.size()));
+  };
+  JobStats stats;
+  auto result = RunJob(spec, inputs, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.intermediate_pairs, 10u);
+  EXPECT_EQ(stats.output_records, result->size());
+  EXPECT_GE(stats.map_seconds, 0.0);
+  EXPECT_GE(stats.TotalSeconds(), stats.reduce_seconds);
+}
+
+TEST(MapReduceTest, EmptyInputYieldsEmptyOutput) {
+  JobSpec<int, int, int, int> spec;
+  spec.num_workers = 3;
+  spec.mapper = [](const int&, Emitter<int, int>*) {};
+  spec.reducer = [](const int&, std::vector<int>&, std::vector<int>*) {};
+  auto result = RunJob(spec, std::vector<int>{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MapReduceTest, ValidatesSpec) {
+  JobSpec<int, int, int, int> spec;
+  spec.num_workers = 2;
+  EXPECT_FALSE(RunJob(spec, std::vector<int>{1}).ok());  // no functions
+  spec.mapper = [](const int&, Emitter<int, int>*) {};
+  spec.reducer = [](const int&, std::vector<int>&, std::vector<int>*) {};
+  spec.num_workers = 0;
+  EXPECT_FALSE(RunJob(spec, std::vector<int>{1}).ok());
+}
+
+TEST(MapReduceTest, CustomPartitionerControlsPlacement) {
+  // With a constant partitioner every key lands in one reducer bucket;
+  // results must still be complete.
+  std::vector<int> inputs = {1, 2, 3, 4};
+  JobSpec<int, int, int, int> spec;
+  spec.num_workers = 4;
+  spec.partitioner = [](const int&) { return std::size_t{0}; };
+  spec.mapper = [](const int& v, Emitter<int, int>* emitter) {
+    emitter->Emit(v, v * v);
+  };
+  spec.reducer = [](const int& key, std::vector<int>& values,
+                    std::vector<int>* out) {
+    (void)key;
+    for (int v : values) out->push_back(v);
+  };
+  auto result = RunJob(spec, inputs);
+  ASSERT_TRUE(result.ok());
+  std::multiset<int> got(result->begin(), result->end());
+  EXPECT_EQ(got, (std::multiset<int>{1, 4, 9, 16}));
+}
+
+TEST(MapReduceTest, AllValuesForKeyReachOneReducerCall) {
+  // Each key's reducer must see every emitted value exactly once, even
+  // when values originate from different map workers.
+  std::vector<int> inputs(100);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobSpec<int, int, int, std::pair<int, int>> spec;
+  spec.num_workers = 5;
+  spec.mapper = [](const int& v, Emitter<int, int>* emitter) {
+    emitter->Emit(v / 10, v);
+  };
+  std::atomic<int> reducer_calls{0};
+  spec.reducer = [&reducer_calls](const int& key, std::vector<int>& values,
+                                  std::vector<std::pair<int, int>>* out) {
+    ++reducer_calls;
+    out->push_back({key, static_cast<int>(values.size())});
+  };
+  auto result = RunJob(spec, inputs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(reducer_calls.load(), 10);
+  for (const auto& [key, count] : *result) EXPECT_EQ(count, 10);
+}
+
+TEST(MapReduceTest, CombinerShrinksShuffleWithoutChangingResult) {
+  std::vector<int> inputs(500);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  auto make_spec = [](bool with_combiner) {
+    JobSpec<int, int, long, std::pair<int, long>> spec;
+    spec.num_workers = 3;
+    spec.mapper = [](const int& v, Emitter<int, long>* emitter) {
+      emitter->Emit(v % 5, v);
+    };
+    if (with_combiner) {
+      spec.combiner = [](const int&, std::vector<long>* values) {
+        long sum = 0;
+        for (long v : *values) sum += v;
+        values->assign(1, sum);
+      };
+    }
+    spec.reducer = [](const int& key, std::vector<long>& values,
+                      std::vector<std::pair<int, long>>* out) {
+      long sum = 0;
+      for (long v : values) sum += v;
+      out->push_back({key, sum});
+    };
+    return spec;
+  };
+
+  JobStats plain_stats, combined_stats;
+  auto plain = RunJob(make_spec(false), inputs, &plain_stats);
+  auto combined = RunJob(make_spec(true), inputs, &combined_stats);
+  ASSERT_TRUE(plain.ok() && combined.ok());
+  using ResultMap = std::map<int, long>;
+  EXPECT_EQ(ResultMap(plain->begin(), plain->end()),
+            ResultMap(combined->begin(), combined->end()));
+  // 500 intermediate pairs without a combiner; at most workers*keys with.
+  EXPECT_EQ(plain_stats.intermediate_pairs, 500u);
+  EXPECT_LE(combined_stats.intermediate_pairs, 3u * 5u);
+}
+
+TEST(MapReduceTest, MoreWorkersThanInputs) {
+  std::vector<int> inputs = {42};
+  JobSpec<int, int, int, int> spec;
+  spec.num_workers = 16;
+  spec.mapper = [](const int& v, Emitter<int, int>* emitter) {
+    emitter->Emit(0, v);
+  };
+  spec.reducer = [](const int&, std::vector<int>& values,
+                    std::vector<int>* out) {
+    out->push_back(values.front());
+  };
+  auto result = RunJob(spec, inputs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->front(), 42);
+}
+
+}  // namespace
+}  // namespace m2td::mapreduce

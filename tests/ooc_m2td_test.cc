@@ -1,0 +1,131 @@
+// Tests for the out-of-core M2TD pipeline: bounded-memory decomposition
+// streamed from chunk stores must equal the in-memory pipeline.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/m2td.h"
+#include "core/ooc_m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/simulation_model.h"
+#include "io/chunk_store.h"
+#include "tensor/tucker.h"
+
+namespace m2td::core {
+namespace {
+
+class OocM2tdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("m2td_ooc_m2td_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+
+    ensemble::ModelOptions options;
+    options.parameter_resolution = 5;
+    options.time_resolution = 5;
+    auto model = ensemble::MakeDoublePendulumModel(options);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(model).ValueOrDie();
+    auto partition = MakePartition(5, {0});
+    ASSERT_TRUE(partition.ok());
+    partition_ = std::move(partition).ValueOrDie();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Builds sub-ensembles and writes them into chunk stores with the given
+  /// chunk extent.
+  void BuildStores(const SubEnsembleOptions& sub_options,
+                   std::uint64_t chunk) {
+    auto subs = BuildSubEnsembles(model_.get(), partition_, sub_options);
+    ASSERT_TRUE(subs.ok());
+    subs_ = std::move(subs).ValueOrDie();
+    auto store1 = io::ChunkStore::Create(
+        (dir_ / "s1").string(), subs_.x1.shape(),
+        std::vector<std::uint64_t>(3, chunk));
+    auto store2 = io::ChunkStore::Create(
+        (dir_ / "s2").string(), subs_.x2.shape(),
+        std::vector<std::uint64_t>(3, chunk));
+    ASSERT_TRUE(store1.ok() && store2.ok());
+    ASSERT_TRUE(store1->Write(subs_.x1).ok());
+    ASSERT_TRUE(store2->Write(subs_.x2).ok());
+    store1_ = std::make_unique<io::ChunkStore>(std::move(*store1));
+    store2_ = std::make_unique<io::ChunkStore>(std::move(*store2));
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<ensemble::DynamicalSystemModel> model_;
+  PfPartition partition_;
+  SubEnsembles subs_;
+  std::unique_ptr<io::ChunkStore> store1_;
+  std::unique_ptr<io::ChunkStore> store2_;
+};
+
+TEST_F(OocM2tdTest, MatchesInMemoryPipelineForEveryMethod) {
+  BuildStores({}, /*chunk=*/2);
+  for (M2tdMethod method :
+       {M2tdMethod::kAvg, M2tdMethod::kConcat, M2tdMethod::kSelect,
+        M2tdMethod::kWeighted}) {
+    M2tdOptions options;
+    options.method = method;
+    options.ranks = std::vector<std::uint64_t>(5, 2);
+    auto in_memory = M2tdDecompose(subs_, partition_,
+                                   model_->space().Shape(), options);
+    auto out_of_core = M2tdDecomposeFromStores(
+        *store1_, *store2_, partition_, model_->space().Shape(), options);
+    ASSERT_TRUE(in_memory.ok()) << in_memory.status();
+    ASSERT_TRUE(out_of_core.ok()) << out_of_core.status();
+    EXPECT_EQ(out_of_core->join_nnz, in_memory->join_nnz);
+    auto r1 = tensor::Reconstruct(in_memory->tucker);
+    auto r2 = tensor::Reconstruct(out_of_core->tucker);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_NEAR(tensor::DenseTensor::FrobeniusDistance(*r1, *r2), 0.0, 1e-8)
+        << M2tdMethodName(method);
+  }
+}
+
+TEST_F(OocM2tdTest, SparseSubEnsemblesAndOddChunking) {
+  SubEnsembleOptions sub_options;
+  sub_options.cell_density = 0.4;
+  sub_options.seed = 3;
+  BuildStores(sub_options, /*chunk=*/3);
+  M2tdOptions options;
+  options.ranks = std::vector<std::uint64_t>(5, 3);
+  auto in_memory =
+      M2tdDecompose(subs_, partition_, model_->space().Shape(), options);
+  auto out_of_core = M2tdDecomposeFromStores(
+      *store1_, *store2_, partition_, model_->space().Shape(), options);
+  ASSERT_TRUE(in_memory.ok() && out_of_core.ok());
+  EXPECT_EQ(out_of_core->join_nnz, in_memory->join_nnz);
+  auto r1 = tensor::Reconstruct(in_memory->tucker);
+  auto r2 = tensor::Reconstruct(out_of_core->tucker);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NEAR(tensor::DenseTensor::FrobeniusDistance(*r1, *r2), 0.0, 1e-8);
+}
+
+TEST_F(OocM2tdTest, Validation) {
+  BuildStores({}, 2);
+  M2tdOptions options;
+  options.ranks = std::vector<std::uint64_t>(5, 2);
+  // Zero-join is unsupported out of core.
+  options.stitch.zero_join = true;
+  auto result = M2tdDecomposeFromStores(
+      *store1_, *store2_, partition_, model_->space().Shape(), options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  // Swapped stores have the wrong shapes for the partition sides when the
+  // sides differ... here both sides are 5x5x5, so emulate a bad shape by
+  // mismatching ranks arity instead.
+  options.stitch.zero_join = false;
+  options.ranks = {2, 2};
+  EXPECT_FALSE(M2tdDecomposeFromStores(*store1_, *store2_, partition_,
+                                       model_->space().Shape(), options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace m2td::core

@@ -1,0 +1,130 @@
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "io/chunk_store.h"
+#include "io/out_of_core.h"
+#include "tensor/matricize.h"
+#include "tensor/ttm.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+
+namespace m2td::io {
+namespace {
+
+class OutOfCoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("m2td_ooc_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes `x` into a fresh store with the given chunk extent.
+  ChunkStore MakeStore(const tensor::SparseTensor& x, std::uint64_t chunk) {
+    auto store = ChunkStore::Create(
+        dir_.string(), x.shape(),
+        std::vector<std::uint64_t>(x.num_modes(), chunk));
+    EXPECT_TRUE(store.ok()) << store.status();
+    EXPECT_TRUE(store->Write(x).ok());
+    return std::move(store).ValueOrDie();
+  }
+
+  std::filesystem::path dir_;
+};
+
+tensor::SparseTensor MakeTensor(const std::vector<std::uint64_t>& shape,
+                                std::uint64_t nnz, std::uint64_t seed) {
+  Rng rng(seed);
+  tensor::SparseTensor x(shape);
+  std::vector<std::uint32_t> idx(shape.size());
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    for (std::size_t m = 0; m < shape.size(); ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(shape[m]));
+    }
+    x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+TEST_F(OutOfCoreTest, GramMatchesInMemoryAcrossChunkSizes) {
+  tensor::SparseTensor x = MakeTensor({6, 8, 10}, 120, 3);
+  for (std::uint64_t chunk : {2ULL, 3ULL, 16ULL}) {
+    std::filesystem::remove_all(dir_);
+    ChunkStore store = MakeStore(x, chunk);
+    for (std::size_t mode = 0; mode < 3; ++mode) {
+      auto streamed = ModeGramFromStore(store, mode);
+      auto in_memory = tensor::ModeGram(x, mode);
+      ASSERT_TRUE(streamed.ok() && in_memory.ok());
+      EXPECT_LT(linalg::Matrix::MaxAbsDiff(*streamed, *in_memory), 1e-10)
+          << "chunk " << chunk << " mode " << mode;
+    }
+  }
+}
+
+TEST_F(OutOfCoreTest, GramModeOutOfRangeRejected) {
+  ChunkStore store = MakeStore(MakeTensor({4, 4}, 8, 1), 2);
+  EXPECT_FALSE(ModeGramFromStore(store, 2).ok());
+}
+
+TEST_F(OutOfCoreTest, HosvdMatchesInMemory) {
+  tensor::SparseTensor x = MakeTensor({6, 6, 6}, 100, 7);
+  ChunkStore store = MakeStore(x, 3);
+  const std::vector<std::uint64_t> ranks = {3, 3, 3};
+  auto streamed = HosvdFromStore(store, ranks);
+  auto in_memory = tensor::HosvdSparse(x, ranks);
+  ASSERT_TRUE(streamed.ok() && in_memory.ok());
+  auto r1 = tensor::Reconstruct(*streamed);
+  auto r2 = tensor::Reconstruct(*in_memory);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NEAR(tensor::DenseTensor::FrobeniusDistance(*r1, *r2), 0.0, 1e-9);
+}
+
+TEST_F(OutOfCoreTest, HosvdValidation) {
+  ChunkStore store = MakeStore(MakeTensor({4, 4}, 8, 1), 2);
+  EXPECT_FALSE(HosvdFromStore(store, {2}).ok());
+  EXPECT_FALSE(HosvdFromStore(store, {0, 2}).ok());
+}
+
+TEST_F(OutOfCoreTest, ModeProductMatchesInMemory) {
+  tensor::SparseTensor x = MakeTensor({6, 8, 4}, 70, 11);
+  ChunkStore store = MakeStore(x, 3);
+  Rng rng(5);
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    linalg::Matrix u(static_cast<std::size_t>(x.shape()[mode]), 2);
+    for (std::size_t i = 0; i < u.rows(); ++i) {
+      for (std::size_t j = 0; j < 2; ++j) u(i, j) = rng.Gaussian();
+    }
+    auto streamed = SparseModeProductFromStore(store, u, mode, true);
+    auto in_memory = tensor::SparseModeProduct(x, u, mode, true);
+    ASSERT_TRUE(streamed.ok() && in_memory.ok());
+    EXPECT_NEAR(
+        tensor::DenseTensor::FrobeniusDistance(*streamed, *in_memory), 0.0,
+        1e-9)
+        << "mode " << mode;
+  }
+  // Shape validation.
+  linalg::Matrix wrong(3, 2);
+  EXPECT_FALSE(SparseModeProductFromStore(store, wrong, 0, true).ok());
+  EXPECT_FALSE(SparseModeProductFromStore(store, wrong, 9, true).ok());
+}
+
+TEST_F(OutOfCoreTest, EmptyStoreYieldsZeroGramAndCore) {
+  tensor::SparseTensor empty({4, 4});
+  empty.SortAndCoalesce();
+  ChunkStore store = MakeStore(empty, 2);
+  auto gram = ModeGramFromStore(store, 0);
+  ASSERT_TRUE(gram.ok());
+  EXPECT_EQ(gram->FrobeniusNorm(), 0.0);
+  auto hosvd = HosvdFromStore(store, {2, 2});
+  ASSERT_TRUE(hosvd.ok());
+  EXPECT_EQ(hosvd->core.FrobeniusNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace m2td::io

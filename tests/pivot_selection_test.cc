@@ -1,0 +1,82 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pivot_selection.h"
+#include "ensemble/simulation_model.h"
+
+namespace m2td::core {
+namespace {
+
+std::unique_ptr<ensemble::DynamicalSystemModel> SmallModel() {
+  ensemble::ModelOptions options;
+  options.parameter_resolution = 6;
+  options.time_resolution = 6;
+  auto model = ensemble::MakeDoublePendulumModel(options);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+TEST(PivotSelectionTest, ScoresEveryModeOnceSortedDescending) {
+  auto model = SmallModel();
+  auto scores = RankPivotChoices(model.get());
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 5u);
+  std::set<std::size_t> modes;
+  for (const PivotScore& score : *scores) {
+    modes.insert(score.mode);
+    EXPECT_GE(score.alignment, 0.0);
+    EXPECT_LE(score.alignment, 1.0 + 1e-9);
+    EXPECT_GT(score.probe_cells, 0u);
+  }
+  EXPECT_EQ(modes.size(), 5u);
+  for (std::size_t i = 1; i < scores->size(); ++i) {
+    EXPECT_GE((*scores)[i - 1].alignment, (*scores)[i].alignment);
+  }
+}
+
+TEST(PivotSelectionTest, DeterministicForSeed) {
+  auto model1 = SmallModel();
+  auto model2 = SmallModel();
+  PivotSelectionOptions options;
+  options.seed = 99;
+  auto a = RankPivotChoices(model1.get(), options);
+  auto b = RankPivotChoices(model2.get(), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].mode, (*b)[i].mode);
+    EXPECT_DOUBLE_EQ((*a)[i].alignment, (*b)[i].alignment);
+  }
+}
+
+TEST(PivotSelectionTest, FullDensityProbeGivesHighAlignmentForTime) {
+  // With the full cross product and the time pivot, both sides' pivot
+  // factors describe the same time axis of the same reference comparison —
+  // the alignment should be substantial.
+  auto model = SmallModel();
+  PivotSelectionOptions options;
+  options.probe_density = 1.0;
+  auto scores = RankPivotChoices(model.get(), options);
+  ASSERT_TRUE(scores.ok());
+  for (const PivotScore& score : *scores) {
+    if (score.mode == 0) {
+      EXPECT_GT(score.alignment, 0.3) << "time-pivot alignment too low";
+    }
+  }
+}
+
+TEST(PivotSelectionTest, Validation) {
+  auto model = SmallModel();
+  PivotSelectionOptions bad;
+  bad.rank = 0;
+  EXPECT_FALSE(RankPivotChoices(model.get(), bad).ok());
+  bad = PivotSelectionOptions{};
+  bad.probe_density = 0.0;
+  EXPECT_FALSE(RankPivotChoices(model.get(), bad).ok());
+  EXPECT_FALSE(RankPivotChoices(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace m2td::core

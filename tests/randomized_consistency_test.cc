@@ -1,0 +1,172 @@
+// Randomized consistency ("fuzz-lite") tests: long random operation
+// sequences against simple reference models. Seeds are fixed so failures
+// reproduce; each case runs many iterations.
+
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/chunk_store.h"
+#include "io/tensor_io.h"
+#include "tensor/matricize.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/streaming.h"
+#include "util/random.h"
+
+namespace m2td {
+namespace {
+
+// Reference model: a plain map from multi-index to accumulated value.
+using Oracle = std::map<std::vector<std::uint32_t>, double>;
+
+TEST(RandomizedConsistencyTest, SparseTensorVsMapOracle) {
+  Rng rng(2024);
+  for (int episode = 0; episode < 10; ++episode) {
+    const std::vector<std::uint64_t> shape = {
+        2 + rng.UniformInt(6), 2 + rng.UniformInt(6), 2 + rng.UniformInt(6)};
+    tensor::SparseTensor x(shape);
+    Oracle oracle;
+    const int ops = 200;
+    for (int op = 0; op < ops; ++op) {
+      std::vector<std::uint32_t> idx(3);
+      for (std::size_t m = 0; m < 3; ++m) {
+        idx[m] = static_cast<std::uint32_t>(rng.UniformInt(shape[m]));
+      }
+      const double v = rng.Gaussian();
+      x.AppendEntry(idx, v);
+      oracle[idx] += v;
+    }
+    x.SortAndCoalesce();
+    ASSERT_EQ(x.NumNonZeros(), oracle.size());
+    for (const auto& [idx, value] : oracle) {
+      auto found = x.Find(idx);
+      ASSERT_TRUE(found.has_value());
+      EXPECT_NEAR(*found, value, 1e-12);
+    }
+    // Dense round trip preserves everything.
+    tensor::SparseTensor back =
+        tensor::SparseTensor::FromDense(x.ToDense(), 0.0);
+    EXPECT_LE(back.NumNonZeros(), x.NumNonZeros());  // exact zeros dropped
+  }
+}
+
+TEST(RandomizedConsistencyTest, StreamingGramUnderRandomInterleaving) {
+  Rng rng(7777);
+  for (int episode = 0; episode < 5; ++episode) {
+    const std::vector<std::uint64_t> shape = {3 + rng.UniformInt(4),
+                                              3 + rng.UniformInt(4)};
+    tensor::StreamingGram streaming(shape);
+    tensor::SparseTensor batch(shape);
+    // Deliberately includes many repeated coordinates.
+    for (int op = 0; op < 150; ++op) {
+      std::vector<std::uint32_t> idx = {
+          static_cast<std::uint32_t>(rng.UniformInt(shape[0])),
+          static_cast<std::uint32_t>(rng.UniformInt(shape[1]))};
+      const double v = rng.UniformDouble(-2.0, 2.0);
+      streaming.Add(idx, v);
+      batch.AppendEntry(idx, v);
+    }
+    batch.SortAndCoalesce();
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      auto expected = tensor::ModeGram(batch, mode);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_LT(
+          linalg::Matrix::MaxAbsDiff(streaming.Gram(mode), *expected), 1e-9)
+          << "episode " << episode << " mode " << mode;
+    }
+  }
+}
+
+TEST(RandomizedConsistencyTest, ChunkStoreRegionsAgreeWithFilter) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("m2td_fuzz_store_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  Rng rng(31337);
+  for (int episode = 0; episode < 5; ++episode) {
+    std::filesystem::remove_all(dir);
+    const std::vector<std::uint64_t> shape = {4 + rng.UniformInt(8),
+                                              4 + rng.UniformInt(8)};
+    tensor::SparseTensor x(shape);
+    std::vector<std::uint32_t> idx(2);
+    const int nnz = 60;
+    for (int e = 0; e < nnz; ++e) {
+      idx[0] = static_cast<std::uint32_t>(rng.UniformInt(shape[0]));
+      idx[1] = static_cast<std::uint32_t>(rng.UniformInt(shape[1]));
+      x.AppendEntry(idx, rng.Gaussian());
+    }
+    x.SortAndCoalesce();
+
+    const std::uint64_t chunk = 1 + rng.UniformInt(5);
+    auto store = io::ChunkStore::Create(dir.string(), shape, {chunk, chunk});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Write(x).ok());
+
+    for (int query = 0; query < 5; ++query) {
+      std::vector<std::uint64_t> lo(2), hi(2);
+      for (std::size_t m = 0; m < 2; ++m) {
+        lo[m] = rng.UniformInt(shape[m]);
+        hi[m] = lo[m] + 1 + rng.UniformInt(shape[m] - lo[m]);
+      }
+      auto region = store->ReadRegion(lo, hi);
+      ASSERT_TRUE(region.ok());
+      // Oracle: filter x directly.
+      std::uint64_t expected = 0;
+      for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+        if (x.Index(0, e) >= lo[0] && x.Index(0, e) < hi[0] &&
+            x.Index(1, e) >= lo[1] && x.Index(1, e) < hi[1]) {
+          ++expected;
+        }
+      }
+      EXPECT_EQ(region->NumNonZeros(), expected)
+          << "episode " << episode << " query " << query;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RandomizedConsistencyTest, TensorIoRoundTripsRandomTensors) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("m2td_fuzz_io_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  Rng rng(555);
+  for (int episode = 0; episode < 8; ++episode) {
+    const std::size_t modes = 2 + rng.UniformInt(3);
+    std::vector<std::uint64_t> shape(modes);
+    for (auto& d : shape) d = 2 + rng.UniformInt(6);
+    tensor::SparseTensor x(shape);
+    std::vector<std::uint32_t> idx(modes);
+    const std::uint64_t nnz = rng.UniformInt(40);
+    for (std::uint64_t e = 0; e < nnz; ++e) {
+      for (std::size_t m = 0; m < modes; ++m) {
+        idx[m] = static_cast<std::uint32_t>(rng.UniformInt(shape[m]));
+      }
+      x.AppendEntry(idx, rng.Gaussian() * std::pow(10.0, rng.UniformInt(6)));
+    }
+    x.SortAndCoalesce();
+
+    const std::string text_path = (dir / "t.txt").string();
+    const std::string bin_path = (dir / "t.bin").string();
+    ASSERT_TRUE(io::SaveSparseText(x, text_path).ok());
+    ASSERT_TRUE(io::SaveSparseBinary(x, bin_path).ok());
+    auto from_text = io::LoadSparseText(text_path);
+    auto from_bin = io::LoadSparseBinary(bin_path);
+    ASSERT_TRUE(from_text.ok() && from_bin.ok());
+    ASSERT_EQ(from_text->NumNonZeros(), x.NumNonZeros());
+    ASSERT_EQ(from_bin->NumNonZeros(), x.NumNonZeros());
+    for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
+      EXPECT_DOUBLE_EQ(from_text->Value(e), x.Value(e));
+      EXPECT_DOUBLE_EQ(from_bin->Value(e), x.Value(e));
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace m2td

@@ -1,0 +1,128 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/refine.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "tensor/tucker.h"
+
+namespace m2td::core {
+namespace {
+
+std::unique_ptr<ensemble::DynamicalSystemModel> SmallModel() {
+  ensemble::ModelOptions options;
+  options.parameter_resolution = 6;
+  options.time_resolution = 4;
+  options.dt = 0.02;
+  options.record_every = 4;
+  auto model = ensemble::MakeDoublePendulumModel(options);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+TEST(AdaptiveRefinementTest, BudgetAccountingAndNoDuplicates) {
+  auto model = SmallModel();
+  RefinementOptions options;
+  options.initial_budget = 10;
+  options.increment = 5;
+  options.rounds = 3;
+  options.rank = 2;
+  options.candidate_pool = 64;
+  auto result = AdaptiveRefinement(model.get(), options);
+  ASSERT_TRUE(result.ok());
+  // initial + (rounds - 1 full increments happen inside the loop before
+  // the final round's trace; the loop adds increments after each trace) —
+  // total = initial + rounds * increment.
+  EXPECT_EQ(result->combinations.size(), 10u + 3u * 5u);
+  std::set<std::vector<std::uint32_t>> unique(result->combinations.begin(),
+                                              result->combinations.end());
+  EXPECT_EQ(unique.size(), result->combinations.size());
+  // Each simulation filled a whole time fiber.
+  EXPECT_EQ(result->ensemble.NumNonZeros(),
+            result->combinations.size() * 4u);
+  EXPECT_EQ(result->rounds.size(), 3u);
+  EXPECT_EQ(result->rounds[0].total_simulations, 10u);
+  EXPECT_EQ(result->rounds[1].total_simulations, 15u);
+  EXPECT_EQ(result->rounds[2].total_simulations, 20u);
+}
+
+TEST(AdaptiveRefinementTest, ObservedFitIsSane) {
+  auto model = SmallModel();
+  RefinementOptions options;
+  options.initial_budget = 16;
+  options.increment = 8;
+  options.rounds = 2;
+  options.rank = 2;
+  auto result = AdaptiveRefinement(model.get(), options);
+  ASSERT_TRUE(result.ok());
+  for (const RefinementRound& round : result->rounds) {
+    EXPECT_LE(round.observed_fit, 1.0 + 1e-12);
+    EXPECT_GE(round.observed_fit, -1.0);
+  }
+}
+
+TEST(AdaptiveRefinementTest, ExploitZeroAndOneBothWork) {
+  auto model = SmallModel();
+  for (double w : {0.0, 1.0}) {
+    RefinementOptions options;
+    options.initial_budget = 8;
+    options.increment = 4;
+    options.rounds = 2;
+    options.rank = 2;
+    options.exploit_weight = w;
+    options.seed = 9;
+    auto result = AdaptiveRefinement(model.get(), options);
+    ASSERT_TRUE(result.ok()) << "w=" << w;
+    EXPECT_EQ(result->combinations.size(), 16u);
+  }
+}
+
+TEST(AdaptiveRefinementTest, StopsWhenSpaceExhausted) {
+  ensemble::ModelOptions model_options;
+  model_options.parameter_resolution = 2;  // 2^4 = 16 combinations total
+  model_options.time_resolution = 3;
+  auto model = ensemble::MakeDoublePendulumModel(model_options);
+  ASSERT_TRUE(model.ok());
+  RefinementOptions options;
+  options.initial_budget = 10;
+  options.increment = 10;
+  options.rounds = 5;
+  options.rank = 2;
+  auto result = AdaptiveRefinement(model->get(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->combinations.size(), 16u);
+  std::set<std::vector<std::uint32_t>> unique(result->combinations.begin(),
+                                              result->combinations.end());
+  EXPECT_EQ(unique.size(), result->combinations.size());
+}
+
+TEST(AdaptiveRefinementTest, Validation) {
+  auto model = SmallModel();
+  RefinementOptions bad;
+  bad.initial_budget = 0;
+  EXPECT_FALSE(AdaptiveRefinement(model.get(), bad).ok());
+  bad = RefinementOptions{};
+  bad.exploit_weight = 1.5;
+  EXPECT_FALSE(AdaptiveRefinement(model.get(), bad).ok());
+  EXPECT_FALSE(AdaptiveRefinement(nullptr, RefinementOptions{}).ok());
+}
+
+TEST(AdaptiveRefinementTest, DeterministicForSeed) {
+  auto model1 = SmallModel();
+  auto model2 = SmallModel();
+  RefinementOptions options;
+  options.initial_budget = 8;
+  options.increment = 4;
+  options.rounds = 2;
+  options.rank = 2;
+  options.seed = 77;
+  auto r1 = AdaptiveRefinement(model1.get(), options);
+  auto r2 = AdaptiveRefinement(model2.get(), options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->combinations, r2->combinations);
+}
+
+}  // namespace
+}  // namespace m2td::core

@@ -1,0 +1,153 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ensemble/simulation_model.h"
+#include "sim/ode.h"
+#include "sim/seir.h"
+
+namespace m2td::sim {
+namespace {
+
+Rk4Options EpidemicOptions() {
+  Rk4Options options;
+  options.dt = 0.25;
+  options.num_steps = 400;  // 100 days
+  options.record_every = 40;
+  return options;
+}
+
+TEST(SeirTest, CreateValidation) {
+  EXPECT_FALSE(SeirSystem::Create(0.0, 0.2, 0.1).ok());
+  EXPECT_FALSE(SeirSystem::Create(0.3, -0.2, 0.1).ok());
+  EXPECT_FALSE(SeirSystem::Create(0.3, 0.2, 0.0).ok());
+  EXPECT_TRUE(SeirSystem::Create(0.3, 0.2, 0.1).ok());
+  EXPECT_FALSE(SeirSystem::InitialState(0.0).ok());
+  EXPECT_FALSE(SeirSystem::InitialState(1.0).ok());
+  EXPECT_TRUE(SeirSystem::InitialState(0.01).ok());
+}
+
+TEST(SeirTest, R0) {
+  auto seir = SeirSystem::Create(0.4, 0.2, 0.1);
+  ASSERT_TRUE(seir.ok());
+  EXPECT_DOUBLE_EQ(seir->R0(), 4.0);
+}
+
+TEST(SeirTest, PopulationConserved) {
+  auto seir = SeirSystem::Create(0.4, 0.25, 0.1);
+  ASSERT_TRUE(seir.ok());
+  auto initial = SeirSystem::InitialState(0.01);
+  ASSERT_TRUE(initial.ok());
+
+  // Integrate with a full-state wrapper so all compartments are recorded.
+  class FullState : public OdeSystem {
+   public:
+    explicit FullState(const SeirSystem* s) : s_(s) {}
+    std::size_t StateSize() const override { return 4; }
+    void Derivative(double t, const std::vector<double>& x,
+                    std::vector<double>* d) const override {
+      s_->Derivative(t, x, d);
+    }
+   private:
+    const SeirSystem* s_;
+  };
+  FullState wrapper(&*seir);
+  auto trajectory = IntegrateRk4(wrapper, *initial, EpidemicOptions());
+  ASSERT_TRUE(trajectory.ok());
+  for (const auto& state : trajectory->observables) {
+    const double total = state[0] + state[1] + state[2] + state[3];
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double compartment : state) {
+      EXPECT_GE(compartment, -1e-12);
+      EXPECT_LE(compartment, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SeirTest, SupercriticalOutbreakGrowsThenRecedes) {
+  // R0 = 4: infections must rise above i0 and eventually fall again.
+  auto seir = SeirSystem::Create(0.4, 0.25, 0.1);
+  ASSERT_TRUE(seir.ok());
+  auto initial = SeirSystem::InitialState(0.005);
+  ASSERT_TRUE(initial.ok());
+  Rk4Options options;
+  options.dt = 0.25;
+  options.num_steps = 1200;  // 300 days
+  options.record_every = 40;
+  auto trajectory = IntegrateRk4(*seir, *initial, options);
+  ASSERT_TRUE(trajectory.ok());
+  // Observable is (E, I); track I.
+  double peak = 0.0;
+  std::size_t peak_at = 0;
+  for (std::size_t s = 0; s < trajectory->NumSamples(); ++s) {
+    if (trajectory->observables[s][1] > peak) {
+      peak = trajectory->observables[s][1];
+      peak_at = s;
+    }
+  }
+  EXPECT_GT(peak, 0.05);                   // meaningful outbreak
+  EXPECT_GT(peak_at, 0u);                  // not at the start
+  EXPECT_LT(peak_at, trajectory->NumSamples() - 1);  // recedes by the end
+  EXPECT_LT(trajectory->observables.back()[1], peak / 2.0);
+}
+
+TEST(SeirTest, SubcriticalEpidemicDiesOut) {
+  // R0 < 1: the infected fraction must decay monotonically (after the
+  // incubation transient).
+  auto seir = SeirSystem::Create(0.08, 0.25, 0.1);
+  ASSERT_TRUE(seir.ok());
+  auto initial = SeirSystem::InitialState(0.02);
+  ASSERT_TRUE(initial.ok());
+  auto trajectory = IntegrateRk4(*seir, *initial, EpidemicOptions());
+  ASSERT_TRUE(trajectory.ok());
+  EXPECT_LT(trajectory->observables.back()[1],
+            trajectory->observables.front()[1] / 2.0);
+}
+
+TEST(SeirTest, HigherBetaMeansBiggerPeak) {
+  double previous_peak = -1.0;
+  for (double beta : {0.2, 0.35, 0.5}) {
+    auto seir = SeirSystem::Create(beta, 0.25, 0.1);
+    ASSERT_TRUE(seir.ok());
+    auto initial = SeirSystem::InitialState(0.01);
+    ASSERT_TRUE(initial.ok());
+    // Record densely so the true peak is not missed between samples.
+    Rk4Options options;
+    options.dt = 0.25;
+    options.num_steps = 1600;
+    options.record_every = 8;
+    auto trajectory = IntegrateRk4(*seir, *initial, options);
+    ASSERT_TRUE(trajectory.ok());
+    double peak = 0.0;
+    for (const auto& obs : trajectory->observables) {
+      peak = std::max(peak, obs[1]);
+    }
+    EXPECT_GT(peak, previous_peak) << "beta " << beta;
+    previous_peak = peak;
+  }
+}
+
+TEST(SeirModelTest, EnsembleModelBuildsAndEvaluates) {
+  ensemble::ModelOptions options;
+  options.parameter_resolution = 4;
+  options.time_resolution = 4;
+  auto model = ensemble::MakeSeirModel(options);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ((*model)->space().num_modes(), 5u);
+  EXPECT_EQ((*model)->space().def(1).name, "beta");
+  // Reference cell distance is zero; off-reference positive.
+  std::vector<std::uint32_t> idx(5);
+  for (std::size_t m = 0; m < 5; ++m) {
+    idx[m] = (*model)->space().DefaultIndex(m);
+  }
+  EXPECT_NEAR((*model)->Cell(idx), 0.0, 1e-12);
+  idx[1] = 0;
+  idx[4] = 3;
+  const double v = (*model)->Cell(idx);
+  EXPECT_GT(v, 0.0);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace m2td::sim

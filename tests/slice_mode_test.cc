@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "tensor/sparse_tensor.h"
+#include "util/random.h"
+
+namespace m2td::tensor {
+namespace {
+
+TEST(SliceModeTest, ExtractsExactlyTheMatchingEntries) {
+  SparseTensor x({3, 4, 2});
+  x.AppendEntry({0, 1, 0}, 1.0);
+  x.AppendEntry({1, 1, 1}, 2.0);
+  x.AppendEntry({1, 3, 0}, 3.0);
+  x.AppendEntry({2, 1, 1}, 4.0);
+  x.SortAndCoalesce();
+
+  auto slice = x.SliceMode(0, 1);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->shape(), (std::vector<std::uint64_t>{4, 2}));
+  EXPECT_EQ(slice->NumNonZeros(), 2u);
+  EXPECT_TRUE(slice->IsSorted());
+  EXPECT_DOUBLE_EQ(*slice->Find({1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(*slice->Find({3, 0}), 3.0);
+}
+
+TEST(SliceModeTest, MiddleAndLastModes) {
+  SparseTensor x({2, 3, 2});
+  x.AppendEntry({0, 2, 1}, 5.0);
+  x.AppendEntry({1, 2, 0}, 6.0);
+  x.SortAndCoalesce();
+
+  auto mid = x.SliceMode(1, 2);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->NumNonZeros(), 2u);
+  EXPECT_DOUBLE_EQ(*mid->Find({0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(*mid->Find({1, 0}), 6.0);
+
+  auto last = x.SliceMode(2, 0);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->NumNonZeros(), 1u);
+  EXPECT_DOUBLE_EQ(*last->Find({1, 2}), 6.0);
+}
+
+TEST(SliceModeTest, EmptySliceAndValidation) {
+  SparseTensor x({3, 3});
+  x.AppendEntry({0, 0}, 1.0);
+  x.SortAndCoalesce();
+  auto empty = x.SliceMode(0, 2);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->NumNonZeros(), 0u);
+
+  EXPECT_FALSE(x.SliceMode(5, 0).ok());
+  EXPECT_EQ(x.SliceMode(0, 9).status().code(), StatusCode::kOutOfRange);
+  SparseTensor one_mode({4});
+  one_mode.SortAndCoalesce();
+  EXPECT_FALSE(one_mode.SliceMode(0, 0).ok());
+}
+
+TEST(SliceModeTest, SlicesPartitionTheTensor) {
+  Rng rng(3);
+  SparseTensor x({4, 5, 3});
+  std::vector<std::uint32_t> idx(3);
+  for (int e = 0; e < 50; ++e) {
+    idx[0] = static_cast<std::uint32_t>(rng.UniformInt(4));
+    idx[1] = static_cast<std::uint32_t>(rng.UniformInt(5));
+    idx[2] = static_cast<std::uint32_t>(rng.UniformInt(3));
+    x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto slice = x.SliceMode(1, i);
+    ASSERT_TRUE(slice.ok());
+    total += slice->NumNonZeros();
+  }
+  EXPECT_EQ(total, x.NumNonZeros());
+}
+
+}  // namespace
+}  // namespace m2td::tensor

@@ -1,0 +1,116 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/matricize.h"
+#include "tensor/streaming.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+
+namespace m2td::tensor {
+namespace {
+
+TEST(StreamingGramTest, MatchesBatchGramEntryByEntry) {
+  Rng rng(3);
+  const std::vector<std::uint64_t> shape = {5, 4, 6};
+  StreamingGram streaming(shape);
+  SparseTensor batch(shape);
+  std::vector<std::uint32_t> idx(3);
+  for (int e = 0; e < 100; ++e) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(shape[m]));
+    }
+    const double v = rng.Gaussian();
+    streaming.Add(idx, v);
+    batch.AppendEntry(idx, v);
+  }
+  batch.SortAndCoalesce();  // duplicates sum, matching streaming semantics
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    auto expected = ModeGram(batch, mode);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_LT(linalg::Matrix::MaxAbsDiff(streaming.Gram(mode), *expected),
+              1e-9)
+        << "mode " << mode;
+  }
+  EXPECT_EQ(streaming.NumUpdates(), 100u);
+}
+
+TEST(StreamingGramTest, RepeatedCoordinateAccumulates) {
+  StreamingGram streaming({3, 3});
+  streaming.Add({1, 1}, 2.0);
+  streaming.Add({1, 1}, 3.0);
+  // Tensor holds a single 5.0 entry: G(1,1) along both modes must be 25.
+  EXPECT_DOUBLE_EQ(streaming.Gram(0)(1, 1), 25.0);
+  EXPECT_DOUBLE_EQ(streaming.Gram(1)(1, 1), 25.0);
+}
+
+TEST(StreamingGramTest, CrossTermsWithinSharedColumn) {
+  // Two entries in the same mode-0 matricization column (same mode-1
+  // index) must produce the off-diagonal cross term.
+  StreamingGram streaming({3, 3});
+  streaming.Add({0, 2}, 2.0);
+  streaming.Add({1, 2}, 5.0);
+  EXPECT_DOUBLE_EQ(streaming.Gram(0)(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(streaming.Gram(0)(1, 0), 10.0);
+  // Along mode 1 they are in different columns: no cross term.
+  EXPECT_DOUBLE_EQ(streaming.Gram(1)(2, 2), 4.0 + 25.0);
+}
+
+TEST(IncrementalDecomposerTest, MatchesBatchHosvdAtEveryCut) {
+  Rng rng(7);
+  const std::vector<std::uint64_t> shape = {4, 4, 4};
+  IncrementalDecomposer incremental(shape);
+  SparseTensor batch(shape);
+  std::vector<std::uint32_t> idx(3);
+  const std::vector<std::uint64_t> ranks = {2, 2, 2};
+  for (int e = 1; e <= 60; ++e) {
+    for (std::size_t m = 0; m < 3; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(shape[m]));
+    }
+    const double v = rng.Gaussian();
+    incremental.Add(idx, v);
+    batch.AppendEntry(idx, v);
+    if (e % 20 != 0) continue;
+    // Cut: compare against batch HOSVD of the same entries.
+    SparseTensor coalesced = batch;
+    coalesced.SortAndCoalesce();
+    auto batch_tucker = HosvdSparse(coalesced, ranks);
+    auto incremental_tucker = incremental.Decompose(ranks);
+    ASSERT_TRUE(batch_tucker.ok() && incremental_tucker.ok());
+    auto r1 = Reconstruct(*batch_tucker);
+    auto r2 = Reconstruct(*incremental_tucker);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_NEAR(DenseTensor::FrobeniusDistance(*r1, *r2), 0.0, 1e-8)
+        << "after " << e << " insertions";
+  }
+}
+
+TEST(IncrementalDecomposerTest, SnapshotCoalesces) {
+  IncrementalDecomposer incremental({3, 3});
+  incremental.Add({0, 0}, 1.0);
+  incremental.Add({0, 0}, 2.0);
+  incremental.Add({1, 2}, 4.0);
+  SparseTensor snapshot = incremental.Snapshot();
+  EXPECT_EQ(snapshot.NumNonZeros(), 2u);
+  EXPECT_DOUBLE_EQ(*snapshot.Find({0, 0}), 3.0);
+}
+
+TEST(IncrementalDecomposerTest, Validation) {
+  IncrementalDecomposer incremental({3, 3});
+  incremental.Add({0, 0}, 1.0);
+  EXPECT_FALSE(incremental.CurrentFactor(5, 2).ok());
+  EXPECT_FALSE(incremental.Decompose({2}).ok());
+  EXPECT_FALSE(incremental.Decompose({0, 2}).ok());
+  auto factor = incremental.CurrentFactor(0, 10);  // clamps
+  ASSERT_TRUE(factor.ok());
+  EXPECT_EQ(factor->cols(), 3u);
+}
+
+TEST(StreamingGramTest, EmptyStreamHasZeroGrams) {
+  StreamingGram streaming({4, 4});
+  EXPECT_EQ(streaming.Gram(0).FrobeniusNorm(), 0.0);
+  EXPECT_EQ(streaming.NumUpdates(), 0u);
+}
+
+}  // namespace
+}  // namespace m2td::tensor

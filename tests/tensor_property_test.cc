@@ -1,0 +1,161 @@
+// Property sweeps for the tensor kernels: every invariant is checked over
+// a parameterized grid of shapes, densities, and ranks against the dense
+// oracles.
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/matricize.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/ttm.h"
+#include "tensor/tucker.h"
+#include "util/random.h"
+
+namespace m2td::tensor {
+namespace {
+
+SparseTensor RandomSparse(const std::vector<std::uint64_t>& shape,
+                          double density, Rng* rng) {
+  SparseTensor x(shape);
+  std::uint64_t logical = 1;
+  for (std::uint64_t d : shape) logical *= d;
+  const std::uint64_t nnz = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(density * static_cast<double>(logical)));
+  std::vector<std::uint32_t> idx(shape.size());
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    for (std::size_t m = 0; m < shape.size(); ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng->UniformInt(shape[m]));
+    }
+    x.AppendEntry(idx, rng->Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+// Sweep: (shape id, density).
+using KernelParam = std::tuple<int, double>;
+
+std::vector<std::uint64_t> ShapeOf(int shape_id) {
+  switch (shape_id) {
+    case 0:
+      return {4, 5};
+    case 1:
+      return {3, 4, 5};
+    case 2:
+      return {4, 4, 4, 4};
+    default:
+      return {2, 3, 2, 3, 2};
+  }
+}
+
+class TensorKernelProperty : public ::testing::TestWithParam<KernelParam> {
+ protected:
+  SparseTensor MakeInput() {
+    Rng rng(100 + std::get<0>(GetParam()) * 10 +
+            static_cast<int>(std::get<1>(GetParam()) * 100));
+    return RandomSparse(ShapeOf(std::get<0>(GetParam())),
+                        std::get<1>(GetParam()), &rng);
+  }
+};
+
+TEST_P(TensorKernelProperty, GramMatchesDenseOracleOnEveryMode) {
+  SparseTensor x = MakeInput();
+  const DenseTensor dense = x.ToDense();
+  for (std::size_t mode = 0; mode < x.num_modes(); ++mode) {
+    auto sparse_gram = ModeGram(x, mode);
+    auto dense_gram = ModeGramDense(dense, mode);
+    ASSERT_TRUE(sparse_gram.ok() && dense_gram.ok());
+    EXPECT_LT(linalg::Matrix::MaxAbsDiff(*sparse_gram, *dense_gram), 1e-9)
+        << "mode " << mode;
+  }
+}
+
+TEST_P(TensorKernelProperty, SparseTtmMatchesDenseOnEveryMode) {
+  SparseTensor x = MakeInput();
+  const DenseTensor dense = x.ToDense();
+  Rng rng(7);
+  for (std::size_t mode = 0; mode < x.num_modes(); ++mode) {
+    linalg::Matrix u(static_cast<std::size_t>(x.dim(mode)), 2);
+    for (std::size_t i = 0; i < u.rows(); ++i) {
+      for (std::size_t j = 0; j < 2; ++j) u(i, j) = rng.Gaussian();
+    }
+    auto sparse_y = SparseModeProduct(x, u, mode, true);
+    auto dense_y = ModeProduct(dense, u, mode, true);
+    ASSERT_TRUE(sparse_y.ok() && dense_y.ok());
+    EXPECT_NEAR(DenseTensor::FrobeniusDistance(*sparse_y, *dense_y), 0.0,
+                1e-9)
+        << "mode " << mode;
+  }
+}
+
+TEST_P(TensorKernelProperty, HosvdReconstructionBoundedByInputNorm) {
+  SparseTensor x = MakeInput();
+  std::vector<std::uint64_t> ranks(x.num_modes(), 2);
+  auto tucker = HosvdSparse(x, ranks);
+  ASSERT_TRUE(tucker.ok());
+  auto reconstructed = Reconstruct(*tucker);
+  ASSERT_TRUE(reconstructed.ok());
+  // Orthonormal projections cannot create energy.
+  EXPECT_LE(reconstructed->FrobeniusNorm(), x.FrobeniusNorm() + 1e-9);
+}
+
+TEST_P(TensorKernelProperty, CoreNormEqualsProjectionEnergy) {
+  // For orthonormal factors: ||G||^2 = ||X~||^2 (the projected energy).
+  SparseTensor x = MakeInput();
+  std::vector<std::uint64_t> ranks(x.num_modes(), 2);
+  auto tucker = HosvdSparse(x, ranks);
+  ASSERT_TRUE(tucker.ok());
+  auto reconstructed = Reconstruct(*tucker);
+  ASSERT_TRUE(reconstructed.ok());
+  EXPECT_NEAR(tucker->core.FrobeniusNorm(), reconstructed->FrobeniusNorm(),
+              1e-9 * std::max(1.0, tucker->core.FrobeniusNorm()));
+}
+
+TEST_P(TensorKernelProperty, ReconstructCellMatchesDenseReconstruction) {
+  SparseTensor x = MakeInput();
+  std::vector<std::uint64_t> ranks(x.num_modes(), 2);
+  auto tucker = HosvdSparse(x, ranks);
+  ASSERT_TRUE(tucker.ok());
+  auto dense = Reconstruct(*tucker);
+  ASSERT_TRUE(dense.ok());
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint32_t> idx(x.num_modes());
+    for (std::size_t m = 0; m < idx.size(); ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(x.dim(m)));
+    }
+    auto cell = ReconstructCell(*tucker, idx);
+    ASSERT_TRUE(cell.ok());
+    EXPECT_NEAR(*cell, dense->at(idx), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TensorKernelProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0.05, 0.3, 0.9)),
+    [](const auto& info) {
+      return "shape" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+TEST(ReconstructCellTest, Validation) {
+  SparseTensor x({3, 3});
+  x.AppendEntry({1, 1}, 2.0);
+  x.SortAndCoalesce();
+  auto tucker = HosvdSparse(x, {2, 2});
+  ASSERT_TRUE(tucker.ok());
+  EXPECT_FALSE(ReconstructCell(*tucker, {1}).ok());
+  EXPECT_EQ(ReconstructCell(*tucker, {5, 1}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(ReconstructCell(*tucker, {2, 2}).ok());
+}
+
+}  // namespace
+}  // namespace m2td::tensor

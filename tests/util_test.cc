@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace m2td {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad rank");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIOError,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailingOperation() { return Status::IOError("disk on fire"); }
+
+Status PropagatingOperation() {
+  M2TD_RETURN_IF_ERROR(FailingOperation());
+  ADD_FAILURE() << "should not reach past the failing call";
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = PropagatingOperation();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubledOrError(int x) {
+  M2TD_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 21);
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  Result<int> r = DoubledOrError(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST(ResultTest, AssignOrReturnErrorPath) {
+  Result<int> r = DoubledOrError(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  double min_seen = 1.0, max_seen = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_LT(min_seen, 0.05);
+  EXPECT_GT(max_seen, 0.95);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(123);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 10 * 0.9);
+    EXPECT_LT(c, draws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::uint64_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEdgeCases) {
+  Rng rng(5);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 3).empty());
+  // k > n clamps to n.
+  EXPECT_EQ(rng.SampleWithoutReplacement(4, 9).size(), 4u);
+}
+
+// ----------------------------------------------------------- string_util
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, ShapeToString) {
+  EXPECT_EQ(ShapeToString({}), "[]");
+  EXPECT_EQ(ShapeToString({3, 4, 5}), "[3, 4, 5]");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  // Long output forces the allocation path.
+  const std::string long_out = StrFormat("%0512d", 1);
+  EXPECT_EQ(long_out.size(), 512u);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("a"), "a");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+// ------------------------------------------------------------------ Timer
+
+TEST(TimerTest, MeasuresNonNegativeMonotonicTime) {
+  Timer timer;
+  const double t1 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  EXPECT_GT(sink, 0.0);  // also keeps the loop from being optimized out
+  const double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), t2 + 1.0);
+}
+
+}  // namespace
+}  // namespace m2td

@@ -1,0 +1,504 @@
+// m2td_cli — command-line front end to the M2TD library.
+//
+// Subcommands:
+//   experiment   run one sampling+decomposition scheme against the ground
+//                truth of a built-in dynamical system and print accuracy
+//   simulate     build a conventional ensemble and save it as a tensor file
+//   decompose    load a tensor file, decompose (hosvd | hooi | cp), report
+//                the fit of the decomposition against the stored tensor
+//   info         print a tensor file summary
+//   store        write a tensor file into a chunked store / read it back
+//
+// Examples:
+//   m2td_cli experiment --system=double_pendulum --resolution=10
+//       --scheme=select --rank=5
+//   m2td_cli simulate --system=lorenz --resolution=8 --scheme=random
+//       --budget=100 --output=/tmp/lorenz.txt
+//   m2td_cli decompose --input=/tmp/lorenz.txt --algorithm=hooi --rank=4
+//   m2td_cli store --input=/tmp/lorenz.txt --dir=/tmp/lorenz_store
+//       --chunk=4
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/experiment.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/sampling.h"
+#include "ensemble/simulation_model.h"
+#include "io/chunk_store.h"
+#include "io/tensor_io.h"
+#include "io/tucker_io.h"
+#include "tensor/cp.h"
+#include "tensor/hooi.h"
+#include "tensor/tucker.h"
+#include <cstdlib>
+
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace {
+
+using m2td::FlagParser;
+using m2td::Result;
+using m2td::Status;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+Result<std::unique_ptr<m2td::ensemble::DynamicalSystemModel>> BuildModel(
+    const std::string& system, std::int64_t resolution) {
+  if (resolution < 2 || resolution > 64) {
+    return Status::InvalidArgument("resolution must be in [2, 64]");
+  }
+  m2td::ensemble::ModelOptions options;
+  options.parameter_resolution = static_cast<std::uint32_t>(resolution);
+  options.time_resolution = static_cast<std::uint32_t>(resolution);
+  if (system == "double_pendulum") {
+    return m2td::ensemble::MakeDoublePendulumModel(options);
+  }
+  if (system == "triple_pendulum") {
+    return m2td::ensemble::MakeTriplePendulumModel(options);
+  }
+  if (system == "lorenz") return m2td::ensemble::MakeLorenzModel(options);
+  return Status::InvalidArgument(
+      "unknown system (double_pendulum | triple_pendulum | lorenz)");
+}
+
+int RunExperiment(int argc, const char* const* argv) {
+  std::string system = "double_pendulum";
+  std::string scheme = "select";
+  std::int64_t resolution = 10;
+  std::int64_t rank = 5;
+  std::int64_t pivot = 0;
+  std::int64_t seed = 42;
+  double pivot_density = 1.0;
+  double side_density = 1.0;
+  double cell_density = 1.0;
+  bool zero_join = false;
+
+  FlagParser parser("m2td_cli experiment: score one scheme vs ground truth");
+  parser.AddString("system", "double_pendulum | triple_pendulum | lorenz",
+                   &system);
+  parser.AddString(
+      "scheme",
+      "select | avg | concat | weighted | random | grid | slice", &scheme);
+  parser.AddInt64("resolution", "grid values per mode", &resolution);
+  parser.AddInt64("rank", "target decomposition rank (uniform)", &rank);
+  parser.AddInt64("pivot", "pivot mode index (0 = time)", &pivot);
+  parser.AddInt64("seed", "sampling seed", &seed);
+  parser.AddDouble("pivot_density", "paper's P, in (0,1]", &pivot_density);
+  parser.AddDouble("side_density", "paper's E, in (0,1]", &side_density);
+  parser.AddDouble("cell_density", "fraction of PxE cells simulated",
+                   &cell_density);
+  parser.AddBool("zero_join", "use zero-join stitching", &zero_join);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+
+  auto model = BuildModel(system, resolution);
+  if (!model.ok()) return Fail(model.status());
+  auto ground_truth = m2td::ensemble::BuildFullTensor(model->get());
+  if (!ground_truth.ok()) return Fail(ground_truth.status());
+
+  Result<m2td::core::SchemeOutcome> outcome =
+      Status::Internal("unreachable");
+  const bool is_m2td = scheme == "select" || scheme == "avg" ||
+                       scheme == "concat" || scheme == "weighted";
+  if (is_m2td) {
+    auto partition = m2td::core::MakePartition(
+        (*model)->space().num_modes(), {static_cast<std::size_t>(pivot)});
+    if (!partition.ok()) return Fail(partition.status());
+    m2td::core::M2tdMethod method = m2td::core::M2tdMethod::kSelect;
+    if (scheme == "avg") method = m2td::core::M2tdMethod::kAvg;
+    if (scheme == "concat") method = m2td::core::M2tdMethod::kConcat;
+    if (scheme == "weighted") method = m2td::core::M2tdMethod::kWeighted;
+    m2td::core::SubEnsembleOptions sub_options;
+    sub_options.pivot_density = pivot_density;
+    sub_options.side_density = side_density;
+    sub_options.cell_density = cell_density;
+    sub_options.seed = static_cast<std::uint64_t>(seed);
+    m2td::core::StitchOptions stitch;
+    stitch.zero_join = zero_join;
+    outcome = m2td::core::RunM2td(model->get(), *ground_truth, *partition,
+                                  method, static_cast<std::uint64_t>(rank),
+                                  sub_options, stitch);
+  } else {
+    m2td::ensemble::ConventionalScheme conventional;
+    if (scheme == "random") {
+      conventional = m2td::ensemble::ConventionalScheme::kRandom;
+    } else if (scheme == "grid") {
+      conventional = m2td::ensemble::ConventionalScheme::kGrid;
+    } else if (scheme == "slice") {
+      conventional = m2td::ensemble::ConventionalScheme::kSlice;
+    } else {
+      return Fail(Status::InvalidArgument("unknown scheme '" + scheme + "'"));
+    }
+    const std::uint64_t budget =
+        2ULL * resolution * resolution;  // M2TD-equivalent default
+    outcome = m2td::core::RunConventional(
+        model->get(), *ground_truth, conventional, budget,
+        static_cast<std::uint64_t>(rank), static_cast<std::uint64_t>(seed));
+  }
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  std::cout << "system:      " << system << " (res " << resolution << ")\n"
+            << "scheme:      " << (*outcome).scheme << "\n"
+            << "rank:        " << rank << "\n"
+            << "accuracy:    " << (*outcome).accuracy << "\n"
+            << "decompose:   " << (*outcome).decompose_seconds * 1e3
+            << " ms\n"
+            << "cells:       " << (*outcome).budget_cells << "\n"
+            << "tensor nnz:  " << (*outcome).nnz << "\n";
+  return 0;
+}
+
+int RunSimulate(int argc, const char* const* argv) {
+  std::string system = "double_pendulum";
+  std::string scheme = "random";
+  std::string output = "ensemble.txt";
+  std::string format = "text";
+  std::int64_t resolution = 10;
+  std::int64_t budget = 100;
+  std::int64_t seed = 42;
+
+  FlagParser parser("m2td_cli simulate: sample an ensemble to a tensor file");
+  parser.AddString("system", "double_pendulum | triple_pendulum | lorenz",
+                   &system);
+  parser.AddString("scheme", "random | grid | slice", &scheme);
+  parser.AddString("output", "output path", &output);
+  parser.AddString("format", "text | binary", &format);
+  parser.AddInt64("resolution", "grid values per mode", &resolution);
+  parser.AddInt64("budget", "simulation instances", &budget);
+  parser.AddInt64("seed", "sampling seed", &seed);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+
+  auto model = BuildModel(system, resolution);
+  if (!model.ok()) return Fail(model.status());
+  m2td::ensemble::ConventionalScheme conventional;
+  if (scheme == "random") {
+    conventional = m2td::ensemble::ConventionalScheme::kRandom;
+  } else if (scheme == "grid") {
+    conventional = m2td::ensemble::ConventionalScheme::kGrid;
+  } else if (scheme == "slice") {
+    conventional = m2td::ensemble::ConventionalScheme::kSlice;
+  } else {
+    return Fail(Status::InvalidArgument("unknown scheme '" + scheme + "'"));
+  }
+  m2td::Rng rng(static_cast<std::uint64_t>(seed));
+  auto ensemble = m2td::ensemble::BuildConventionalEnsemble(
+      model->get(), conventional, static_cast<std::uint64_t>(budget), &rng);
+  if (!ensemble.ok()) return Fail(ensemble.status());
+
+  const Status save = format == "binary"
+                          ? m2td::io::SaveSparseBinary(*ensemble, output)
+                          : m2td::io::SaveSparseText(*ensemble, output);
+  if (!save.ok()) return Fail(save);
+  std::cout << "wrote " << ensemble->NumNonZeros() << " entries (shape "
+            << m2td::ShapeToString(ensemble->shape()) << ", density "
+            << ensemble->Density() << ") to " << output << "\n";
+  return 0;
+}
+
+Result<m2td::tensor::SparseTensor> LoadTensorAuto(const std::string& path) {
+  auto binary = m2td::io::LoadSparseBinary(path);
+  if (binary.ok()) return binary;
+  return m2td::io::LoadSparseText(path);
+}
+
+int RunDecompose(int argc, const char* const* argv) {
+  std::string input;
+  std::string algorithm = "hosvd";
+  std::string save;
+  std::int64_t rank = 5;
+  std::int64_t iterations = 25;
+
+  FlagParser parser("m2td_cli decompose: decompose a stored tensor");
+  parser.AddString("input", "tensor file (text or binary)", &input);
+  parser.AddString("algorithm", "hosvd | hooi | cp", &algorithm);
+  parser.AddString("save", "write the Tucker decomposition here (hosvd/hooi)",
+                   &save);
+  parser.AddInt64("rank", "target rank (uniform)", &rank);
+  parser.AddInt64("iterations", "ALS iteration cap (hooi/cp)", &iterations);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (input.empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+
+  auto x = LoadTensorAuto(input);
+  if (!x.ok()) return Fail(x.status());
+  std::cout << "loaded " << x->NumNonZeros() << " entries, shape "
+            << m2td::ShapeToString(x->shape()) << "\n";
+
+  auto maybe_save = [&save](const m2td::tensor::TuckerDecomposition& tucker)
+      -> Status {
+    if (save.empty()) return Status::OK();
+    M2TD_RETURN_IF_ERROR(m2td::io::SaveTucker(tucker, save));
+    std::cout << "decomposition written to " << save << "\n";
+    return Status::OK();
+  };
+
+  const m2td::tensor::DenseTensor dense = x->ToDense();
+  const std::vector<std::uint64_t> ranks(x->num_modes(),
+                                         static_cast<std::uint64_t>(rank));
+  double fit = 0.0;
+  if (algorithm == "hosvd") {
+    auto tucker = m2td::tensor::HosvdSparse(*x, ranks);
+    if (!tucker.ok()) return Fail(tucker.status());
+    auto reconstructed = m2td::tensor::Reconstruct(*tucker);
+    if (!reconstructed.ok()) return Fail(reconstructed.status());
+    fit = m2td::tensor::ReconstructionAccuracy(*reconstructed, dense);
+    const Status saved = maybe_save(*tucker);
+    if (!saved.ok()) return Fail(saved);
+  } else if (algorithm == "hooi") {
+    m2td::tensor::HooiOptions options;
+    options.max_iterations = static_cast<int>(iterations);
+    m2td::tensor::HooiInfo info;
+    auto tucker = m2td::tensor::HooiSparse(*x, ranks, options, &info);
+    if (!tucker.ok()) return Fail(tucker.status());
+    std::cout << "hooi: " << info.iterations << " sweeps, converged="
+              << (info.converged ? "yes" : "no") << "\n";
+    auto reconstructed = m2td::tensor::Reconstruct(*tucker);
+    if (!reconstructed.ok()) return Fail(reconstructed.status());
+    fit = m2td::tensor::ReconstructionAccuracy(*reconstructed, dense);
+    const Status saved = maybe_save(*tucker);
+    if (!saved.ok()) return Fail(saved);
+  } else if (algorithm == "cp") {
+    m2td::tensor::CpOptions options;
+    options.max_iterations = static_cast<int>(iterations);
+    m2td::tensor::CpInfo info;
+    auto cp = m2td::tensor::CpAlsSparse(
+        *x, static_cast<std::uint64_t>(rank), options, &info);
+    if (!cp.ok()) return Fail(cp.status());
+    std::cout << "cp-als: " << info.iterations << " sweeps, converged="
+              << (info.converged ? "yes" : "no") << "\n";
+    auto reconstructed = m2td::tensor::CpReconstruct(*cp, x->shape());
+    if (!reconstructed.ok()) return Fail(reconstructed.status());
+    fit = m2td::tensor::ReconstructionAccuracy(*reconstructed, dense);
+  } else {
+    return Fail(Status::InvalidArgument("unknown algorithm"));
+  }
+  std::cout << "fit (1 - relative error vs stored tensor): " << fit << "\n";
+  return 0;
+}
+
+int RunInfo(int argc, const char* const* argv) {
+  std::string input;
+  FlagParser parser("m2td_cli info: summarize a tensor file");
+  parser.AddString("input", "tensor file (text or binary)", &input);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (input.empty() && !positional->empty()) input = positional->front();
+  if (input.empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+  auto x = LoadTensorAuto(input);
+  if (!x.ok()) return Fail(x.status());
+  std::cout << "shape:   " << m2td::ShapeToString(x->shape()) << "\n"
+            << "modes:   " << x->num_modes() << "\n"
+            << "nnz:     " << x->NumNonZeros() << "\n"
+            << "density: " << x->Density() << "\n"
+            << "norm:    " << x->FrobeniusNorm() << "\n";
+  return 0;
+}
+
+int RunStore(int argc, const char* const* argv) {
+  std::string input;
+  std::string dir;
+  std::int64_t chunk = 4;
+  FlagParser parser(
+      "m2td_cli store: write a tensor into a chunked store and verify");
+  parser.AddString("input", "tensor file", &input);
+  parser.AddString("dir", "store directory", &dir);
+  parser.AddInt64("chunk", "chunk extent per mode", &chunk);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (input.empty() || dir.empty()) {
+    return Fail(Status::InvalidArgument("--input and --dir are required"));
+  }
+  if (chunk <= 0) return Fail(Status::InvalidArgument("--chunk must be > 0"));
+
+  auto x = LoadTensorAuto(input);
+  if (!x.ok()) return Fail(x.status());
+  auto store = m2td::io::ChunkStore::Create(
+      dir, x->shape(),
+      std::vector<std::uint64_t>(x->num_modes(),
+                                 static_cast<std::uint64_t>(chunk)));
+  if (!store.ok()) return Fail(store.status());
+  const Status written = store->Write(*x);
+  if (!written.ok()) return Fail(written);
+
+  auto reread = store->ReadAll();
+  if (!reread.ok()) return Fail(reread.status());
+  std::cout << "stored " << store->TotalNonZeros() << " entries in "
+            << store->NumChunks() << " chunks under " << dir << "\n"
+            << "round-trip check: "
+            << (reread->NumNonZeros() == x->NumNonZeros() ? "OK" : "MISMATCH")
+            << "\n";
+  return 0;
+}
+
+int RunQuery(int argc, const char* const* argv) {
+  std::string input;
+  std::string cell;
+  FlagParser parser(
+      "m2td_cli query: evaluate reconstruction cells from a saved Tucker "
+      "decomposition (see 'decompose --save')");
+  parser.AddString("input", "decomposition file (.tucker)", &input);
+  parser.AddString("cell",
+                   "comma-separated cell indices, e.g. 1,2,0,3,4; "
+                   "repeatable via positional args",
+                   &cell);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (input.empty()) {
+    return Fail(Status::InvalidArgument("--input is required"));
+  }
+  auto tucker = m2td::io::LoadTucker(input);
+  if (!tucker.ok()) return Fail(tucker.status());
+  std::cout << "decomposition: " << tucker->factors.size()
+            << " modes, core " << m2td::ShapeToString(tucker->core.shape())
+            << ", reconstructs "
+            << m2td::ShapeToString(tucker->ReconstructedShape()) << "\n";
+
+  std::vector<std::string> cell_specs = *positional;
+  if (!cell.empty()) cell_specs.insert(cell_specs.begin(), cell);
+  if (cell_specs.empty()) {
+    return Fail(Status::InvalidArgument(
+        "give at least one cell, e.g. --cell=1,2,0,3,4"));
+  }
+  for (const std::string& spec : cell_specs) {
+    std::vector<std::uint32_t> idx;
+    for (const std::string& part : m2td::Split(spec, ',')) {
+      char* end = nullptr;
+      const long value = std::strtol(part.c_str(), &end, 10);
+      if (end == part.c_str() || *end != '\0' || value < 0) {
+        return Fail(Status::InvalidArgument("bad cell index '" + part +
+                                            "' in '" + spec + "'"));
+      }
+      idx.push_back(static_cast<std::uint32_t>(value));
+    }
+    auto value = m2td::tensor::ReconstructCell(*tucker, idx);
+    if (!value.ok()) return Fail(value.status());
+    std::cout << "X~(" << spec << ") = " << *value << "\n";
+  }
+  return 0;
+}
+
+int RunAnalyze(int argc, const char* const* argv) {
+  std::string system = "double_pendulum";
+  std::int64_t resolution = 10;
+  std::int64_t rank = 3;
+  std::int64_t pivot = 0;
+  std::int64_t top_k = 3;
+
+  FlagParser parser(
+      "m2td_cli analyze: run M2TD-SELECT and report latent patterns, core "
+      "interactions, and residual outliers");
+  parser.AddString("system", "double_pendulum | triple_pendulum | lorenz",
+                   &system);
+  parser.AddInt64("resolution", "grid values per mode", &resolution);
+  parser.AddInt64("rank", "target decomposition rank", &rank);
+  parser.AddInt64("pivot", "pivot mode index (0 = time)", &pivot);
+  parser.AddInt64("top_k", "entries per pattern / outliers reported",
+                  &top_k);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+  if (top_k <= 0) return Fail(Status::InvalidArgument("--top_k must be > 0"));
+
+  auto model = BuildModel(system, resolution);
+  if (!model.ok()) return Fail(model.status());
+  auto partition = m2td::core::MakePartition(
+      (*model)->space().num_modes(), {static_cast<std::size_t>(pivot)});
+  if (!partition.ok()) return Fail(partition.status());
+  auto subs = m2td::core::BuildSubEnsembles(model->get(), *partition, {});
+  if (!subs.ok()) return Fail(subs.status());
+  m2td::core::M2tdOptions options;
+  options.ranks = m2td::core::UniformRanks(**model,
+                                           static_cast<std::uint64_t>(rank));
+  auto result = m2td::core::M2tdDecompose(*subs, *partition,
+                                          (*model)->space().Shape(), options);
+  if (!result.ok()) return Fail(result.status());
+
+  auto patterns = m2td::core::ExtractModePatterns(
+      result->tucker, static_cast<std::size_t>(top_k));
+  if (!patterns.ok()) return Fail(patterns.status());
+  std::cout << "Latent patterns:\n"
+            << m2td::core::DescribePatterns(*patterns, (*model)->space());
+
+  auto interactions = m2td::core::TopCoreInteractions(
+      result->tucker, static_cast<std::size_t>(top_k));
+  if (!interactions.ok()) return Fail(interactions.status());
+  std::cout << "\nStrongest core interactions:\n";
+  for (const auto& interaction : *interactions) {
+    std::cout << "  (";
+    for (std::size_t m = 0; m < interaction.component_indices.size(); ++m) {
+      std::cout << (m ? "," : "") << interaction.component_indices[m];
+    }
+    std::cout << ") strength " << interaction.strength << "\n";
+  }
+
+  auto join = m2td::core::JeStitch(*subs, *partition,
+                                   (*model)->space().Shape(), {});
+  if (!join.ok()) return Fail(join.status());
+  auto outliers = m2td::core::ResidualOutliers(
+      result->tucker, *join, static_cast<std::size_t>(top_k));
+  if (!outliers.ok()) return Fail(outliers.status());
+  std::cout << "\nWorst-explained cells:\n";
+  const auto& space = (*model)->space();
+  for (const auto& outlier : *outliers) {
+    std::cout << "  ";
+    for (std::size_t m = 0; m < outlier.indices.size(); ++m) {
+      std::cout << (m ? " " : "") << space.def(m).name << "="
+                << space.Value(m, outlier.indices[m]);
+    }
+    std::cout << "  residual " << outlier.residual << "\n";
+  }
+  return 0;
+}
+
+void PrintTopLevelUsage() {
+  std::cout <<
+      "m2td_cli <command> [flags]\n"
+      "commands:\n"
+      "  experiment  score a sampling+decomposition scheme vs ground truth\n"
+      "  simulate    sample an ensemble into a tensor file\n"
+      "  decompose   decompose a stored tensor (hosvd | hooi | cp)\n"
+      "  analyze     M2TD patterns / interactions / outliers report\n"
+      "  query       evaluate cells of a saved Tucker decomposition\n"
+      "  info        summarize a tensor file\n"
+      "  store       chunked-store round trip\n"
+      "run '<command> --help' for per-command flags\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintTopLevelUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const int sub_argc = argc - 2;
+  const char* const* sub_argv = argv + 2;
+  if (command == "experiment") return RunExperiment(sub_argc, sub_argv);
+  if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
+  if (command == "decompose") return RunDecompose(sub_argc, sub_argv);
+  if (command == "analyze") return RunAnalyze(sub_argc, sub_argv);
+  if (command == "query") return RunQuery(sub_argc, sub_argv);
+  if (command == "info") return RunInfo(sub_argc, sub_argv);
+  if (command == "store") return RunStore(sub_argc, sub_argv);
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintTopLevelUsage();
+    return 0;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  PrintTopLevelUsage();
+  return 1;
+}
