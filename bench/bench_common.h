@@ -2,15 +2,18 @@
 #define M2TD_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/pf_partition.h"
 #include "ensemble/simulation_model.h"
+#include "obs/trace.h"
 #include "tensor/dense_tensor.h"
 #include "util/logging.h"
 #include "util/result.h"
@@ -73,6 +76,53 @@ inline void PrintBanner(const std::string& table, const std::string& what) {
             << " printed alongside -- compare shapes, not absolutes)\n"
             << "==================================================\n";
 }
+
+/// \brief Machine-readable bench output: BENCH_<name>.json in the working
+/// directory, with caller-reported scalar results plus a "phases" section
+/// aggregated from the tracer's span totals.
+///
+/// Turn on tracing (obs::SetTracingEnabled(true)) at the top of the bench
+/// main so the pipeline's spans are captured; the phases section then
+/// reports total seconds and invocation count per span name, in first-seen
+/// order.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json; logs and returns on I/O failure (benches
+  /// should not abort over reporting).
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      M2TD_LOG_WARNING() << "cannot write " << path;
+      return;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"results\": {";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      out << (i ? "," : "") << "\n    \"" << results_[i].first
+          << "\": " << results_[i].second;
+    }
+    out << (results_.empty() ? "" : "\n  ") << "},\n  \"phases\": {";
+    const std::vector<obs::SpanTotal> totals =
+        obs::Tracer::Get().AggregateTotals();
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      out << (i ? "," : "") << "\n    \"" << totals[i].name
+          << "\": {\"total_seconds\": " << totals[i].total_seconds
+          << ", \"count\": " << totals[i].count << "}";
+    }
+    out << (totals.empty() ? "" : "\n  ") << "}\n}\n";
+    std::cout << "\nwrote " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> results_;
+};
 
 }  // namespace m2td::bench
 

@@ -27,6 +27,8 @@ constexpr const char* kSystem = "double_pendulum";
 }  // namespace
 
 int main() {
+  m2td::obs::SetTracingEnabled(true);
+  m2td::bench::BenchJson json("table2_overview");
   m2td::bench::PrintBanner(
       "Table II", "accuracy & decomposition time, double pendulum");
 
@@ -64,6 +66,9 @@ int main() {
         accuracy_row.push_back(TablePrinter::Cell(outcome->accuracy, 3));
         time_row.push_back(
             TablePrinter::Cell(outcome->decompose_seconds * 1e3, 1));
+        json.Add("accuracy_res" + std::to_string(res) + "_rank" +
+                     std::to_string(rank) + "_" + outcome->scheme,
+                 outcome->accuracy);
       }
 
       const std::uint64_t budget = m2td::bench::EquivalentSimulationBudget(
@@ -99,5 +104,6 @@ int main() {
 
   (void)accuracy.WriteCsv("table2_accuracy.csv");
   (void)time.WriteCsv("table2_time.csv");
+  json.Write();
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "tensor/tucker.h"
 
 int main() {
+  m2td::obs::SetTracingEnabled(true);
+  m2td::bench::BenchJson json("table3_distributed");
   m2td::bench::PrintBanner("Table III",
                            "D-M2TD time split across phases vs #workers");
 
@@ -62,6 +64,9 @@ int main() {
                   m2td::io::TablePrinter::Cell(
                       result->TotalSeconds() * 1e3, 1),
                   m2td::io::TablePrinter::Cell(accuracy, 3)});
+    json.Add("total_seconds_workers" + std::to_string(workers),
+             result->TotalSeconds());
+    json.Add("accuracy_workers" + std::to_string(workers), accuracy);
   }
 
   table.Print(std::cout);
@@ -74,5 +79,6 @@ int main() {
       "accuracy identical across worker counts (determinism).\n";
 
   (void)table.WriteCsv("table3_distributed.csv");
+  json.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "tensor/matricize.h"
 #include "util/logging.h"
 
@@ -111,6 +112,9 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
       ModeDims(full_shape, partition.side2_modes);
 
   DM2tdResult result;
+  obs::ObsSpan total_span("dm2td_decompose");
+  total_span.Annotate("num_workers",
+                      static_cast<std::int64_t>(options.num_workers));
 
   std::vector<TensorCell> all_cells = CollectCells(subs.x1, 1);
   {
@@ -121,6 +125,7 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
   }
 
   // ---------- Phase 1: parallel sub-tensor decomposition. ----------
+  obs::ObsSpan sub_span("sub_decompose");
   const std::vector<std::uint64_t> shape1 = subs.x1.shape();
   const std::vector<std::uint64_t> shape2 = subs.x2.shape();
   mapreduce::JobSpec<TensorCell, int, TensorCell, GramPiece> phase1;
@@ -201,7 +206,10 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
     }
   }
 
+  sub_span.End();
+
   // ---------- Phase 2: parallel JE-stitching. ----------
+  obs::ObsSpan stitch_span("stitch");
   // Zero-join candidate sets are global; gather them driver-side.
   std::vector<std::uint64_t> cand1, cand2;
   if (options.stitch.zero_join) {
@@ -265,10 +273,15 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
   M2TD_ASSIGN_OR_RETURN(std::vector<JoinCell> join_cells,
                         mapreduce::RunJob(phase2, all_cells, &result.phase2));
   result.join_nnz = join_cells.size();
+  stitch_span.Annotate("join_nnz", result.join_nnz);
+  stitch_span.End();
 
   // ---------- Phase 3: one TTM job per mode. ----------
+  obs::ObsSpan core_span("core_recovery");
   std::vector<std::uint64_t> current_shape = full_shape;
   for (std::size_t n = 0; n < num_modes; ++n) {
+    obs::ObsSpan ttm_span("ttm_job");
+    ttm_span.Annotate("mode", static_cast<std::uint64_t>(n));
     const linalg::Matrix& factor = factors[n];
     const std::size_t rank = factor.cols();
 

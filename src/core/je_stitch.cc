@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace m2td::core {
@@ -77,6 +79,15 @@ Result<tensor::SparseTensor> JeStitch(
     return Status::InvalidArgument("JeStitch requires coalesced sub-tensors");
   }
 
+  obs::ObsSpan span("je_stitch");
+  span.Annotate("x1_nnz", subs.x1.NumNonZeros());
+  span.Annotate("x2_nnz", subs.x2.NumNonZeros());
+  span.Annotate("zero_join", options.zero_join ? "true" : "false");
+  static obs::Counter& stitched_cells =
+      obs::GetCounter("core.stitched_join_cells");
+  static obs::Histogram& join_nnz_hist =
+      obs::GetHistogram("core.join_nnz_per_stitch");
+
   const std::vector<std::uint64_t> pivot_dims =
       ModeDims(full_shape, partition.pivot_modes);
   const std::vector<std::uint64_t> side1_dims =
@@ -105,6 +116,9 @@ Result<tensor::SparseTensor> JeStitch(
       }
     }
     join.SortAndCoalesce(tensor::CoalescePolicy::kMean);
+    span.Annotate("join_nnz", join.NumNonZeros());
+    stitched_cells.Add(join.NumNonZeros());
+    join_nnz_hist.Observe(join.NumNonZeros());
     return join;
   }
 
@@ -150,6 +164,9 @@ Result<tensor::SparseTensor> JeStitch(
     }
   }
   join.SortAndCoalesce(tensor::CoalescePolicy::kMean);
+  span.Annotate("join_nnz", join.NumNonZeros());
+  stitched_cells.Add(join.NumNonZeros());
+  join_nnz_hist.Observe(join.NumNonZeros());
   return join;
 }
 

@@ -3,10 +3,10 @@
 #include <algorithm>
 
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace m2td::core {
 
@@ -89,14 +89,21 @@ Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
   const std::size_t k = partition.pivot_modes.size();
 
   M2tdResult result;
-  Timer timer;
+  obs::ObsSpan total_span("m2td_decompose", obs::ObsSpan::kAlwaysTime);
+  total_span.Annotate("method", M2tdMethodName(options.method));
+  total_span.Annotate("x1_nnz", subs.x1.NumNonZeros());
+  total_span.Annotate("x2_nnz", subs.x2.NumNonZeros());
 
-  // --- Sub-tensor decompositions + pivot-factor combination. ---
+  // --- Sub-tensor decompositions + pivot-factor combination. The phase
+  // timings in M2tdTimings are the spans' own elapsed times, so the trace
+  // and the Table III split always agree. ---
+  obs::ObsSpan sub_span("sub_decompose", obs::ObsSpan::kAlwaysTime);
   std::vector<linalg::Matrix> factors(num_modes);
 
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t mode = partition.pivot_modes[i];
     const std::uint64_t rank = options.ranks[mode];
+    M2TD_TRACE_SCOPE("combine_pivot_factor");
     linalg::Matrix combined;
     if (options.method == M2tdMethod::kConcat) {
       // Gram of the concatenated matricization [X1_(n) | X2_(n)].
@@ -132,21 +139,23 @@ Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
     M2TD_ASSIGN_OR_RETURN(factors[mode],
                           SubFactor(subs.x2, k + i, options.ranks[mode]));
   }
-  result.timings.sub_decompose_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  result.timings.sub_decompose_seconds = sub_span.End();
 
   // --- JE-stitching. ---
+  obs::ObsSpan stitch_span("stitch", obs::ObsSpan::kAlwaysTime);
   M2TD_ASSIGN_OR_RETURN(
       tensor::SparseTensor join,
       JeStitch(subs, partition, full_shape, options.stitch));
   result.join_nnz = join.NumNonZeros();
-  result.timings.stitch_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  stitch_span.Annotate("join_nnz", result.join_nnz);
+  result.timings.stitch_seconds = stitch_span.End();
 
   // --- Core recovery: G = J x_1 U^(1)T ... x_N U^(N)T. ---
+  obs::ObsSpan core_span("core_recovery", obs::ObsSpan::kAlwaysTime);
   M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor core,
                         tensor::CoreFromSparse(join, factors));
-  result.timings.core_seconds = timer.ElapsedSeconds();
+  core_span.Annotate("core_elements", core.NumElements());
+  result.timings.core_seconds = core_span.End();
 
   result.tucker.core = std::move(core);
   result.tucker.factors = std::move(factors);

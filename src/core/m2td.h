@@ -42,7 +42,11 @@ struct M2tdOptions {
 };
 
 /// Where the time went; mirrors the phase split reported in Table III
-/// (sub-tensor decomposition / stitching / core recovery).
+/// (sub-tensor decomposition / stitching / core recovery). Each field is
+/// the elapsed time of the identically named tracing span
+/// ("sub_decompose" / "stitch" / "core_recovery", see src/obs/), so a
+/// trace captured with obs::SetTracingEnabled(true) always agrees with
+/// these numbers.
 struct M2tdTimings {
   double sub_decompose_seconds = 0.0;
   double stitch_seconds = 0.0;

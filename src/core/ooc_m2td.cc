@@ -5,6 +5,7 @@
 #include "core/je_stitch.h"
 #include "io/out_of_core.h"
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "tensor/ttm.h"
 #include "util/timer.h"
 
@@ -61,7 +62,8 @@ Result<M2tdResult> M2tdDecomposeFromStores(
   }
 
   M2tdResult result;
-  Timer timer;
+  obs::ObsSpan total_span("ooc_m2td_decompose", obs::ObsSpan::kAlwaysTime);
+  obs::ObsSpan sub_span("sub_decompose", obs::ObsSpan::kAlwaysTime);
 
   // --- Factor matrices from streamed Grams. ---
   std::vector<linalg::Matrix> factors(num_modes);
@@ -113,8 +115,7 @@ Result<M2tdResult> M2tdDecomposeFromStores(
     M2TD_ASSIGN_OR_RETURN(factors[mode],
                           factor_from_store(store2, k + i, mode));
   }
-  result.timings.sub_decompose_seconds = timer.ElapsedSeconds();
-  timer.Restart();
+  result.timings.sub_decompose_seconds = sub_span.End();
 
   // --- Core accumulated pivot-slab by pivot-slab. ---
   std::vector<std::uint64_t> core_shape(num_modes);
@@ -130,8 +131,12 @@ Result<M2tdResult> M2tdDecomposeFromStores(
   std::uint64_t pivot_total = 1;
   for (std::uint64_t d : pivot_dims) pivot_total *= d;
 
-  double stitch_seconds = 0.0;
-  double core_seconds = 0.0;
+  // The stitch and core phases interleave slab by slab; accumulate each
+  // phase's share across the loop with stopped timers.
+  Timer stitch_timer;
+  stitch_timer.Stop();
+  Timer core_timer;
+  core_timer.Stop();
   std::vector<std::uint32_t> pivot_index(k);
   for (std::uint64_t linear = 0; linear < pivot_total; ++linear) {
     std::uint64_t rest = linear;
@@ -139,12 +144,17 @@ Result<M2tdResult> M2tdDecomposeFromStores(
       pivot_index[i] = static_cast<std::uint32_t>(rest % pivot_dims[i]);
       rest /= pivot_dims[i];
     }
-    Timer slab_timer;
+    obs::ObsSpan slab_span("pivot_slab");
+    slab_span.Annotate("pivot_linear", linear);
+    stitch_timer.Resume();
     M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab1,
                           ReadPivotSlab(store1, pivot_index, k));
     M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab2,
                           ReadPivotSlab(store2, pivot_index, k));
-    if (slab1.NumNonZeros() == 0 || slab2.NumNonZeros() == 0) continue;
+    if (slab1.NumNonZeros() == 0 || slab2.NumNonZeros() == 0) {
+      stitch_timer.Stop();
+      continue;
+    }
 
     SubEnsembles slab_subs;
     slab_subs.x1 = std::move(slab1);
@@ -153,9 +163,10 @@ Result<M2tdResult> M2tdDecomposeFromStores(
         tensor::SparseTensor join_slab,
         JeStitch(slab_subs, partition, full_shape, options.stitch));
     result.join_nnz += join_slab.NumNonZeros();
-    stitch_seconds += slab_timer.ElapsedSeconds();
-    slab_timer.Restart();
+    slab_span.Annotate("join_nnz", join_slab.NumNonZeros());
+    stitch_timer.Stop();
 
+    core_timer.Resume();
     if (join_slab.NumNonZeros() > 0) {
       M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
                             tensor::CoreFromSparse(join_slab, factors));
@@ -163,10 +174,10 @@ Result<M2tdResult> M2tdDecomposeFromStores(
         core.flat(i) += partial.flat(i);
       }
     }
-    core_seconds += slab_timer.ElapsedSeconds();
+    core_timer.Stop();
   }
-  result.timings.stitch_seconds = stitch_seconds;
-  result.timings.core_seconds = core_seconds;
+  result.timings.stitch_seconds = stitch_timer.ElapsedSeconds();
+  result.timings.core_seconds = core_timer.ElapsedSeconds();
 
   result.tucker.core = std::move(core);
   result.tucker.factors = std::move(factors);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace m2td::core {
@@ -197,6 +199,7 @@ Result<SubEnsembles> BuildSubEnsembles(ensemble::SimulationModel* model,
     return Status::InvalidArgument("densities must be in (0, 1]");
   }
 
+  obs::ObsSpan span("build_sub_ensembles");
   Rng rng(options.seed);
   SubEnsembles out;
   out.pivot_configs =
@@ -215,6 +218,10 @@ Result<SubEnsembles> BuildSubEnsembles(ensemble::SimulationModel* model,
   out.x2 = BuildSide(model, partition, 2, out.pivot_configs,
                      out.side2_configs, options.cell_density, &rng,
                      &out.cells_evaluated);
+  span.Annotate("cells_evaluated", out.cells_evaluated);
+  span.Annotate("x1_nnz", out.x1.NumNonZeros());
+  span.Annotate("x2_nnz", out.x2.NumNonZeros());
+  obs::GetCounter("core.cells_evaluated").Add(out.cells_evaluated);
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "ensemble/sampling.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/tucker.h"
 
 namespace m2td::core {
@@ -118,8 +120,15 @@ Result<RefinementResult> AdaptiveRefinement(
   }
   result.ensemble.SortAndCoalesce();
 
+  obs::GetCounter("refine.simulations").Add(initial);
+
   const std::vector<std::uint64_t> ranks(space.num_modes(), options.rank);
   for (int round = 0; round < options.rounds; ++round) {
+    obs::ObsSpan round_span("refine_round");
+    round_span.Annotate("round", static_cast<std::int64_t>(round));
+    round_span.Annotate("total_simulations",
+                        static_cast<std::uint64_t>(
+                            result.combinations.size()));
     // Score model from what has been observed so far.
     M2TD_ASSIGN_OR_RETURN(tensor::TuckerDecomposition tucker,
                           tensor::HosvdSparse(result.ensemble, ranks));
@@ -184,6 +193,7 @@ Result<RefinementResult> AdaptiveRefinement(
       RunSimulation(model, combo, &result.ensemble);
       result.combinations.push_back(std::move(combo));
     }
+    obs::GetCounter("refine.simulations").Add(take);
     result.ensemble.SortAndCoalesce();
   }
   return result;

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "io/tensor_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace m2td::io {
 
@@ -12,6 +14,17 @@ namespace {
 
 constexpr char kManifestName[] = "manifest.m2td";
 constexpr char kManifestMagic[] = "m2td-chunk-store";
+
+std::uint64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+void CountChunkRead(const std::string& path) {
+  obs::GetCounter("io.chunks_read").Add(1);
+  obs::GetCounter("io.bytes_read").Add(FileSizeOrZero(path));
+}
 
 }  // namespace
 
@@ -146,6 +159,8 @@ Status ChunkStore::Write(const tensor::SparseTensor& x) {
   if (x.shape() != shape_) {
     return Status::InvalidArgument("tensor shape does not match store");
   }
+  obs::ObsSpan span("chunk_store_write");
+  span.Annotate("nnz", x.NumNonZeros());
   // Drop previous blobs.
   for (const auto& [id, nnz] : chunks_) {
     std::error_code ec;
@@ -173,9 +188,13 @@ Status ChunkStore::Write(const tensor::SparseTensor& x) {
 
   for (auto& [id, chunk] : buckets) {
     chunk.SortAndCoalesce();
-    M2TD_RETURN_IF_ERROR(SaveSparseBinary(chunk, ChunkPath(id)));
+    const std::string path = ChunkPath(id);
+    M2TD_RETURN_IF_ERROR(SaveSparseBinary(chunk, path));
     chunks_[id] = chunk.NumNonZeros();
+    obs::GetCounter("io.chunks_written").Add(1);
+    obs::GetCounter("io.bytes_written").Add(FileSizeOrZero(path));
   }
+  span.Annotate("chunks", static_cast<std::uint64_t>(buckets.size()));
   return WriteManifest();
 }
 
@@ -196,15 +215,21 @@ Result<tensor::SparseTensor> ChunkStore::ReadChunk(
     empty.SortAndCoalesce();
     return empty;
   }
-  return LoadSparseBinary(ChunkPath(id));
+  const std::string path = ChunkPath(id);
+  CountChunkRead(path);
+  return LoadSparseBinary(path);
 }
 
 Result<tensor::SparseTensor> ChunkStore::ReadAll() const {
+  obs::ObsSpan span("chunk_store_read_all");
+  span.Annotate("chunks", static_cast<std::uint64_t>(chunks_.size()));
   tensor::SparseTensor out(shape_);
   std::vector<std::uint32_t> idx(shape_.size());
   for (const auto& [id, nnz] : chunks_) {
+    const std::string path = ChunkPath(id);
+    CountChunkRead(path);
     M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
-                          LoadSparseBinary(ChunkPath(id)));
+                          LoadSparseBinary(path));
     for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
       for (std::size_t m = 0; m < shape_.size(); ++m) {
         idx[m] = chunk.Index(m, e);
@@ -228,6 +253,7 @@ Result<tensor::SparseTensor> ChunkStore::ReadRegion(
       return Status::InvalidArgument("empty or out-of-range region");
     }
   }
+  obs::ObsSpan span("chunk_store_read_region");
   // Chunk-grid bounding box of the region.
   std::vector<std::uint64_t> chunk_lo(modes), chunk_hi(modes);
   for (std::size_t m = 0; m < modes; ++m) {
@@ -241,8 +267,10 @@ Result<tensor::SparseTensor> ChunkStore::ReadRegion(
   while (true) {
     const std::uint64_t id = ChunkIdOf(cursor);
     if (chunks_.find(id) != chunks_.end()) {
+      const std::string path = ChunkPath(id);
+      CountChunkRead(path);
       M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
-                            LoadSparseBinary(ChunkPath(id)));
+                            LoadSparseBinary(path));
       for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
         bool inside = true;
         for (std::size_t m = 0; m < modes; ++m) {

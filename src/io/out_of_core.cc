@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "linalg/svd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 
@@ -47,6 +49,7 @@ SlabsOfStore(const ChunkStore& store, std::size_t mode) {
 Result<tensor::SparseTensor> MergeChunks(
     const ChunkStore& store,
     const std::vector<std::vector<std::uint64_t>>& chunk_indices) {
+  obs::GetCounter("io.chunk_merges").Add(1);
   tensor::SparseTensor merged(store.shape());
   std::vector<std::uint32_t> idx(store.shape().size());
   for (const auto& chunk_index : chunk_indices) {
@@ -70,6 +73,8 @@ Result<linalg::Matrix> ModeGramFromStore(const ChunkStore& store,
   if (mode >= store.shape().size()) {
     return Status::InvalidArgument("mode out of range");
   }
+  obs::ObsSpan span("mode_gram_from_store");
+  span.Annotate("mode", static_cast<std::uint64_t>(mode));
   const std::size_t n = static_cast<std::size_t>(store.shape()[mode]);
   linalg::Matrix gram(n, n);
   for (const auto& [slab_key, chunk_indices] : SlabsOfStore(store, mode)) {
@@ -89,6 +94,8 @@ Result<tensor::TuckerDecomposition> HosvdFromStore(
   if (ranks.size() != modes) {
     return Status::InvalidArgument("one rank per mode required");
   }
+  obs::ObsSpan span("hosvd_from_store");
+  span.Annotate("nnz", store.TotalNonZeros());
   tensor::TuckerDecomposition out;
   out.factors.reserve(modes);
   for (std::size_t m = 0; m < modes; ++m) {
@@ -147,6 +154,7 @@ Result<tensor::DenseTensor> SparseModeProductFromStore(
   if (contraction != store.shape()[mode]) {
     return Status::InvalidArgument("mode product contraction mismatch");
   }
+  M2TD_TRACE_SCOPE("sparse_mode_product_from_store");
   std::vector<std::uint64_t> out_shape = store.shape();
   out_shape[mode] = transpose_u ? u.cols() : u.rows();
   tensor::DenseTensor result(out_shape);

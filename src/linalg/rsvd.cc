@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/qr.h"
+#include "obs/trace.h"
 
 namespace m2td::linalg {
 
@@ -15,6 +16,10 @@ Result<SvdResult> RandomizedSvd(const Matrix& a, std::size_t rank,
   }
   if (rank == 0) return Status::InvalidArgument("rank must be positive");
   const std::size_t k = std::min({rank, m, n});
+  obs::ObsSpan span("randomized_svd");
+  span.Annotate("m", static_cast<std::uint64_t>(m));
+  span.Annotate("n", static_cast<std::uint64_t>(n));
+  span.Annotate("rank", static_cast<std::uint64_t>(k));
   const std::size_t sketch = std::min(m, k + options.oversampling);
 
   // Gaussian test matrix Omega (n x sketch), Y = A Omega (m x sketch).

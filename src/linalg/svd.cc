@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/eigen.h"
+#include "obs/trace.h"
 
 namespace m2td::linalg {
 
@@ -15,6 +16,10 @@ Result<SvdResult> TruncatedSvd(const Matrix& a, std::size_t rank,
     return Status::InvalidArgument("TruncatedSvd on empty matrix");
   }
   const std::size_t k = std::min({rank, m, n});
+  obs::ObsSpan span("truncated_svd");
+  span.Annotate("m", static_cast<std::uint64_t>(m));
+  span.Annotate("n", static_cast<std::uint64_t>(n));
+  span.Annotate("rank", static_cast<std::uint64_t>(k));
 
   const bool left_small = m <= n;
   // Gram of the small side.

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/timer.h"
 
@@ -109,9 +111,16 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
       spec.partitioner ? spec.partitioner
                        : [](const K2& k) { return std::hash<K2>{}(k); };
 
+  obs::ObsSpan job_span("mapreduce_job");
+  job_span.Annotate("num_workers", static_cast<std::int64_t>(workers));
+  job_span.Annotate("input_records",
+                    static_cast<std::uint64_t>(inputs.size()));
+  obs::GetCounter("mapreduce.jobs").Add(1);
+
   Timer timer;
 
   // --- Map phase: shard inputs contiguously across workers. ---
+  obs::ObsSpan map_span("map");
   std::vector<internal::BufferEmitter<K2, V2>> emitters;
   emitters.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -124,6 +133,10 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
       threads.emplace_back([&, w]() {
         const std::size_t begin = inputs.size() * w / workers;
         const std::size_t end = inputs.size() * (w + 1) / workers;
+        obs::ObsSpan task_span("map_task");
+        task_span.Annotate("worker", static_cast<std::int64_t>(w));
+        task_span.Annotate("records",
+                           static_cast<std::uint64_t>(end - begin));
         for (std::size_t i = begin; i < end; ++i) {
           spec.mapper(inputs[i], &emitters[w]);
         }
@@ -147,10 +160,13 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
     }
     for (std::thread& t : threads) t.join();
   }
+  map_span.End();
+  obs::GetCounter("mapreduce.map_tasks").Add(workers);
   if (stats != nullptr) stats->map_seconds = timer.ElapsedSeconds();
   timer.Restart();
 
   // --- Shuffle: merge per-mapper local buffers into reducer buckets. ---
+  obs::ObsSpan shuffle_span("shuffle");
   std::vector<std::vector<std::pair<K2, V2>>> buckets(workers);
   std::uint64_t intermediate = 0;
   for (std::size_t p = 0; p < workers; ++p) {
@@ -167,6 +183,9 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
     }
     intermediate += buckets[p].size();
   }
+  shuffle_span.Annotate("intermediate_pairs", intermediate);
+  shuffle_span.End();
+  obs::GetCounter("mapreduce.intermediate_pairs").Add(intermediate);
   if (stats != nullptr) {
     stats->shuffle_seconds = timer.ElapsedSeconds();
     stats->intermediate_pairs = intermediate;
@@ -174,12 +193,17 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
   timer.Restart();
 
   // --- Reduce phase: group each bucket by key, fold groups. ---
+  obs::ObsSpan reduce_span("reduce");
   std::vector<std::vector<OutT>> outputs(workers);
   {
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t p = 0; p < workers; ++p) {
       threads.emplace_back([&, p]() {
+        obs::ObsSpan task_span("reduce_task");
+        task_span.Annotate("worker", static_cast<std::int64_t>(p));
+        task_span.Annotate("records",
+                           static_cast<std::uint64_t>(buckets[p].size()));
         std::unordered_map<K2, std::vector<V2>> groups;
         groups.reserve(buckets[p].size());
         for (auto& kv : buckets[p]) {
@@ -202,6 +226,11 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
   for (auto& part : outputs) {
     for (OutT& record : part) merged.push_back(std::move(record));
   }
+  reduce_span.End();
+  obs::GetCounter("mapreduce.reduce_tasks").Add(workers);
+  obs::GetCounter("mapreduce.output_records").Add(merged.size());
+  job_span.Annotate("output_records",
+                    static_cast<std::uint64_t>(merged.size()));
   if (stats != nullptr) {
     stats->reduce_seconds = timer.ElapsedSeconds();
     stats->output_records = merged.size();

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace m2td::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Keyed by name; std::map so JSON export is deterministically sorted.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Under the registry lock: verifies `name` is not already a metric of
+/// another kind, then returns the existing or newly created instance.
+template <typename MetricT, typename MapT, typename OtherA, typename OtherB>
+MetricT& LookupOrCreate(MapT& map, const OtherA& other_a,
+                        const OtherB& other_b, std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  M2TD_CHECK(other_a.find(name) == other_a.end() &&
+             other_b.find(name) == other_b.end())
+      << "metric '" << std::string(name)
+      << "' already registered as a different kind";
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<MetricT>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(std::string_view name) {
+  Registry& registry = GetRegistry();
+  return LookupOrCreate<Counter>(registry.counters, registry.gauges,
+                                 registry.histograms, name);
+}
+
+Gauge& GetGauge(std::string_view name) {
+  Registry& registry = GetRegistry();
+  return LookupOrCreate<Gauge>(registry.gauges, registry.counters,
+                               registry.histograms, name);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  Registry& registry = GetRegistry();
+  return LookupOrCreate<Histogram>(registry.histograms, registry.counters,
+                                   registry.gauges, name);
+}
+
+void ResetMetrics() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& [name, counter] : registry.counters) counter->Reset();
+  for (auto& [name, gauge] : registry.gauges) gauge->Reset();
+  for (auto& [name, histogram] : registry.histograms) histogram->Reset();
+}
+
+void WriteMetricsJson(std::ostream& os) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto write_key = [&os](const std::string& name) {
+    std::string escaped;
+    internal::JsonEscape(name, &escaped);
+    os << "\"" << escaped << "\":";
+  };
+
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters) {
+    if (!first) os << ",";
+    first = false;
+    write_key(name);
+    os << counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges) {
+    if (!first) os << ",";
+    first = false;
+    write_key(name);
+    os << FormatDouble(gauge->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms) {
+    if (!first) os << ",";
+    first = false;
+    write_key(name);
+    os << "{\"count\":" << histogram->Count()
+       << ",\"sum\":" << histogram->Sum() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t count = histogram->BucketCount(b);
+      if (count == 0) continue;
+      if (!first_bucket) os << ",";
+      first_bucket = false;
+      os << "[" << Histogram::BucketLowerBound(b) << "," << count << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace m2td::obs

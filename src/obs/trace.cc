@@ -1,0 +1,332 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace m2td::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Nesting depth of open *recording* spans, per thread.
+thread_local std::uint32_t t_span_depth = 0;
+
+struct TracerState {
+  mutable std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  std::vector<InstantRecord> instants;
+  std::uint64_t sequence = 0;
+  std::unordered_map<std::thread::id, std::uint32_t> thread_ids;
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();
+  return *state;
+}
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+/// Chrome's `ts` field wants microseconds; keep 3 decimals (ns grain).
+std::string FormatMicros(double us) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", us);
+  return buffer;
+}
+
+void WriteArgsJson(const std::vector<TraceArg>& args, std::ostream& os) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ",";
+    std::string key;
+    internal::JsonEscape(args[i].key, &key);
+    os << "\"" << key << "\":";
+    if (args[i].quoted) {
+      std::string value;
+      internal::JsonEscape(args[i].value, &value);
+      os << "\"" << value << "\"";
+    } else {
+      os << args[i].value;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+namespace internal {
+
+void JsonEscape(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace internal
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+  if (enabled) {
+    // Mirror WARN+ log messages into the trace as instant markers so a
+    // trace shows *why* a phase stalled, not just that it did.
+    SetLogMirror([](LogLevel level, std::string_view line) {
+      if (level < LogLevel::kWarning || !TracingEnabled()) return;
+      Tracer::Get().RecordInstant(std::string(line));
+    });
+  } else {
+    SetLogMirror(nullptr);
+  }
+}
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch())
+      .count();
+}
+
+std::uint32_t Tracer::CurrentThreadId() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  const auto [it, inserted] = state.thread_ids.emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(state.thread_ids.size()));
+  return it->second;
+}
+
+void Tracer::Record(SpanRecord record) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ++state.sequence;
+  state.spans.push_back(std::move(record));
+}
+
+void Tracer::RecordInstant(std::string name) {
+  InstantRecord record;
+  record.name = std::move(name);
+  record.ts_us = NowMicros();
+  record.thread_id = CurrentThreadId();
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.instants.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.spans;
+}
+
+std::vector<InstantRecord> Tracer::Instants() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.instants;
+}
+
+std::uint64_t Tracer::NumSpans() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.spans.size();
+}
+
+void Tracer::Reset() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.spans.clear();
+  state.instants.clear();
+}
+
+double Tracer::SpanTotalSeconds(std::string_view name) const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  double total_us = 0.0;
+  for (const SpanRecord& span : state.spans) {
+    if (span.name == name) total_us += span.duration_us;
+  }
+  return total_us * 1e-6;
+}
+
+std::vector<SpanTotal> Tracer::AggregateTotals() const {
+  const std::vector<SpanRecord> spans = Spans();
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<SpanTotal> totals;
+  std::uint64_t order = 0;
+  for (const SpanRecord& span : spans) {
+    auto [it, inserted] = index.emplace(span.name, totals.size());
+    if (inserted) {
+      SpanTotal total;
+      total.name = span.name;
+      total.min_depth = span.depth;
+      total.first_seen = order++;
+      totals.push_back(std::move(total));
+    }
+    SpanTotal& total = totals[it->second];
+    total.total_seconds += span.duration_us * 1e-6;
+    ++total.count;
+    total.min_depth = std::min(total.min_depth, span.depth);
+  }
+  return totals;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = Spans();
+  const std::vector<InstantRecord> instants = Instants();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    std::string name;
+    internal::JsonEscape(span.name, &name);
+    os << "{\"ph\":\"X\",\"name\":\"" << name << "\",\"cat\":\"m2td\""
+       << ",\"pid\":1,\"tid\":" << span.thread_id
+       << ",\"ts\":" << FormatMicros(span.start_us)
+       << ",\"dur\":" << FormatMicros(span.duration_us) << ",\"args\":";
+    WriteArgsJson(span.args, os);
+    os << "}";
+  }
+  for (const InstantRecord& instant : instants) {
+    if (!first) os << ",";
+    first = false;
+    std::string name;
+    internal::JsonEscape(instant.name, &name);
+    os << "{\"ph\":\"i\",\"name\":\"" << name << "\",\"cat\":\"m2td\""
+       << ",\"s\":\"t\",\"pid\":1,\"tid\":" << instant.thread_id
+       << ",\"ts\":" << FormatMicros(instant.ts_us) << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+Status Tracer::ExportChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open trace output '" + path + "'");
+  }
+  WriteChromeTrace(out);
+  out << "\n";
+  if (!out) return Status::IOError("trace write failed for '" + path + "'");
+  return Status::OK();
+}
+
+void Tracer::WriteTextSummary(std::ostream& os) const {
+  std::vector<SpanTotal> totals = AggregateTotals();
+  std::sort(totals.begin(), totals.end(),
+            [](const SpanTotal& a, const SpanTotal& b) {
+              return a.first_seen < b.first_seen;
+            });
+  os << "-- trace summary (" << NumSpans() << " spans) --\n";
+  for (const SpanTotal& total : totals) {
+    for (std::uint32_t d = 0; d < total.min_depth; ++d) os << "  ";
+    os << total.name << "  " << FormatDouble(total.total_seconds * 1e3)
+       << " ms  (x" << total.count << ")\n";
+  }
+}
+
+ObsSpan::ObsSpan(std::string_view name, Mode mode) {
+  recording_ = TracingEnabled();
+  timing_ = recording_ || mode == kAlwaysTime;
+  if (!timing_) return;
+  name_.assign(name);
+  if (recording_) depth_ = t_span_depth++;
+  start_us_ = Tracer::NowMicros();
+}
+
+ObsSpan::~ObsSpan() { End(); }
+
+void ObsSpan::Annotate(std::string_view key, std::int64_t value) {
+  if (!recording_) return;
+  args_.push_back(TraceArg{std::string(key), std::to_string(value), false});
+}
+
+void ObsSpan::Annotate(std::string_view key, std::uint64_t value) {
+  if (!recording_) return;
+  args_.push_back(TraceArg{std::string(key), std::to_string(value), false});
+}
+
+void ObsSpan::Annotate(std::string_view key, double value) {
+  if (!recording_) return;
+  args_.push_back(TraceArg{std::string(key), FormatDouble(value), false});
+}
+
+void ObsSpan::Annotate(std::string_view key, std::string_view value) {
+  if (!recording_) return;
+  args_.push_back(TraceArg{std::string(key), std::string(value), true});
+}
+
+double ObsSpan::End() {
+  if (ended_ || !timing_) return elapsed_seconds_;
+  ended_ = true;
+  const double end_us = Tracer::NowMicros();
+  elapsed_seconds_ = (end_us - start_us_) * 1e-6;
+  if (recording_) {
+    --t_span_depth;
+    SpanRecord record;
+    record.name = std::move(name_);
+    record.start_us = start_us_;
+    record.duration_us = end_us - start_us_;
+    record.thread_id = Tracer::CurrentThreadId();
+    record.depth = depth_;
+    record.args = std::move(args_);
+    Tracer::Get().Record(std::move(record));
+  }
+  return elapsed_seconds_;
+}
+
+double ObsSpan::ElapsedSeconds() const {
+  if (!timing_) return 0.0;
+  if (ended_) return elapsed_seconds_;
+  return (Tracer::NowMicros() - start_us_) * 1e-6;
+}
+
+}  // namespace m2td::obs

@@ -1,0 +1,176 @@
+#ifndef M2TD_OBS_TRACE_H_
+#define M2TD_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace m2td::obs {
+
+/// Process-wide tracing switch. Default off: every M2TD_TRACE_SCOPE is a
+/// single relaxed atomic load and nothing else (no clock reads, no
+/// allocation). Enabling also mirrors WARN+ log messages into the trace
+/// as instant events.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// One key/value annotation attached to a span ("nnz", "mode", "rank",
+/// "bytes", ...). Numeric values are stored unquoted so the Chrome trace
+/// viewer can aggregate them.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  /// True when `value` must be JSON-quoted (i.e. it is not a number).
+  bool quoted = false;
+};
+
+/// A completed timed span, as held by the tracer.
+struct SpanRecord {
+  std::string name;
+  /// Microseconds since the tracer epoch (process start).
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  /// Small sequential id assigned per OS thread (0 = first seen).
+  std::uint32_t thread_id = 0;
+  /// Nesting depth within its thread at the time the span opened.
+  std::uint32_t depth = 0;
+  std::vector<TraceArg> args;
+};
+
+/// A zero-duration marker (mirrored WARN/ERROR logs, user events).
+struct InstantRecord {
+  std::string name;
+  double ts_us = 0.0;
+  std::uint32_t thread_id = 0;
+};
+
+/// Aggregated view of every span sharing a name: total wall-clock,
+/// invocation count, and the minimum nesting depth observed (used for
+/// indentation in the text summary).
+struct SpanTotal {
+  std::string name;
+  double total_seconds = 0.0;
+  std::uint64_t count = 0;
+  std::uint32_t min_depth = 0;
+  /// Order of first appearance, so summaries read chronologically.
+  std::uint64_t first_seen = 0;
+};
+
+/// \brief Thread-safe process-wide span collector.
+///
+/// Spans are recorded on close (Chrome "complete" events), so the live
+/// structure is just an append-only vector under a mutex plus a
+/// thread_local depth counter; nesting in the Chrome viewer is recovered
+/// from time containment per thread.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Record(SpanRecord record);
+  /// Records a zero-duration instant event at "now".
+  void RecordInstant(std::string name);
+
+  /// Snapshot of all completed spans, in completion order.
+  std::vector<SpanRecord> Spans() const;
+  std::vector<InstantRecord> Instants() const;
+  std::uint64_t NumSpans() const;
+
+  /// Drops all recorded events (spans still open keep their start times).
+  void Reset();
+
+  /// Sum of wall-clock over every completed span named `name`. Nested
+  /// same-named spans each contribute, so self-recursive spans
+  /// double-count by design (same as Chrome's own aggregation).
+  double SpanTotalSeconds(std::string_view name) const;
+
+  /// Per-name aggregation of all completed spans, ordered by first
+  /// appearance.
+  std::vector<SpanTotal> AggregateTotals() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) — open with
+  /// chrome://tracing or https://ui.perfetto.dev.
+  void WriteChromeTrace(std::ostream& os) const;
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// Human-readable indented per-name summary (total ms, count).
+  void WriteTextSummary(std::ostream& os) const;
+
+  /// Microseconds elapsed since the tracer epoch.
+  static double NowMicros();
+  /// Small sequential id of the calling thread.
+  static std::uint32_t CurrentThreadId();
+
+ private:
+  Tracer() = default;
+};
+
+/// \brief RAII timed span.
+///
+/// In the default mode the span is inert unless tracing was enabled at
+/// construction. kAlwaysTime spans measure wall-clock unconditionally (so
+/// callers can derive timings like M2tdTimings from them) but still only
+/// record into the tracer when tracing is on.
+class ObsSpan {
+ public:
+  enum Mode {
+    kIfEnabled,
+    kAlwaysTime,
+  };
+
+  explicit ObsSpan(std::string_view name, Mode mode = kIfEnabled);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Attaches a key/value annotation; no-op on an inert span.
+  void Annotate(std::string_view key, std::int64_t value);
+  void Annotate(std::string_view key, std::uint64_t value);
+  void Annotate(std::string_view key, double value);
+  void Annotate(std::string_view key, std::string_view value);
+
+  /// Closes the span (idempotent) and returns its elapsed seconds (0 for
+  /// an inert span). Called implicitly by the destructor.
+  double End();
+
+  /// Seconds since construction (frozen after End()); 0 for inert spans.
+  double ElapsedSeconds() const;
+
+  /// True when the span is measuring time (recording or kAlwaysTime).
+  bool active() const { return timing_; }
+
+ private:
+  bool timing_ = false;     // clock was read at construction
+  bool recording_ = false;  // will be pushed into the tracer on End()
+  bool ended_ = false;
+  std::uint32_t depth_ = 0;
+  double start_us_ = 0.0;
+  double elapsed_seconds_ = 0.0;
+  std::string name_;
+  std::vector<TraceArg> args_;
+};
+
+namespace internal {
+/// Appends a JSON-escaped copy of `text` to `out`.
+void JsonEscape(std::string_view text, std::string* out);
+}  // namespace internal
+
+}  // namespace m2td::obs
+
+#define M2TD_OBS_CONCAT_INNER(a, b) a##b
+#define M2TD_OBS_CONCAT(a, b) M2TD_OBS_CONCAT_INNER(a, b)
+
+/// Opens an ObsSpan covering the rest of the enclosing scope. Free when
+/// tracing is disabled (one relaxed atomic load).
+#define M2TD_TRACE_SCOPE(name) \
+  ::m2td::obs::ObsSpan M2TD_OBS_CONCAT(m2td_trace_span_, __LINE__)(name)
+
+#endif  // M2TD_OBS_TRACE_H_

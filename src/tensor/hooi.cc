@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/eigen.h"
+#include "obs/trace.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 
@@ -66,12 +67,16 @@ Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
                                     const HooiOptions& options,
                                     HooiInfo* info, ProjectFn project,
                                     CoreFn compute_core) {
+  obs::ObsSpan hooi_span("hooi");
+  hooi_span.Annotate("num_modes", static_cast<std::uint64_t>(factors.size()));
   double previous_fit = -1.0;
   bool converged = false;
   int iterations = 0;
   DenseTensor core;
 
   for (int sweep = 0; sweep < options.max_iterations && !converged; ++sweep) {
+    obs::ObsSpan sweep_span("hooi_sweep");
+    sweep_span.Annotate("sweep", static_cast<std::int64_t>(sweep));
     ++iterations;
     for (std::size_t n = 0; n < factors.size(); ++n) {
       M2TD_ASSIGN_OR_RETURN(DenseTensor projected, project(factors, n));
@@ -94,7 +99,10 @@ Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
       converged = true;
     }
     previous_fit = fit;
+    sweep_span.Annotate("fit", fit);
   }
+  hooi_span.Annotate("iterations", static_cast<std::int64_t>(iterations));
+  hooi_span.Annotate("fit", previous_fit);
 
   if (info != nullptr) {
     info->iterations = iterations;

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace m2td::tensor {
 
 Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
@@ -15,6 +17,10 @@ Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
         "ModeGram requires a coalesced tensor (call SortAndCoalesce)");
   }
   const std::size_t n = static_cast<std::size_t>(x.dim(mode));
+  obs::ObsSpan span("mode_gram");
+  span.Annotate("mode", static_cast<std::uint64_t>(mode));
+  span.Annotate("dim", static_cast<std::uint64_t>(n));
+  span.Annotate("nnz", x.NumNonZeros());
   linalg::Matrix gram(n, n);
   const std::uint64_t nnz = x.NumNonZeros();
   if (nnz == 0) return gram;

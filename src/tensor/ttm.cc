@@ -1,5 +1,6 @@
 #include "tensor/ttm.h"
 
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace m2td::tensor {
@@ -30,6 +31,7 @@ Result<DenseTensor> ModeProduct(const DenseTensor& x, const linalg::Matrix& u,
                                 std::size_t mode, bool transpose_u) {
   M2TD_RETURN_IF_ERROR(CheckModeProductShapes(x.shape(), u, mode,
                                               transpose_u));
+  M2TD_TRACE_SCOPE("mode_product");
   const std::uint64_t old_dim = x.dim(mode);
   const std::uint64_t new_dim = transpose_u ? u.cols() : u.rows();
 
@@ -66,6 +68,8 @@ Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
                                       std::size_t mode, bool transpose_u) {
   M2TD_RETURN_IF_ERROR(CheckModeProductShapes(x.shape(), u, mode,
                                               transpose_u));
+  obs::ObsSpan span("sparse_mode_product");
+  span.Annotate("nnz", x.NumNonZeros());
   const std::uint64_t new_dim = transpose_u ? u.cols() : u.rows();
 
   std::vector<std::uint64_t> out_shape = x.shape();
@@ -97,6 +101,8 @@ Result<DenseTensor> CoreFromSparse(
   if (factors.size() != x.num_modes()) {
     return Status::InvalidArgument("one factor matrix per mode required");
   }
+  obs::ObsSpan span("core_from_sparse");
+  span.Annotate("nnz", x.NumNonZeros());
   M2TD_ASSIGN_OR_RETURN(
       DenseTensor result,
       SparseModeProduct(x, factors[0], 0, /*transpose_u=*/true));
@@ -125,6 +131,7 @@ Result<DenseTensor> ExpandCore(const DenseTensor& core,
   if (factors.size() != core.num_modes()) {
     return Status::InvalidArgument("one factor matrix per mode required");
   }
+  M2TD_TRACE_SCOPE("expand_core");
   DenseTensor result = core;
   for (std::size_t m = 0; m < factors.size(); ++m) {
     M2TD_ASSIGN_OR_RETURN(

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 
@@ -36,11 +37,16 @@ Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
   if (!x.IsSorted()) {
     return Status::InvalidArgument("HosvdSparse requires a coalesced tensor");
   }
+  obs::ObsSpan span("hosvd");
+  span.Annotate("nnz", x.NumNonZeros());
   TuckerDecomposition out;
   out.factors.reserve(x.num_modes());
   for (std::size_t m = 0; m < x.num_modes(); ++m) {
+    obs::ObsSpan mode_span("mode_factor");
+    mode_span.Annotate("mode", static_cast<std::uint64_t>(m));
     const std::size_t rank =
         static_cast<std::size_t>(std::min<std::uint64_t>(ranks[m], x.dim(m)));
+    mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
     M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGram(x, m));
     M2TD_ASSIGN_OR_RETURN(linalg::Matrix u,
                           linalg::LeftSingularVectorsFromGram(gram, rank));
@@ -53,11 +59,16 @@ Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
 Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
                                        std::vector<std::uint64_t> ranks) {
   M2TD_RETURN_IF_ERROR(CheckRanks(x.num_modes(), ranks));
+  obs::ObsSpan span("hosvd");
+  span.Annotate("elements", x.NumElements());
   TuckerDecomposition out;
   out.factors.reserve(x.num_modes());
   for (std::size_t m = 0; m < x.num_modes(); ++m) {
+    obs::ObsSpan mode_span("mode_factor");
+    mode_span.Annotate("mode", static_cast<std::uint64_t>(m));
     const std::size_t rank =
         static_cast<std::size_t>(std::min<std::uint64_t>(ranks[m], x.dim(m)));
+    mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
     M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGramDense(x, m));
     M2TD_ASSIGN_OR_RETURN(linalg::Matrix u,
                           linalg::LeftSingularVectorsFromGram(gram, rank));

@@ -1,11 +1,29 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace m2td {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+/// Guards the sink/mirror pointers and serializes emission, so a custom
+/// sink never sees interleaved lines.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+LogSink& MirrorSlot() {
+  static LogSink* mirror = new LogSink();
+  return *mirror;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,10 +43,22 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+void SetLogMirror(LogSink mirror) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  MirrorSlot() = std::move(mirror);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
-    : enabled_(fatal || level >= g_log_level.load()), fatal_(fatal) {
+    : level_(level),
+      enabled_(fatal || level >= g_log_level.load()),
+      fatal_(fatal) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
@@ -40,7 +70,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    if (SinkSlot()) {
+      SinkSlot()(level_, line);
+    } else {
+      std::cerr << line << std::endl;
+    }
+    if (MirrorSlot()) MirrorSlot()(level_, line);
   }
   if (fatal_) std::abort();
 }

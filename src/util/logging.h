@@ -2,8 +2,10 @@
 #define M2TD_UTIL_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 namespace m2td {
 
@@ -12,6 +14,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives each emitted log line (already formatted as
+/// "[LEVEL file:line] message", no trailing newline).
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the output sink (default: stderr). Passing nullptr restores
+/// the default. Tests use this to capture output without scraping stderr.
+/// The sink runs under an internal mutex, so it need not be thread-safe
+/// itself but must not log recursively.
+void SetLogSink(LogSink sink);
+
+/// Installs a secondary observer invoked *in addition to* the sink for
+/// every emitted line (the tracer mirrors WARN+ lines into the trace as
+/// instants). nullptr uninstalls. Same locking contract as SetLogSink.
+void SetLogMirror(LogSink mirror);
 
 namespace internal {
 
@@ -32,6 +49,7 @@ class LogMessage {
 
  private:
   std::ostringstream stream_;
+  LogLevel level_;
   bool enabled_;
   bool fatal_;
 };

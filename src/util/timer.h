@@ -7,23 +7,53 @@ namespace m2td {
 
 /// \brief Monotonic wall-clock stopwatch used by the experiment harness to
 /// time decomposition phases.
+///
+/// Starts running at construction. Stop()/Resume() accumulate across
+/// pauses (e.g. a phase timer paused while an out-of-core chunk swap
+/// belongs to another phase); ElapsedSeconds() on a stopped timer returns
+/// the frozen accumulated total instead of continuing to tick.
 class Timer {
  public:
   Timer() { Restart(); }
 
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
-
-  /// Seconds elapsed since construction or the last Restart().
-  double ElapsedSeconds() const {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(now - start_).count();
+  /// Zeroes the accumulated time and starts (or keeps) running.
+  void Restart() {
+    accumulated_ = std::chrono::steady_clock::duration::zero();
+    running_ = true;
+    start_ = std::chrono::steady_clock::now();
   }
 
-  /// Milliseconds elapsed since construction or the last Restart().
+  /// Freezes the elapsed total. No-op when already stopped.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += std::chrono::steady_clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Continues accumulating after a Stop(). No-op when already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  bool IsRunning() const { return running_; }
+
+  /// Seconds accumulated since construction or the last Restart(),
+  /// excluding Stop()/Resume() gaps; frozen while stopped.
+  double ElapsedSeconds() const {
+    auto total = accumulated_;
+    if (running_) total += std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  /// Milliseconds variant of ElapsedSeconds().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::duration accumulated_{};
+  bool running_ = true;
 };
 
 }  // namespace m2td

@@ -1,4 +1,6 @@
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -54,6 +56,56 @@ TEST_F(LoggingTest, SetAndGetRoundTrip) {
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
   SetLogLevel(LogLevel::kInfo);
   EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, CustomSinkReceivesFormattedLines) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, std::string_view line) {
+    captured.emplace_back(level, std::string(line));
+  });
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_WARNING() << "to the sink";
+  const std::string stderr_output = ::testing::internal::GetCapturedStderr();
+  SetLogSink(nullptr);
+
+  // The line goes to the sink instead of stderr.
+  EXPECT_EQ(stderr_output.find("to the sink"), std::string::npos);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  EXPECT_NE(captured[0].second.find("[WARN"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("to the sink"), std::string::npos);
+  // Formatted line carries no trailing newline.
+  EXPECT_TRUE(captured[0].second.empty() ||
+              captured[0].second.back() != '\n');
+}
+
+TEST_F(LoggingTest, NullSinkRestoresStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogSink([](LogLevel, std::string_view) {});
+  SetLogSink(nullptr);
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_WARNING() << "back to stderr";
+  EXPECT_NE(
+      ::testing::internal::GetCapturedStderr().find("back to stderr"),
+      std::string::npos);
+}
+
+TEST_F(LoggingTest, MirrorObservesAlongsideSink) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> mirrored;
+  SetLogMirror([&mirrored](LogLevel, std::string_view line) {
+    mirrored.emplace_back(line);
+  });
+  ::testing::internal::CaptureStderr();
+  M2TD_LOG_WARNING() << "seen twice";
+  const std::string stderr_output = ::testing::internal::GetCapturedStderr();
+  SetLogMirror(nullptr);
+
+  // Mirror sees the line AND the default sink still writes stderr.
+  ASSERT_EQ(mirrored.size(), 1u);
+  EXPECT_NE(mirrored[0].find("seen twice"), std::string::npos);
+  EXPECT_NE(stderr_output.find("seen twice"), std::string::npos);
 }
 
 TEST(MatrixToStringTest, FormatsRows) {

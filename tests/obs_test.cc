@@ -1,0 +1,364 @@
+// Tests for the observability subsystem (src/obs/): span tracer, Chrome
+// trace export, and the metrics registry.
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace m2td::obs {
+namespace {
+
+/// Shared fixture: every test starts with tracing+metrics on and empty
+/// state, and leaves both off so ordering does not matter.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Reset();
+    ResetMetrics();
+    SetTracingEnabled(true);
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    SetMetricsEnabled(false);
+    Tracer::Get().Reset();
+    ResetMetrics();
+  }
+};
+
+TEST_F(ObsTest, SpanRecordsNameAndDuration) {
+  {
+    ObsSpan span("unit_work");
+    span.Annotate("nnz", std::uint64_t{42});
+  }
+  const std::vector<SpanRecord> spans = Tracer::Get().Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit_work");
+  EXPECT_GE(spans[0].duration_us, 0.0);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].key, "nnz");
+  EXPECT_EQ(spans[0].args[0].value, "42");
+  EXPECT_FALSE(spans[0].args[0].quoted);
+}
+
+TEST_F(ObsTest, EndIsIdempotentAndReturnsElapsed) {
+  ObsSpan span("once");
+  const double first = span.End();
+  const double second = span.End();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(Tracer::Get().NumSpans(), 1u);
+}
+
+TEST_F(ObsTest, NestedSpansTrackDepth) {
+  {
+    ObsSpan outer("outer");
+    {
+      ObsSpan inner("inner");
+      { M2TD_TRACE_SCOPE("leaf"); }
+    }
+  }
+  const std::vector<SpanRecord> spans = Tracer::Get().Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0u);
+  // Containment: the outer span covers the inner ones.
+  EXPECT_LE(spans[2].start_us, spans[0].start_us);
+  EXPECT_GE(spans[2].start_us + spans[2].duration_us,
+            spans[0].start_us + spans[0].duration_us);
+}
+
+TEST_F(ObsTest, SpansNestIndependentlyAcrossThreads) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      ObsSpan outer("thread_outer");
+      ObsSpan inner("thread_inner");
+      inner.End();
+      outer.End();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<SpanRecord> spans = Tracer::Get().Spans();
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  for (const SpanRecord& span : spans) {
+    // Depth is per-thread: each thread's outer span sits at depth 0 even
+    // though the threads overlap in time.
+    if (span.name == "thread_outer") {
+      EXPECT_EQ(span.depth, 0u);
+    } else {
+      EXPECT_EQ(span.name, "thread_inner");
+      EXPECT_EQ(span.depth, 1u);
+    }
+  }
+  // The threads must have distinct tracer thread ids.
+  std::vector<std::uint32_t> tids;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "thread_outer") tids.push_back(span.thread_id);
+  }
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  SetTracingEnabled(false);
+  {
+    ObsSpan span("invisible");
+    span.Annotate("key", std::int64_t{1});
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.End(), 0.0);
+  }
+  EXPECT_EQ(Tracer::Get().NumSpans(), 0u);
+}
+
+TEST_F(ObsTest, AlwaysTimeSpanMeasuresWhileDisabled) {
+  SetTracingEnabled(false);
+  ObsSpan span("timed_anyway", ObsSpan::kAlwaysTime);
+  EXPECT_TRUE(span.active());
+  EXPECT_GE(span.End(), 0.0);
+  // Still not recorded into the tracer.
+  EXPECT_EQ(Tracer::Get().NumSpans(), 0u);
+}
+
+TEST_F(ObsTest, SpanTotalsAggregateByName) {
+  for (int i = 0; i < 3; ++i) {
+    ObsSpan span("repeated");
+    span.End();
+  }
+  {
+    ObsSpan other("other");
+  }
+  const std::vector<SpanTotal> totals = Tracer::Get().AggregateTotals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].name, "repeated");  // first seen first
+  EXPECT_EQ(totals[0].count, 3u);
+  EXPECT_EQ(totals[1].name, "other");
+  EXPECT_EQ(totals[1].count, 1u);
+  EXPECT_GE(Tracer::Get().SpanTotalSeconds("repeated"), 0.0);
+  EXPECT_EQ(Tracer::Get().SpanTotalSeconds("missing"), 0.0);
+}
+
+// Minimal structural JSON check: brace/bracket balance outside strings,
+// with escape handling. Enough to catch malformed export without a JSON
+// dependency.
+bool JsonIsBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormedAndDeterministic) {
+  {
+    ObsSpan outer("export_outer");
+    outer.Annotate("label", "quoted \"value\"\n");
+    ObsSpan inner("export_inner");
+    inner.Annotate("nnz", std::uint64_t{7});
+    inner.End();
+    outer.End();
+  }
+  Tracer::Get().RecordInstant("marker");
+
+  std::ostringstream first, second;
+  Tracer::Get().WriteChromeTrace(first);
+  Tracer::Get().WriteChromeTrace(second);
+  const std::string json = first.str();
+
+  // Round trip: exporting twice from the same state is byte-identical.
+  EXPECT_EQ(json, second.str());
+
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One complete event per span, one instant event.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("\"export_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"export_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"nnz\":7"), std::string::npos);
+  // The annotation with quotes/newline must be escaped.
+  EXPECT_NE(json.find("quoted \\\"value\\\"\\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscapeHandlesControlCharacters) {
+  std::string out;
+  internal::JsonEscape(std::string_view("a\"b\\c\n\t\x01", 8), &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST_F(ObsTest, WarningLogsBecomeTraceInstants) {
+  M2TD_LOG_WARNING() << "trace-mirrored warning";
+  const std::vector<InstantRecord> instants = Tracer::Get().Instants();
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_NE(instants[0].name.find("trace-mirrored warning"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, TextSummaryListsSpans) {
+  {
+    ObsSpan outer("summary_outer");
+    ObsSpan inner("summary_inner");
+  }
+  std::ostringstream os;
+  Tracer::Get().WriteTextSummary(os);
+  const std::string summary = os.str();
+  EXPECT_NE(summary.find("summary_outer"), std::string::npos);
+  EXPECT_NE(summary.find("summary_inner"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST_F(ObsTest, CounterSumsExactlyUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  Counter& counter = GetCounter("test.contended");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, DisabledMetricsAreNoOps) {
+  SetMetricsEnabled(false);
+  Counter& counter = GetCounter("test.disabled_counter");
+  Gauge& gauge = GetGauge("test.disabled_gauge");
+  Histogram& hist = GetHistogram("test.disabled_hist");
+  counter.Add(5);
+  gauge.Set(3.5);
+  hist.Observe(8);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.Count(), 0u);
+}
+
+TEST_F(ObsTest, GetCounterReturnsSameInstance) {
+  Counter& a = GetCounter("test.same");
+  Counter& b = GetCounter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(2);
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // Index: 0 -> 0; 1 -> 1; 2,3 -> 2; 4..7 -> 3; 2^(b-1) opens bucket b.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex((std::uint64_t{1} << 63) - 1), 63);
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::BucketIndex(~std::uint64_t{0}), 64);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), std::uint64_t{1} << 63);
+
+  // Every value lands in the bucket whose range contains it.
+  for (int b = 1; b < Histogram::kNumBuckets; ++b) {
+    const std::uint64_t lo = Histogram::BucketLowerBound(b);
+    EXPECT_EQ(Histogram::BucketIndex(lo), b);
+    EXPECT_EQ(Histogram::BucketIndex(lo + (lo - 1)), b);  // top of range
+  }
+}
+
+TEST_F(ObsTest, HistogramObserveCountsAndSums) {
+  Histogram& hist = GetHistogram("test.hist");
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1024ull}) hist.Observe(v);
+  EXPECT_EQ(hist.Count(), 5u);
+  EXPECT_EQ(hist.Sum(), 1030u);
+  EXPECT_EQ(hist.BucketCount(0), 1u);   // 0
+  EXPECT_EQ(hist.BucketCount(1), 1u);   // 1
+  EXPECT_EQ(hist.BucketCount(2), 2u);   // 2, 3
+  EXPECT_EQ(hist.BucketCount(11), 1u);  // 1024 = 2^10
+}
+
+TEST_F(ObsTest, MetricsJsonIsWellFormed) {
+  GetCounter("test.json_counter").Add(3);
+  GetGauge("test.json_gauge").Set(1.5);
+  GetHistogram("test.json_hist").Observe(10);
+  std::ostringstream os;
+  WriteMetricsJson(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"test.json_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetMetricsZeroesEverything) {
+  GetCounter("test.reset_counter").Add(9);
+  GetHistogram("test.reset_hist").Observe(9);
+  ResetMetrics();
+  EXPECT_EQ(GetCounter("test.reset_counter").value(), 0u);
+  EXPECT_EQ(GetHistogram("test.reset_hist").Count(), 0u);
+}
+
+}  // namespace
+}  // namespace m2td::obs

@@ -242,5 +242,51 @@ TEST(TimerTest, MeasuresNonNegativeMonotonicTime) {
   EXPECT_LE(timer.ElapsedSeconds(), t2 + 1.0);
 }
 
+TEST(TimerTest, StopFreezesElapsedTime) {
+  Timer timer;
+  EXPECT_TRUE(timer.IsRunning());
+  timer.Stop();
+  EXPECT_FALSE(timer.IsRunning());
+  const double stopped = timer.ElapsedSeconds();
+  EXPECT_GE(stopped, 0.0);
+  // While stopped, the reading must not advance.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  EXPECT_GT(sink, 0.0);
+  EXPECT_EQ(timer.ElapsedSeconds(), stopped);
+  // Stopping again is a no-op.
+  timer.Stop();
+  EXPECT_EQ(timer.ElapsedSeconds(), stopped);
+}
+
+TEST(TimerTest, ResumeAccumulatesAcrossSegments) {
+  Timer timer;
+  timer.Stop();
+  const double first = timer.ElapsedSeconds();
+  timer.Resume();
+  EXPECT_TRUE(timer.IsRunning());
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  EXPECT_GT(sink, 0.0);
+  timer.Stop();
+  // The second segment adds on top of the first.
+  EXPECT_GE(timer.ElapsedSeconds(), first);
+  // Resuming a running timer is a no-op.
+  timer.Resume();
+  timer.Resume();
+  EXPECT_TRUE(timer.IsRunning());
+}
+
+TEST(TimerTest, RestartClearsAccumulation) {
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  EXPECT_GT(sink, 0.0);
+  timer.Stop();
+  timer.Restart();
+  EXPECT_TRUE(timer.IsRunning());
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
 }  // namespace
 }  // namespace m2td

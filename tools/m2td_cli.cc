@@ -20,6 +20,7 @@
 
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/analysis.h"
@@ -31,10 +32,13 @@
 #include "io/chunk_store.h"
 #include "io/tensor_io.h"
 #include "io/tucker_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/cp.h"
 #include "tensor/hooi.h"
 #include "tensor/tucker.h"
 #include <cstdlib>
+#include <fstream>
 
 #include "util/flags.h"
 #include "util/random.h"
@@ -474,31 +478,116 @@ void PrintTopLevelUsage() {
       "  query       evaluate cells of a saved Tucker decomposition\n"
       "  info        summarize a tensor file\n"
       "  store       chunked-store round trip\n"
+      "global flags (any command):\n"
+      "  --trace_out=<file>    write a Chrome trace (chrome://tracing,\n"
+      "                        Perfetto) of the run\n"
+      "  --trace_summary       print an indented per-span wall-time summary\n"
+      "  --metrics_out=<file>  write counters/gauges/histograms as JSON\n"
       "run '<command> --help' for per-command flags\n";
+}
+
+/// Global observability flags, stripped from argv before subcommand
+/// dispatch so every command accepts them at any position.
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  bool trace_summary = false;
+};
+
+ObsFlags ExtractObsFlags(int argc, char** argv,
+                         std::vector<char*>* remaining) {
+  ObsFlags flags;
+  const std::string_view trace_prefix = "--trace_out=";
+  const std::string_view metrics_prefix = "--metrics_out=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, trace_prefix.size()) == trace_prefix) {
+      flags.trace_out = std::string(arg.substr(trace_prefix.size()));
+    } else if (arg.substr(0, metrics_prefix.size()) == metrics_prefix) {
+      flags.metrics_out = std::string(arg.substr(metrics_prefix.size()));
+    } else if (arg == "--trace_summary" || arg == "--trace_summary=true") {
+      flags.trace_summary = true;
+    } else if (arg == "--trace_summary=false") {
+      flags.trace_summary = false;
+    } else {
+      remaining->push_back(argv[i]);
+    }
+  }
+  return flags;
+}
+
+int ExportObservability(const ObsFlags& flags) {
+  int status = 0;
+  if (!flags.trace_out.empty()) {
+    const Status exported =
+        m2td::obs::Tracer::Get().ExportChromeTrace(flags.trace_out);
+    if (!exported.ok()) {
+      std::cerr << "error: " << exported << "\n";
+      status = 1;
+    } else {
+      std::cerr << "trace written to " << flags.trace_out << "\n";
+    }
+  }
+  if (flags.trace_summary) {
+    m2td::obs::Tracer::Get().WriteTextSummary(std::cerr);
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) {
+      std::cerr << "error: cannot write metrics to " << flags.metrics_out
+                << "\n";
+      status = 1;
+    } else {
+      m2td::obs::WriteMetricsJson(out);
+      std::cerr << "metrics written to " << flags.metrics_out << "\n";
+    }
+  }
+  return status;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  const ObsFlags obs_flags = ExtractObsFlags(argc, argv, &args);
+  if (!obs_flags.trace_out.empty() || obs_flags.trace_summary) {
+    m2td::obs::SetTracingEnabled(true);
+  }
+  if (!obs_flags.metrics_out.empty()) {
+    m2td::obs::SetMetricsEnabled(true);
+  }
+
+  if (args.size() < 2) {
     PrintTopLevelUsage();
     return 1;
   }
-  const std::string command = argv[1];
-  const int sub_argc = argc - 2;
-  const char* const* sub_argv = argv + 2;
-  if (command == "experiment") return RunExperiment(sub_argc, sub_argv);
-  if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
-  if (command == "decompose") return RunDecompose(sub_argc, sub_argv);
-  if (command == "analyze") return RunAnalyze(sub_argc, sub_argv);
-  if (command == "query") return RunQuery(sub_argc, sub_argv);
-  if (command == "info") return RunInfo(sub_argc, sub_argv);
-  if (command == "store") return RunStore(sub_argc, sub_argv);
-  if (command == "--help" || command == "-h" || command == "help") {
+  const std::string command = args[1];
+  const int sub_argc = static_cast<int>(args.size()) - 2;
+  const char* const* sub_argv = args.data() + 2;
+  int code = 0;
+  if (command == "experiment") {
+    code = RunExperiment(sub_argc, sub_argv);
+  } else if (command == "simulate") {
+    code = RunSimulate(sub_argc, sub_argv);
+  } else if (command == "decompose") {
+    code = RunDecompose(sub_argc, sub_argv);
+  } else if (command == "analyze") {
+    code = RunAnalyze(sub_argc, sub_argv);
+  } else if (command == "query") {
+    code = RunQuery(sub_argc, sub_argv);
+  } else if (command == "info") {
+    code = RunInfo(sub_argc, sub_argv);
+  } else if (command == "store") {
+    code = RunStore(sub_argc, sub_argv);
+  } else if (command == "--help" || command == "-h" || command == "help") {
     PrintTopLevelUsage();
     return 0;
+  } else {
+    std::cerr << "unknown command '" << command << "'\n";
+    PrintTopLevelUsage();
+    return 1;
   }
-  std::cerr << "unknown command '" << command << "'\n";
-  PrintTopLevelUsage();
-  return 1;
+  const int obs_code = ExportObservability(obs_flags);
+  return code != 0 ? code : obs_code;
 }
