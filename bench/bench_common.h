@@ -13,6 +13,7 @@
 #include "core/experiment.h"
 #include "core/pf_partition.h"
 #include "ensemble/simulation_model.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/dense_tensor.h"
 #include "util/logging.h"
@@ -115,7 +116,22 @@ class BenchJson {
           << "\": {\"total_seconds\": " << totals[i].total_seconds
           << ", \"count\": " << totals[i].count << "}";
     }
-    out << (totals.empty() ? "" : "\n  ") << "}\n}\n";
+    out << (totals.empty() ? "" : "\n  ") << "},\n  \"fault\": {";
+    // Fault-tolerance counter totals (all zero on a clean run; nonzero
+    // under --fail_point-style injection or real transient failures).
+    // Needs metrics enabled alongside tracing.
+    const char* fault_counters[] = {
+        "robust.failpoint_fires",     "robust.retry_attempts",
+        "robust.retry_success",       "robust.retry_exhausted",
+        "robust.ensemble_failed_fibers", "io.crc_failures",
+    };
+    bool first_fault = true;
+    for (const char* counter : fault_counters) {
+      out << (first_fault ? "" : ",") << "\n    \"" << counter
+          << "\": " << obs::GetCounter(counter).value();
+      first_fault = false;
+    }
+    out << "\n  }\n}\n";
     std::cout << "\nwrote " << path << "\n";
   }
 

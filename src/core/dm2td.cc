@@ -130,6 +130,7 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
   const std::vector<std::uint64_t> shape2 = subs.x2.shape();
   mapreduce::JobSpec<TensorCell, int, TensorCell, GramPiece> phase1;
   phase1.num_workers = options.num_workers;
+  phase1.retry = options.retry;
   phase1.mapper = [](const TensorCell& cell,
                      mapreduce::Emitter<int, TensorCell>* emitter) {
     emitter->Emit(cell.kappa, cell);
@@ -229,6 +230,7 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
 
   mapreduce::JobSpec<TensorCell, std::uint64_t, TensorCell, JoinCell> phase2;
   phase2.num_workers = options.num_workers;
+  phase2.retry = options.retry;
   phase2.mapper = [&pivot_dims](
                       const TensorCell& cell,
                       mapreduce::Emitter<std::uint64_t, TensorCell>* emitter) {
@@ -299,6 +301,7 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
                        std::pair<std::uint32_t, double>, JoinCell>
         ttm_job;
     ttm_job.num_workers = options.num_workers;
+    ttm_job.retry = options.retry;
     ttm_job.mapper =
         [&, n](const JoinCell& cell,
                mapreduce::Emitter<std::uint64_t,

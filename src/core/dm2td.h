@@ -21,6 +21,9 @@ struct DM2tdOptions {
   /// Number of map/reduce workers — the paper's "servers" axis in
   /// Table III.
   int num_workers = 4;
+  /// Task-level retry policy applied to every MapReduce phase (see
+  /// mapreduce::JobSpec::retry). Defaults to no retries.
+  robust::RetryPolicy retry;
 };
 
 /// Per-phase wall-clock and MapReduce statistics.

@@ -1,17 +1,39 @@
 #include "core/ooc_m2td.h"
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 
 #include "core/je_stitch.h"
 #include "io/out_of_core.h"
+#include "io/tensor_io.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/checkpoint.h"
+#include "robust/durable.h"
+#include "robust/failpoint.h"
 #include "tensor/ttm.h"
 #include "util/timer.h"
 
 namespace m2td::core {
 
 namespace {
+
+/// Whitespace-free token identifying the run configuration; a checkpoint
+/// journal written under a different configuration is rejected at Open().
+std::string OocFingerprint(const PfPartition& partition,
+                           const std::vector<std::uint64_t>& full_shape,
+                           const M2tdOptions& options) {
+  std::ostringstream fp;
+  fp << "ooc-v1-m" << static_cast<int>(options.method) << "-s";
+  for (std::uint64_t d : full_shape) fp << "_" << d;
+  fp << "-r";
+  for (std::uint64_t r : options.ranks) fp << "_" << r;
+  fp << "-p";
+  for (std::size_t m : partition.pivot_modes) fp << "_" << m;
+  return fp.str();
+}
 
 /// Reads the slab of `store` with pivot coordinates `pivot_index` (the
 /// store's first k modes) and any free coordinates.
@@ -32,8 +54,8 @@ Result<tensor::SparseTensor> ReadPivotSlab(
 Result<M2tdResult> M2tdDecomposeFromStores(
     const io::ChunkStore& store1, const io::ChunkStore& store2,
     const PfPartition& partition,
-    const std::vector<std::uint64_t>& full_shape,
-    const M2tdOptions& options) {
+    const std::vector<std::uint64_t>& full_shape, const M2tdOptions& options,
+    const OocCheckpointOptions& checkpoint) {
   const std::size_t num_modes = full_shape.size();
   if (partition.NumModes() != num_modes) {
     return Status::InvalidArgument("partition does not match full shape");
@@ -131,6 +153,63 @@ Result<M2tdResult> M2tdDecomposeFromStores(
   std::uint64_t pivot_total = 1;
   for (std::uint64_t d : pivot_dims) pivot_total *= d;
 
+  // Checkpointing: snapshot the partial core every few slabs; on resume,
+  // reload the newest snapshot and skip the slabs it already covers. The
+  // core is accumulated in fixed prefix order and the snapshot text format
+  // round-trips doubles exactly, so a resumed run's result is bit-identical
+  // to an uninterrupted one.
+  std::optional<robust::CheckpointJournal> journal;
+  std::uint64_t start_linear = 0;
+  std::uint64_t snapshot_count = 0;
+  if (!checkpoint.checkpoint_dir.empty()) {
+    M2TD_ASSIGN_OR_RETURN(
+        robust::CheckpointJournal opened,
+        robust::CheckpointJournal::Open(
+            checkpoint.checkpoint_dir,
+            OocFingerprint(partition, full_shape, options),
+            checkpoint.resume));
+    journal = std::move(opened);
+    if (journal->Contains("ooc.core_snapshot")) {
+      std::istringstream value(journal->ValueOf("ooc.core_snapshot"));
+      std::uint64_t snap = 0, next_linear = 0, join_nnz = 0;
+      if (!(value >> snap >> next_linear >> join_nnz) ||
+          next_linear > pivot_total) {
+        return Status::DataLoss("malformed ooc.core_snapshot mark '" +
+                                journal->ValueOf("ooc.core_snapshot") + "'");
+      }
+      M2TD_ASSIGN_OR_RETURN(
+          tensor::DenseTensor saved,
+          io::LoadDenseText(journal->ArtifactPath(
+              "core_" + std::to_string(snap) + ".txt")));
+      if (saved.shape() != core.shape()) {
+        return Status::DataLoss(
+            "checkpointed core shape does not match this run");
+      }
+      core = std::move(saved);
+      start_linear = next_linear;
+      result.join_nnz = join_nnz;
+      snapshot_count = snap + 1;
+      obs::GetCounter("robust.ooc_resumes").Add(1);
+    }
+  }
+  auto snapshot_core = [&](std::uint64_t next_linear) -> Status {
+    // Artifact first, mark second: the mark's presence implies a complete
+    // snapshot. Per-snapshot filenames keep a crash between the two steps
+    // harmless (the journal's index stays authoritative).
+    const std::string name = "core_" + std::to_string(snapshot_count) +
+                             ".txt";
+    M2TD_RETURN_IF_ERROR(robust::AtomicWriteFile(
+        journal->ArtifactPath(name),
+        [&](const std::string& tmp) { return io::SaveDenseText(core, tmp); }));
+    M2TD_RETURN_IF_ERROR(journal->Mark(
+        "ooc.core_snapshot",
+        std::to_string(snapshot_count) + " " + std::to_string(next_linear) +
+            " " + std::to_string(result.join_nnz)));
+    ++snapshot_count;
+    obs::GetCounter("robust.core_snapshots").Add(1);
+    return Status::OK();
+  };
+
   // The stitch and core phases interleave slab by slab; accumulate each
   // phase's share across the loop with stopped timers.
   Timer stitch_timer;
@@ -138,7 +217,8 @@ Result<M2tdResult> M2tdDecomposeFromStores(
   Timer core_timer;
   core_timer.Stop();
   std::vector<std::uint32_t> pivot_index(k);
-  for (std::uint64_t linear = 0; linear < pivot_total; ++linear) {
+  for (std::uint64_t linear = start_linear; linear < pivot_total; ++linear) {
+    M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("ooc.slab"));
     std::uint64_t rest = linear;
     for (std::size_t i = k; i-- > 0;) {
       pivot_index[i] = static_cast<std::uint32_t>(rest % pivot_dims[i]);
@@ -151,30 +231,34 @@ Result<M2tdResult> M2tdDecomposeFromStores(
                           ReadPivotSlab(store1, pivot_index, k));
     M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab2,
                           ReadPivotSlab(store2, pivot_index, k));
-    if (slab1.NumNonZeros() == 0 || slab2.NumNonZeros() == 0) {
+    if (slab1.NumNonZeros() > 0 && slab2.NumNonZeros() > 0) {
+      SubEnsembles slab_subs;
+      slab_subs.x1 = std::move(slab1);
+      slab_subs.x2 = std::move(slab2);
+      M2TD_ASSIGN_OR_RETURN(
+          tensor::SparseTensor join_slab,
+          JeStitch(slab_subs, partition, full_shape, options.stitch));
+      result.join_nnz += join_slab.NumNonZeros();
+      slab_span.Annotate("join_nnz", join_slab.NumNonZeros());
       stitch_timer.Stop();
-      continue;
-    }
 
-    SubEnsembles slab_subs;
-    slab_subs.x1 = std::move(slab1);
-    slab_subs.x2 = std::move(slab2);
-    M2TD_ASSIGN_OR_RETURN(
-        tensor::SparseTensor join_slab,
-        JeStitch(slab_subs, partition, full_shape, options.stitch));
-    result.join_nnz += join_slab.NumNonZeros();
-    slab_span.Annotate("join_nnz", join_slab.NumNonZeros());
-    stitch_timer.Stop();
-
-    core_timer.Resume();
-    if (join_slab.NumNonZeros() > 0) {
-      M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
-                            tensor::CoreFromSparse(join_slab, factors));
-      for (std::uint64_t i = 0; i < core.NumElements(); ++i) {
-        core.flat(i) += partial.flat(i);
+      core_timer.Resume();
+      if (join_slab.NumNonZeros() > 0) {
+        M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
+                              tensor::CoreFromSparse(join_slab, factors));
+        for (std::uint64_t i = 0; i < core.NumElements(); ++i) {
+          core.flat(i) += partial.flat(i);
+        }
       }
+      core_timer.Stop();
+    } else {
+      stitch_timer.Stop();
     }
-    core_timer.Stop();
+    if (journal && checkpoint.checkpoint_every > 0 &&
+        (linear + 1) % checkpoint.checkpoint_every == 0 &&
+        linear + 1 < pivot_total) {
+      M2TD_RETURN_IF_ERROR(snapshot_core(linear + 1));
+    }
   }
   result.timings.stitch_seconds = stitch_timer.ElapsedSeconds();
   result.timings.core_seconds = core_timer.ElapsedSeconds();

@@ -2,6 +2,7 @@
 #define M2TD_CORE_OOC_M2TD_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/m2td.h"
@@ -10,6 +11,25 @@
 #include "util/result.h"
 
 namespace m2td::core {
+
+/// \brief Checkpoint-resume controls for the out-of-core decomposition.
+///
+/// With a non-empty `checkpoint_dir` the slab loop snapshots its partial
+/// core every `checkpoint_every` pivot slabs (artifact written atomically,
+/// then journaled — see robust::CheckpointJournal). A killed run restarted
+/// with `resume = true` reloads the newest snapshot and continues from the
+/// slab after it; because the core is accumulated in a fixed prefix order
+/// and snapshots round-trip doubles exactly, the resumed result is
+/// bit-identical to an uninterrupted run.
+struct OocCheckpointOptions {
+  /// Journal + snapshot directory; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Continue from an existing journal (its fingerprint must match this
+  /// run's configuration); false wipes any previous checkpoint state.
+  bool resume = false;
+  /// Pivot slabs between partial-core snapshots.
+  std::uint64_t checkpoint_every = 8;
+};
 
 /// \brief Out-of-core M2TD: the decomposition of the join tensor computed
 /// with *bounded memory* from two sub-ensemble tensors living in chunked
@@ -37,7 +57,8 @@ namespace m2td::core {
 Result<M2tdResult> M2tdDecomposeFromStores(
     const io::ChunkStore& store1, const io::ChunkStore& store2,
     const PfPartition& partition,
-    const std::vector<std::uint64_t>& full_shape, const M2tdOptions& options);
+    const std::vector<std::uint64_t>& full_shape, const M2tdOptions& options,
+    const OocCheckpointOptions& checkpoint = {});
 
 }  // namespace m2td::core
 

@@ -1,8 +1,16 @@
 #include "ensemble/sampling.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
 #include <unordered_set>
 
+#include "io/tensor_io.h"
+#include "obs/metrics.h"
+#include "robust/checkpoint.h"
+#include "robust/durable.h"
+#include "robust/failpoint.h"
 #include "util/logging.h"
 
 namespace m2td::ensemble {
@@ -299,6 +307,165 @@ Result<tensor::SparseTensor> BuildConventionalEnsemble(
     for (std::uint32_t t = 0; t < time_res; ++t) {
       indices[time_mode] = t;
       ensemble.AppendEntry(indices, model->Cell(indices));
+    }
+  }
+  ensemble.SortAndCoalesce();
+  return ensemble;
+}
+
+Result<tensor::SparseTensor> BuildConventionalEnsembleRobust(
+    SimulationModel* model, ConventionalScheme scheme, std::uint64_t budget,
+    Rng* rng, const EnsembleBuildOptions& options,
+    EnsembleBuildReport* report) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  const ParameterSpace& space = model->space();
+  const std::size_t time_mode = model->time_mode();
+  M2TD_ASSIGN_OR_RETURN(
+      std::vector<std::vector<std::uint32_t>> combos,
+      SelectParameterCombinations(space, time_mode, scheme, budget, rng));
+
+  const std::vector<std::uint64_t> dims = ParamShape(space, time_mode);
+  const std::uint64_t total = Product(dims);
+  // Every combination ever simulated (selected, restored, or drawn as a
+  // replacement); replacement draws sample outside this set so the budget
+  // counts distinct simulations.
+  std::unordered_set<std::uint64_t> used;
+  for (const auto& combo : combos) used.insert(EncodeLinear(combo, dims));
+
+  EnsembleBuildReport local_report;
+  EnsembleBuildReport* rep = report != nullptr ? report : &local_report;
+  *rep = EnsembleBuildReport{};
+
+  std::optional<robust::CheckpointJournal> journal;
+  if (!options.checkpoint_dir.empty()) {
+    std::ostringstream fp;
+    fp << "ens-v1-" << ConventionalSchemeName(scheme) << "-b" << budget
+       << "-k" << options.batch_size << "-s";
+    for (std::uint64_t d : space.Shape()) fp << "_" << d;
+    M2TD_ASSIGN_OR_RETURN(
+        robust::CheckpointJournal opened,
+        robust::CheckpointJournal::Open(options.checkpoint_dir, fp.str(),
+                                        options.resume));
+    journal = std::move(opened);
+  }
+
+  tensor::SparseTensor ensemble(space.Shape());
+  const std::uint32_t time_res = space.Resolution(time_mode);
+  ensemble.Reserve(combos.size() * time_res);
+
+  std::vector<std::uint32_t> indices(space.num_modes());
+  auto place_combo = [&](const std::vector<std::uint32_t>& combo) {
+    std::size_t cursor = 0;
+    for (std::size_t m = 0; m < space.num_modes(); ++m) {
+      if (m != time_mode) indices[m] = combo[cursor++];
+    }
+  };
+  /// Simulates `combo`'s whole time fiber; false when any cell came back
+  /// non-finite (the fiber is then discarded).
+  std::vector<double> values;
+  auto simulate_fiber = [&](const std::vector<std::uint32_t>& combo) {
+    place_combo(combo);
+    values.clear();
+    bool finite = true;
+    for (std::uint32_t t = 0; t < time_res; ++t) {
+      indices[time_mode] = t;
+      const double v = model->Cell(indices);
+      if (!std::isfinite(v)) finite = false;
+      values.push_back(v);
+    }
+    return finite;
+  };
+
+  const std::uint64_t num_batches =
+      (combos.size() + options.batch_size - 1) / options.batch_size;
+  std::vector<std::uint32_t> idx(space.num_modes());
+  std::vector<std::uint32_t> restored_combo(dims.size());
+  for (std::uint64_t b = 0; b < num_batches; ++b) {
+    const std::string mark_key = "ensemble.batch_" + std::to_string(b);
+    const std::string artifact = "batch_" + std::to_string(b) + ".bin";
+    if (journal && journal->Contains(mark_key)) {
+      // Restore the batch verbatim, and re-reserve its combinations (which
+      // include that run's replacement draws) so this run's replacements
+      // cannot duplicate them.
+      M2TD_ASSIGN_OR_RETURN(
+          tensor::SparseTensor batch,
+          io::LoadSparseBinary(journal->ArtifactPath(artifact)));
+      std::unordered_set<std::uint64_t> batch_combos;
+      for (std::uint64_t e = 0; e < batch.NumNonZeros(); ++e) {
+        std::size_t cursor = 0;
+        for (std::size_t m = 0; m < space.num_modes(); ++m) {
+          idx[m] = batch.Index(m, e);
+          if (m != time_mode) restored_combo[cursor++] = idx[m];
+        }
+        const std::uint64_t linear = EncodeLinear(restored_combo, dims);
+        used.insert(linear);
+        batch_combos.insert(linear);
+        ensemble.AppendEntry(idx, batch.Value(e));
+      }
+      rep->simulations_kept += batch_combos.size();
+      ++rep->batches_resumed;
+      obs::GetCounter("robust.ensemble_batches_resumed").Add(1);
+      continue;
+    }
+    M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("ensemble.batch"));
+
+    tensor::SparseTensor batch(space.Shape());
+    const std::uint64_t begin = b * options.batch_size;
+    const std::uint64_t end = std::min<std::uint64_t>(
+        begin + options.batch_size, combos.size());
+    for (std::uint64_t c = begin; c < end; ++c) {
+      const std::vector<std::uint32_t>* combo = &combos[c];
+      std::vector<std::uint32_t> replacement;
+      bool kept = false;
+      while (true) {
+        if (simulate_fiber(*combo)) {
+          place_combo(*combo);
+          for (std::uint32_t t = 0; t < time_res; ++t) {
+            indices[time_mode] = t;
+            batch.AppendEntry(indices, values[t]);
+          }
+          kept = true;
+          break;
+        }
+        ++rep->failed_simulations;
+        obs::GetCounter("robust.ensemble_failed_fibers").Add(1);
+        if (rep->replacement_draws >= options.max_replacement_draws ||
+            used.size() >= total) {
+          break;  // budget cannot be preserved; drop this slot
+        }
+        std::uint64_t linear = 0;
+        do {
+          linear = rng->UniformInt(total);
+        } while (used.count(linear) != 0);
+        used.insert(linear);
+        ++rep->replacement_draws;
+        obs::GetCounter("robust.ensemble_replacements").Add(1);
+        replacement = DecodeLinear(linear, dims);
+        combo = &replacement;
+      }
+      if (kept) ++rep->simulations_kept;
+    }
+    batch.SortAndCoalesce();
+
+    if (journal) {
+      // Artifact first, mark second: the mark's presence implies the batch
+      // file is complete.
+      M2TD_RETURN_IF_ERROR(robust::AtomicWriteFile(
+          journal->ArtifactPath(artifact), [&](const std::string& tmp) {
+            return io::SaveSparseBinary(batch, tmp);
+          }));
+      M2TD_RETURN_IF_ERROR(journal->Mark(mark_key));
+    }
+    for (std::uint64_t e = 0; e < batch.NumNonZeros(); ++e) {
+      for (std::size_t m = 0; m < space.num_modes(); ++m) {
+        idx[m] = batch.Index(m, e);
+      }
+      ensemble.AppendEntry(idx, batch.Value(e));
     }
   }
   ensemble.SortAndCoalesce();

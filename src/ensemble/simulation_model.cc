@@ -1,7 +1,10 @@
 #include "ensemble/simulation_model.h"
 
 #include <cmath>
+#include <limits>
 
+#include "obs/metrics.h"
+#include "robust/failpoint.h"
 #include "sim/lorenz.h"
 #include "sim/pendulum.h"
 #include "sim/seir.h"
@@ -51,9 +54,29 @@ const sim::Trajectory& DynamicalSystemModel::GetTrajectory(
     params[m - 1] = space_.Value(m, indices[m]);
   }
   Result<sim::Trajectory> trajectory = factory_(params);
-  M2TD_CHECK(trajectory.ok())
-      << "trajectory factory failed: " << trajectory.status();
   ++simulations_run_;
+  const Status injected = robust::CheckFailpoint("sim.trajectory");
+  if (!trajectory.ok() || !injected.ok()) {
+    // A failed simulation poisons its whole time fiber with NaN instead of
+    // aborting the run: every Cell() along the fiber goes NaN, which the
+    // robust ensemble builder detects, counts as a failed simulation, and
+    // replaces with a fresh draw.
+    if (!trajectory.ok()) {
+      M2TD_LOG_WARNING() << "trajectory factory failed (fiber poisoned): "
+                         << trajectory.status();
+    }
+    obs::GetCounter("ensemble.failed_simulations").Add(1);
+    sim::Trajectory poisoned;
+    poisoned.times = reference_.times;
+    poisoned.observables.assign(
+        reference_.observables.size(),
+        std::vector<double>(
+            reference_.observables.empty()
+                ? 0
+                : reference_.observables.front().size(),
+            std::numeric_limits<double>::quiet_NaN()));
+    return cache_.emplace(key, std::move(poisoned)).first->second;
+  }
   return cache_.emplace(key, std::move(trajectory).ValueOrDie())
       .first->second;
 }

@@ -7,6 +7,10 @@
 #include "io/tensor_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/crc32.h"
+#include "robust/durable.h"
+#include "robust/failpoint.h"
+#include "robust/retry.h"
 
 namespace m2td::io {
 
@@ -14,6 +18,13 @@ namespace {
 
 constexpr char kManifestName[] = "manifest.m2td";
 constexpr char kManifestMagic[] = "m2td-chunk-store";
+/// Blob footer: this magic followed by the CRC-32 (as a little-endian
+/// u64) of every byte before the footer. Appended after the binary COO
+/// payload; LoadSparseBinary reads exact counts and ignores trailing
+/// bytes, so checksummed blobs stay readable by the plain loader and
+/// legacy blobs (no footer) stay readable here.
+constexpr std::uint64_t kCrcFooterMagic = 0x4d32544443524331ULL;  // "M2TDCRC1"
+constexpr std::uint64_t kCrcFooterBytes = 16;
 
 std::uint64_t FileSizeOrZero(const std::string& path) {
   std::error_code ec;
@@ -24,6 +35,64 @@ std::uint64_t FileSizeOrZero(const std::string& path) {
 void CountChunkRead(const std::string& path) {
   obs::GetCounter("io.chunks_read").Add(1);
   obs::GetCounter("io.bytes_read").Add(FileSizeOrZero(path));
+}
+
+/// Writes `chunk` durably: serialize + CRC footer at a temp path, then
+/// rename into place (AtomicWriteFile), retried per the global policy.
+Status WriteChunkBlob(const tensor::SparseTensor& chunk,
+                      const std::string& path) {
+  return robust::RetryStatusCall(
+      robust::GlobalRetryPolicy(), "chunk_store.write_blob", [&]() -> Status {
+        M2TD_RETURN_IF_ERROR(
+            robust::CheckFailpoint("chunk_store.write_blob"));
+        return robust::AtomicWriteFile(path, [&](const std::string& tmp) {
+          M2TD_RETURN_IF_ERROR(SaveSparseBinary(chunk, tmp));
+          M2TD_ASSIGN_OR_RETURN(std::uint32_t crc, robust::Crc32OfFile(tmp));
+          std::ofstream out(tmp, std::ios::binary | std::ios::app);
+          if (!out) return Status::IOError("cannot append CRC to '" + tmp +
+                                           "'");
+          const std::uint64_t magic = kCrcFooterMagic;
+          const std::uint64_t crc64 = crc;
+          out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+          out.write(reinterpret_cast<const char*>(&crc64), sizeof(crc64));
+          if (!out) return Status::IOError("CRC footer write failed for '" +
+                                           tmp + "'");
+          return Status::OK();
+        });
+      });
+}
+
+/// Verifies the CRC footer (when present) and loads the blob, retrying
+/// transient failures. A checksum mismatch is DataLoss and not retried.
+Result<tensor::SparseTensor> ReadChunkBlob(const std::string& path) {
+  return robust::RetryCall<tensor::SparseTensor>(
+      robust::GlobalRetryPolicy(), "chunk_store.read_blob",
+      [&]() -> Result<tensor::SparseTensor> {
+        M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("chunk_store.read_blob"));
+        const std::uint64_t size = FileSizeOrZero(path);
+        if (size > kCrcFooterBytes) {
+          std::ifstream in(path, std::ios::binary);
+          if (!in) return Status::IOError("cannot open '" + path + "'");
+          in.seekg(static_cast<std::streamoff>(size - kCrcFooterBytes));
+          std::uint64_t magic = 0, stored = 0;
+          in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+          in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+          if (in && magic == kCrcFooterMagic) {
+            M2TD_ASSIGN_OR_RETURN(
+                std::uint32_t actual,
+                robust::Crc32OfFile(path, size - kCrcFooterBytes));
+            if (actual != static_cast<std::uint32_t>(stored)) {
+              obs::GetCounter("io.crc_failures").Add(1);
+              return Status::DataLoss(
+                  "chunk blob '" + path + "' failed its CRC-32 check (" +
+                  std::to_string(actual) + " vs stored " +
+                  std::to_string(stored) + ")");
+            }
+          }
+        }
+        CountChunkRead(path);
+        return LoadSparseBinary(path);
+      });
 }
 
 }  // namespace
@@ -133,20 +202,34 @@ std::string ChunkStore::ChunkPath(std::uint64_t chunk_id) const {
 Status ChunkStore::WriteManifest() const {
   const std::string manifest_path =
       (std::filesystem::path(directory_) / kManifestName).string();
-  std::ofstream out(manifest_path);
-  if (!out) {
-    return Status::IOError("cannot write manifest '" + manifest_path + "'");
-  }
-  out << kManifestMagic << " 1\n";
-  out << "modes " << shape_.size() << "\n";
-  out << "shape";
-  for (std::uint64_t d : shape_) out << " " << d;
-  out << "\nchunk_shape";
-  for (std::uint64_t d : chunk_shape_) out << " " << d;
-  out << "\nchunks " << chunks_.size() << "\n";
-  for (const auto& [id, nnz] : chunks_) out << id << " " << nnz << "\n";
-  if (!out) return Status::IOError("manifest write failed");
-  return Status::OK();
+  return robust::RetryStatusCall(
+      robust::GlobalRetryPolicy(), "chunk_store.write_manifest",
+      [&]() -> Status {
+        M2TD_RETURN_IF_ERROR(
+            robust::CheckFailpoint("chunk_store.write_manifest"));
+        // Temp-then-rename: a crash mid-write leaves the previous manifest
+        // intact, so the store never becomes unreadable.
+        return robust::AtomicWriteFile(
+            manifest_path, [&](const std::string& tmp) -> Status {
+              std::ofstream out(tmp);
+              if (!out) {
+                return Status::IOError("cannot write manifest '" + tmp + "'");
+              }
+              out << kManifestMagic << " 1\n";
+              out << "modes " << shape_.size() << "\n";
+              out << "shape";
+              for (std::uint64_t d : shape_) out << " " << d;
+              out << "\nchunk_shape";
+              for (std::uint64_t d : chunk_shape_) out << " " << d;
+              out << "\nchunks " << chunks_.size() << "\n";
+              for (const auto& [id, nnz] : chunks_) {
+                out << id << " " << nnz << "\n";
+              }
+              out.flush();
+              if (!out) return Status::IOError("manifest write failed");
+              return Status::OK();
+            });
+      });
 }
 
 std::uint64_t ChunkStore::TotalNonZeros() const {
@@ -189,7 +272,7 @@ Status ChunkStore::Write(const tensor::SparseTensor& x) {
   for (auto& [id, chunk] : buckets) {
     chunk.SortAndCoalesce();
     const std::string path = ChunkPath(id);
-    M2TD_RETURN_IF_ERROR(SaveSparseBinary(chunk, path));
+    M2TD_RETURN_IF_ERROR(WriteChunkBlob(chunk, path));
     chunks_[id] = chunk.NumNonZeros();
     obs::GetCounter("io.chunks_written").Add(1);
     obs::GetCounter("io.bytes_written").Add(FileSizeOrZero(path));
@@ -215,9 +298,7 @@ Result<tensor::SparseTensor> ChunkStore::ReadChunk(
     empty.SortAndCoalesce();
     return empty;
   }
-  const std::string path = ChunkPath(id);
-  CountChunkRead(path);
-  return LoadSparseBinary(path);
+  return ReadChunkBlob(ChunkPath(id));
 }
 
 Result<tensor::SparseTensor> ChunkStore::ReadAll() const {
@@ -226,10 +307,8 @@ Result<tensor::SparseTensor> ChunkStore::ReadAll() const {
   tensor::SparseTensor out(shape_);
   std::vector<std::uint32_t> idx(shape_.size());
   for (const auto& [id, nnz] : chunks_) {
-    const std::string path = ChunkPath(id);
-    CountChunkRead(path);
     M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
-                          LoadSparseBinary(path));
+                          ReadChunkBlob(ChunkPath(id)));
     for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
       for (std::size_t m = 0; m < shape_.size(); ++m) {
         idx[m] = chunk.Index(m, e);
@@ -267,10 +346,8 @@ Result<tensor::SparseTensor> ChunkStore::ReadRegion(
   while (true) {
     const std::uint64_t id = ChunkIdOf(cursor);
     if (chunks_.find(id) != chunks_.end()) {
-      const std::string path = ChunkPath(id);
-      CountChunkRead(path);
       M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor chunk,
-                            LoadSparseBinary(path));
+                            ReadChunkBlob(ChunkPath(id)));
       for (std::uint64_t e = 0; e < chunk.NumNonZeros(); ++e) {
         bool inside = true;
         for (std::size_t m = 0; m < modes; ++m) {

@@ -7,6 +7,7 @@
 #include "linalg/svd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/failpoint.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 
@@ -49,6 +50,7 @@ SlabsOfStore(const ChunkStore& store, std::size_t mode) {
 Result<tensor::SparseTensor> MergeChunks(
     const ChunkStore& store,
     const std::vector<std::vector<std::uint64_t>>& chunk_indices) {
+  M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("out_of_core.merge_chunks"));
   obs::GetCounter("io.chunk_merges").Add(1);
   tensor::SparseTensor merged(store.shape());
   std::vector<std::uint32_t> idx(store.shape().size());

@@ -2,14 +2,18 @@
 #define M2TD_MAPREDUCE_ENGINE_H_
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/failpoint.h"
+#include "robust/retry.h"
 #include "util/result.h"
 #include "util/timer.h"
 
@@ -68,6 +72,12 @@ struct JobSpec {
   std::function<std::size_t(const K2&)> partitioner;
   /// Number of map/reduce workers ("servers").
   int num_workers = 1;
+  /// Task-level retry policy: a failed map or reduce task (failpoint fire,
+  /// thrown exception, returned error) is re-run from scratch up to
+  /// `retry.max_retries` times before the job fails with a clean Status.
+  /// With max_retries > 0 the shuffle keeps reducer inputs copyable so a
+  /// reduce task can be replayed (K2/V2 must then be copy-constructible).
+  robust::RetryPolicy retry;
 };
 
 namespace internal {
@@ -126,6 +136,7 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
   for (std::size_t w = 0; w < workers; ++w) {
     emitters.emplace_back(workers, partitioner);
   }
+  std::vector<Status> map_status(workers);
   {
     std::vector<std::thread> threads;
     threads.reserve(workers);
@@ -137,28 +148,49 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
         task_span.Annotate("worker", static_cast<std::int64_t>(w));
         task_span.Annotate("records",
                            static_cast<std::uint64_t>(end - begin));
-        for (std::size_t i = begin; i < end; ++i) {
-          spec.mapper(inputs[i], &emitters[w]);
-        }
-        if (spec.combiner) {
-          // Fold this mapper's local pairs per key before shuffling.
-          for (auto& buffer : emitters[w].buffers()) {
-            std::unordered_map<K2, std::vector<V2>> groups;
-            for (auto& kv : buffer) {
-              groups[std::move(kv.first)].push_back(std::move(kv.second));
-            }
-            buffer.clear();
-            for (auto& [key, values] : groups) {
-              spec.combiner(key, &values);
-              for (V2& value : values) {
-                buffer.emplace_back(key, std::move(value));
+        map_status[w] = robust::RetryStatusCall(
+            spec.retry, "mapreduce.map_task", [&]() -> Status {
+              // A replayed attempt restarts from a clean local buffer.
+              for (auto& buffer : emitters[w].buffers()) buffer.clear();
+              M2TD_RETURN_IF_ERROR(
+                  robust::CheckFailpoint("mapreduce.map_task"));
+              try {
+                for (std::size_t i = begin; i < end; ++i) {
+                  spec.mapper(inputs[i], &emitters[w]);
+                }
+                if (spec.combiner) {
+                  // Fold this mapper's local pairs per key before
+                  // shuffling.
+                  for (auto& buffer : emitters[w].buffers()) {
+                    std::unordered_map<K2, std::vector<V2>> groups;
+                    for (auto& kv : buffer) {
+                      groups[std::move(kv.first)].push_back(
+                          std::move(kv.second));
+                    }
+                    buffer.clear();
+                    for (auto& [key, values] : groups) {
+                      spec.combiner(key, &values);
+                      for (V2& value : values) {
+                        buffer.emplace_back(key, std::move(value));
+                      }
+                    }
+                  }
+                }
+              } catch (const std::exception& e) {
+                return Status::Internal("map task " + std::to_string(w) +
+                                        " threw: " + e.what());
+              } catch (...) {
+                return Status::Internal("map task " + std::to_string(w) +
+                                        " threw a non-standard exception");
               }
-            }
-          }
-        }
+              return Status::OK();
+            });
       });
     }
     for (std::thread& t : threads) t.join();
+  }
+  for (const Status& s : map_status) {
+    if (!s.ok()) return s;
   }
   map_span.End();
   obs::GetCounter("mapreduce.map_tasks").Add(workers);
@@ -194,7 +226,16 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
 
   // --- Reduce phase: group each bucket by key, fold groups. ---
   obs::ObsSpan reduce_span("reduce");
+  // Replaying a reduce task re-reads its bucket, so retries are honored
+  // only for copyable intermediates; move-only K2/V2 keep the zero-copy
+  // single-attempt path.
+  constexpr bool kReplayableReduce = std::is_copy_constructible_v<K2> &&
+                                     std::is_copy_constructible_v<V2>;
+  const bool replay_reduce = kReplayableReduce && spec.retry.max_retries > 0;
+  robust::RetryPolicy reduce_policy = spec.retry;
+  if (!replay_reduce) reduce_policy.max_retries = 0;
   std::vector<std::vector<OutT>> outputs(workers);
+  std::vector<Status> reduce_status(workers);
   {
     std::vector<std::thread> threads;
     threads.reserve(workers);
@@ -204,19 +245,51 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
         task_span.Annotate("worker", static_cast<std::int64_t>(p));
         task_span.Annotate("records",
                            static_cast<std::uint64_t>(buckets[p].size()));
-        std::unordered_map<K2, std::vector<V2>> groups;
-        groups.reserve(buckets[p].size());
-        for (auto& kv : buckets[p]) {
-          groups[std::move(kv.first)].push_back(std::move(kv.second));
-        }
-        buckets[p].clear();
-        buckets[p].shrink_to_fit();
-        for (auto& [key, values] : groups) {
-          spec.reducer(key, values, &outputs[p]);
+        reduce_status[p] = robust::RetryStatusCall(
+            reduce_policy, "mapreduce.reduce_task", [&]() -> Status {
+              outputs[p].clear();
+              M2TD_RETURN_IF_ERROR(
+                  robust::CheckFailpoint("mapreduce.reduce_task"));
+              std::unordered_map<K2, std::vector<V2>> groups;
+              groups.reserve(buckets[p].size());
+              if constexpr (kReplayableReduce) {
+                if (replay_reduce) {
+                  for (const auto& kv : buckets[p]) {
+                    groups[kv.first].push_back(kv.second);
+                  }
+                }
+              }
+              if (!replay_reduce) {
+                for (auto& kv : buckets[p]) {
+                  groups[std::move(kv.first)].push_back(
+                      std::move(kv.second));
+                }
+                buckets[p].clear();
+                buckets[p].shrink_to_fit();
+              }
+              try {
+                for (auto& [key, values] : groups) {
+                  spec.reducer(key, values, &outputs[p]);
+                }
+              } catch (const std::exception& e) {
+                return Status::Internal("reduce task " + std::to_string(p) +
+                                        " threw: " + e.what());
+              } catch (...) {
+                return Status::Internal("reduce task " + std::to_string(p) +
+                                        " threw a non-standard exception");
+              }
+              return Status::OK();
+            });
+        if (replay_reduce && reduce_status[p].ok()) {
+          buckets[p].clear();
+          buckets[p].shrink_to_fit();
         }
       });
     }
     for (std::thread& t : threads) t.join();
+  }
+  for (const Status& s : reduce_status) {
+    if (!s.ok()) return s;
   }
 
   std::vector<OutT> merged;

@@ -1,0 +1,56 @@
+#include "robust/crc32.h"
+
+#include <array>
+#include <fstream>
+
+namespace m2td::robust {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+Result<std::uint32_t> Crc32OfFile(const std::string& path,
+                                  std::uint64_t size) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for checksum");
+  std::uint32_t crc = 0;
+  char buffer[1 << 16];
+  std::uint64_t remaining = size;
+  while (remaining > 0 && in) {
+    const std::streamsize want = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(remaining, sizeof(buffer)));
+    in.read(buffer, want);
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    crc = Crc32(buffer, static_cast<std::size_t>(got), crc);
+    remaining -= static_cast<std::uint64_t>(got);
+  }
+  if (size != ~0ULL && remaining != 0) {
+    return Status::IOError("'" + path + "' shorter than checksummed range");
+  }
+  return crc;
+}
+
+}  // namespace m2td::robust

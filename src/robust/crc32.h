@@ -1,0 +1,26 @@
+#ifndef M2TD_ROBUST_CRC32_H_
+#define M2TD_ROBUST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace m2td::robust {
+
+/// \brief CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) over a
+/// byte range. Chain calls by passing the previous return value as `crc`
+/// to checksum discontiguous buffers.
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+/// CRC-32 of the first `size` bytes of the file at `path` (the whole file
+/// when `size` is npos-like ~0). IOError when unreadable or shorter than
+/// `size`.
+Result<std::uint32_t> Crc32OfFile(const std::string& path,
+                                  std::uint64_t size = ~0ULL);
+
+}  // namespace m2td::robust
+
+#endif  // M2TD_ROBUST_CRC32_H_

@@ -1,0 +1,27 @@
+#ifndef M2TD_ROBUST_DURABLE_H_
+#define M2TD_ROBUST_DURABLE_H_
+
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace m2td::robust {
+
+/// \brief Crash-consistent file replacement: `writer` produces the new
+/// content at a temporary sibling path (`<path>.tmp`), which is then
+/// renamed over `path`. POSIX rename is atomic within a filesystem, so a
+/// crash at any point leaves either the complete old file or the complete
+/// new file — never a torn mixture. The temporary is removed on writer
+/// failure.
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(const std::string&)>&
+                           writer);
+
+/// The temporary sibling AtomicWriteFile uses (exposed so cleanup sweeps
+/// and tests can look for strays).
+std::string TempPathFor(const std::string& path);
+
+}  // namespace m2td::robust
+
+#endif  // M2TD_ROBUST_DURABLE_H_

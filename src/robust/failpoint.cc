@@ -1,0 +1,172 @@
+#include "robust/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace m2td::robust {
+
+namespace {
+
+/// One armed failpoint plus its live counters. The PRNG advances once per
+/// *eligible* hit (past `after`, under `times`), so the fire pattern is a
+/// deterministic function of the spec alone.
+struct ArmedFailpoint {
+  FailpointSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  Rng rng{0};
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, ArmedFailpoint, std::less<>>& Registry() {
+  static auto* registry = new std::map<std::string, ArmedFailpoint, std::less<>>();
+  return *registry;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+Status CheckFailpointSlow(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::OK();
+  ArmedFailpoint& armed = it->second;
+  const std::uint64_t hit = armed.hits++;
+  if (hit < armed.spec.after) return Status::OK();
+  if (armed.fires >= armed.spec.times) return Status::OK();
+  if (armed.spec.probability < 1.0 &&
+      armed.rng.UniformDouble() >= armed.spec.probability) {
+    return Status::OK();
+  }
+  ++armed.fires;
+  obs::GetCounter("robust.failpoint_fires").Add(1);
+  obs::GetCounter("robust.failpoint." + armed.spec.name).Add(1);
+  obs::Tracer::Get().RecordInstant("failpoint:" + armed.spec.name);
+  return Status::Internal("failpoint '" + armed.spec.name + "' fired (hit #" +
+                          std::to_string(hit + 1) + ")");
+}
+
+}  // namespace internal
+
+Result<FailpointSpec> ParseFailpointSpec(const std::string& spec) {
+  FailpointSpec parsed;
+  const std::size_t colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  if (parsed.name.empty()) {
+    return Status::InvalidArgument("failpoint spec needs a name: '" + spec +
+                                   "'");
+  }
+  if (colon == std::string::npos) return parsed;
+  for (const std::string& field : Split(spec.substr(colon + 1), ',')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint option without '=': '" +
+                                     field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "after" || key == "times" || key == "seed") {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer in failpoint spec: '" +
+                                       field + "'");
+      }
+      if (key == "after") parsed.after = v;
+      if (key == "times") parsed.times = v;
+      if (key == "seed") parsed.seed = v;
+    } else if (key == "prob") {
+      const double p = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || p <= 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "failpoint prob must be in (0,1]: '" + field + "'");
+      }
+      parsed.probability = p;
+    } else {
+      return Status::InvalidArgument("unknown failpoint option '" + key +
+                                     "' (after|times|prob|seed)");
+    }
+  }
+  return parsed;
+}
+
+Status ArmFailpoint(const FailpointSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("failpoint name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  ArmedFailpoint armed;
+  armed.spec = spec;
+  armed.rng = Rng(spec.seed);
+  const bool inserted =
+      Registry().insert_or_assign(spec.name, std::move(armed)).second;
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ArmFailpointsFromString(const std::string& specs) {
+  for (const std::string& one : Split(specs, ';')) {
+    if (one.empty()) continue;
+    M2TD_ASSIGN_OR_RETURN(FailpointSpec spec, ParseFailpointSpec(one));
+    M2TD_RETURN_IF_ERROR(ArmFailpoint(spec));
+  }
+  return Status::OK();
+}
+
+Status ArmFailpointsFromEnv() {
+  const char* env = std::getenv("M2TD_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmFailpointsFromString(env);
+}
+
+void DisarmFailpoint(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return;
+  Registry().erase(it);
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAllFailpoints() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  internal::g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
+                                    std::memory_order_relaxed);
+  Registry().clear();
+}
+
+std::uint64_t FailpointHits(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailpointFires(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedFailpoints() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, armed] : Registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace m2td::robust

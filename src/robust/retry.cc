@@ -1,0 +1,135 @@
+#include "robust/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace m2td::robust {
+
+namespace {
+
+std::mutex& StateMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+SleepFn& TestSleeper() {
+  static auto* sleeper = new SleepFn();
+  return *sleeper;
+}
+
+RetryPolicy& GlobalPolicyStorage() {
+  static auto* policy = new RetryPolicy();
+  return *policy;
+}
+
+}  // namespace
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kInternal;
+}
+
+double BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng) {
+  double delay = policy.base_backoff_ms;
+  for (int i = 0; i < attempt && delay < policy.max_backoff_ms; ++i) {
+    delay *= policy.multiplier;
+  }
+  delay = std::min(delay, policy.max_backoff_ms);
+  const double jitter = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  return delay * (1.0 - jitter + jitter * rng->UniformDouble());
+}
+
+std::vector<double> BackoffSchedule(const RetryPolicy& policy) {
+  Rng rng(policy.seed);
+  std::vector<double> schedule;
+  schedule.reserve(static_cast<std::size_t>(std::max(policy.max_retries, 0)));
+  for (int attempt = 0; attempt < policy.max_retries; ++attempt) {
+    schedule.push_back(BackoffMs(policy, attempt, &rng));
+  }
+  return schedule;
+}
+
+void SetRetrySleeperForTest(SleepFn sleeper) {
+  std::lock_guard<std::mutex> lock(StateMutex());
+  TestSleeper() = std::move(sleeper);
+}
+
+RetryPolicy GlobalRetryPolicy() {
+  std::lock_guard<std::mutex> lock(StateMutex());
+  return GlobalPolicyStorage();
+}
+
+void SetGlobalRetryPolicy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(StateMutex());
+  GlobalPolicyStorage() = policy;
+}
+
+namespace internal {
+
+void SleepForMs(double delay_ms) {
+  SleepFn sleeper;
+  {
+    std::lock_guard<std::mutex> lock(StateMutex());
+    sleeper = TestSleeper();
+  }
+  if (sleeper) {
+    sleeper(delay_ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      std::max(delay_ms, 0.0)));
+}
+
+void CountAttemptFailure(std::string_view op_name, const Status& status,
+                         int attempt, bool will_retry, double delay_ms) {
+  if (!will_retry) return;
+  obs::GetCounter("robust.retry_attempts").Add(1);
+  obs::Tracer::Get().RecordInstant("retry:" + std::string(op_name));
+  M2TD_LOG_DEBUG() << "retrying '" << op_name << "' (attempt "
+                   << attempt + 1 << " failed: " << status << "; backing off "
+                   << delay_ms << " ms)";
+}
+
+void CountOutcome(std::string_view op_name, bool success, int attempts) {
+  if (attempts <= 1) return;  // clean first-try success / non-retryable
+  if (success) {
+    obs::GetCounter("robust.retry_success").Add(1);
+  } else {
+    obs::GetCounter("robust.retry_exhausted").Add(1);
+    M2TD_LOG_WARNING() << "'" << op_name << "' failed after " << attempts
+                       << " attempts";
+  }
+}
+
+}  // namespace internal
+
+Status RetryStatusCall(const RetryPolicy& policy, std::string_view op_name,
+                       const std::function<Status()>& fn) {
+  Rng rng(policy.seed);
+  for (int attempt = 0;; ++attempt) {
+    Status status = fn();
+    if (status.ok()) {
+      internal::CountOutcome(op_name, /*success=*/true, attempt + 1);
+      return status;
+    }
+    const bool will_retry =
+        attempt < policy.max_retries && IsRetryable(status);
+    const double delay_ms = will_retry ? BackoffMs(policy, attempt, &rng) : 0;
+    internal::CountAttemptFailure(op_name, status, attempt, will_retry,
+                                  delay_ms);
+    if (!will_retry) {
+      internal::CountOutcome(op_name, /*success=*/false, attempt + 1);
+      return status;
+    }
+    internal::SleepForMs(delay_ms);
+  }
+}
+
+}  // namespace m2td::robust

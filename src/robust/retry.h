@@ -1,0 +1,105 @@
+#ifndef M2TD_ROBUST_RETRY_H_
+#define M2TD_ROBUST_RETRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m2td::robust {
+
+/// \brief Capped exponential backoff with seeded jitter.
+///
+/// An operation run under a policy is attempted up to `max_retries + 1`
+/// times. After a failed attempt `a` (0-based) the caller sleeps for
+///
+///   delay(a) = min(max_backoff_ms, base_backoff_ms * multiplier^a)
+///              * (1 - jitter_fraction + jitter_fraction * u)
+///
+/// where u ~ U[0,1) comes from an Rng seeded with `seed`, so the full
+/// backoff schedule is deterministic for a given policy — tests assert on
+/// it without wall-clock flakiness (see SetRetrySleeperForTest).
+struct RetryPolicy {
+  /// Re-attempts after the first try; 0 disables retrying entirely.
+  int max_retries = 0;
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 100.0;
+  double multiplier = 2.0;
+  /// Fraction of the delay randomized away (0 = fully deterministic
+  /// delays, 1 = anywhere in [0, delay)).
+  double jitter_fraction = 0.5;
+  std::uint64_t seed = 0;
+};
+
+/// Transient failures worth re-attempting: kIOError (environment hiccup)
+/// and kInternal (failpoints, crashed task bodies). kDataLoss is explicitly
+/// NOT retryable — corrupt bytes stay corrupt.
+bool IsRetryable(const Status& status);
+
+/// The jittered delay in milliseconds after failed attempt `attempt`
+/// (0-based), drawing jitter from `rng`.
+double BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// The full delay schedule (max_retries entries) a fresh RetryCall would
+/// use, including jitter from a PRNG seeded with policy.seed.
+std::vector<double> BackoffSchedule(const RetryPolicy& policy);
+
+/// Replaces the sleep implementation used between attempts. For tests:
+/// install a collector to assert on delays without sleeping. nullptr
+/// restores the real (std::this_thread::sleep_for) sleeper. The sleeper
+/// may be invoked concurrently from multiple worker threads.
+using SleepFn = std::function<void(double delay_ms)>;
+void SetRetrySleeperForTest(SleepFn sleeper);
+
+/// Process-wide default policy consumed by the IO layer (chunk blob
+/// reads/writes). Defaults to max_retries = 0, i.e. no retrying; the CLI's
+/// --max_retries flag raises it.
+RetryPolicy GlobalRetryPolicy();
+void SetGlobalRetryPolicy(const RetryPolicy& policy);
+
+namespace internal {
+void SleepForMs(double delay_ms);
+void CountAttemptFailure(std::string_view op_name, const Status& status,
+                         int attempt, bool will_retry, double delay_ms);
+void CountOutcome(std::string_view op_name, bool success, int attempts);
+}  // namespace internal
+
+/// Runs `fn` under `policy`: re-attempts on retryable failures with backoff
+/// sleeps in between, returning the first success or the final failure.
+/// Emits obs counters `robust.retry_attempts` (re-attempts performed),
+/// `robust.retry_success` (ops that succeeded after >= 1 retry), and
+/// `robust.retry_exhausted` (ops that failed every attempt).
+template <typename T>
+Result<T> RetryCall(const RetryPolicy& policy, std::string_view op_name,
+                    const std::function<Result<T>()>& fn) {
+  Rng rng(policy.seed);
+  for (int attempt = 0;; ++attempt) {
+    Result<T> result = fn();
+    if (result.ok()) {
+      internal::CountOutcome(op_name, /*success=*/true, attempt + 1);
+      return result;
+    }
+    const bool will_retry =
+        attempt < policy.max_retries && IsRetryable(result.status());
+    const double delay_ms = will_retry ? BackoffMs(policy, attempt, &rng) : 0;
+    internal::CountAttemptFailure(op_name, result.status(), attempt,
+                                  will_retry, delay_ms);
+    if (!will_retry) {
+      internal::CountOutcome(op_name, /*success=*/false, attempt + 1);
+      return result;
+    }
+    internal::SleepForMs(delay_ms);
+  }
+}
+
+/// Status-returning flavor of RetryCall for operations without a value.
+Status RetryStatusCall(const RetryPolicy& policy, std::string_view op_name,
+                       const std::function<Status()>& fn);
+
+}  // namespace m2td::robust
+
+#endif  // M2TD_ROBUST_RETRY_H_

@@ -21,6 +21,10 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  /// Stored data is unreadable or fails its integrity check (checksum
+  /// mismatch, torn write). Unlike kIOError this is not retryable: the
+  /// bytes on disk are wrong, not merely momentarily unavailable.
+  kDataLoss,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -66,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

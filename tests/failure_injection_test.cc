@@ -3,9 +3,11 @@
 // misbehaves — missing/corrupt/truncated files, deleted chunk blobs,
 // reducers that produce nothing, degenerate numeric inputs.
 
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <unistd.h>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "linalg/eigen.h"
 #include "linalg/svd.h"
 #include "mapreduce/engine.h"
+#include "robust/retry.h"
 #include "tensor/matricize.h"
 #include "tensor/tucker.h"
 #include "util/random.h"
@@ -156,6 +159,64 @@ TEST(MapReduceFailureTest, MapperEmittingNothingIsFine) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->empty());
   EXPECT_EQ(stats.intermediate_pairs, 0u);
+}
+
+TEST(MapReduceFailureTest, ThrowingMapperSurfacesInternal) {
+  std::vector<int> inputs = {1, 2, 3};
+  mapreduce::JobSpec<int, int, int, int> spec;
+  spec.num_workers = 2;
+  spec.mapper = [](const int& v, mapreduce::Emitter<int, int>*) {
+    if (v == 2) throw std::runtime_error("mapper exploded");
+  };
+  spec.reducer = [](const int&, std::vector<int>&, std::vector<int>*) {};
+  auto result = mapreduce::RunJob(spec, inputs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("mapper exploded"),
+            std::string::npos);
+}
+
+TEST(MapReduceFailureTest, ThrowingReducerSurfacesInternal) {
+  std::vector<int> inputs = {1, 2, 3};
+  mapreduce::JobSpec<int, int, int, int> spec;
+  spec.num_workers = 2;
+  spec.mapper = [](const int& v, mapreduce::Emitter<int, int>* e) {
+    e->Emit(v, v);
+  };
+  spec.reducer = [](const int&, std::vector<int>&, std::vector<int>*) {
+    throw std::runtime_error("reducer exploded");
+  };
+  auto result = mapreduce::RunJob(spec, inputs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(MapReduceFailureTest, ThrowingMapperHealedByTaskRetry) {
+  std::vector<int> inputs = {1, 2, 3, 4};
+  std::atomic<int> boom{1};  // first map attempt that sees item 1 throws
+  mapreduce::JobSpec<int, int, int, int> spec;
+  spec.num_workers = 1;
+  spec.retry.max_retries = 2;
+  spec.mapper = [&boom](const int& v, mapreduce::Emitter<int, int>* e) {
+    if (v == 1 && boom.fetch_sub(1) > 0) {
+      throw std::runtime_error("transient mapper crash");
+    }
+    e->Emit(0, v);
+  };
+  spec.reducer = [](const int&, std::vector<int>& values,
+                    std::vector<int>* out) {
+    int sum = 0;
+    for (int v : values) sum += v;
+    out->push_back(sum);
+  };
+  robust::SetRetrySleeperForTest([](double) {});
+  auto result = mapreduce::RunJob(spec, inputs);
+  robust::SetRetrySleeperForTest(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The retried task replays all its items; the emitter buffer reset keeps
+  // the replay from double-counting.
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], 10);
 }
 
 TEST(NumericEdgeTest, GramOfAllZeroValuesIsZeroAndDecomposable) {

@@ -34,6 +34,8 @@
 #include "io/tucker_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/failpoint.h"
+#include "robust/retry.h"
 #include "tensor/cp.h"
 #include "tensor/hooi.h"
 #include "tensor/tucker.h"
@@ -54,6 +56,17 @@ int Fail(const Status& status) {
   std::cerr << "error: " << status << "\n";
   return 1;
 }
+
+/// Global fault-tolerance flags, stripped from argv like the obs flags so
+/// every command accepts them; applied before subcommand dispatch.
+struct RobustFlags {
+  std::string fail_point;
+  std::string checkpoint_dir;
+  std::int64_t max_retries = 0;
+  bool resume = false;
+};
+
+RobustFlags g_robust_flags;
 
 Result<std::unique_ptr<m2td::ensemble::DynamicalSystemModel>> BuildModel(
     const std::string& system, std::int64_t resolution) {
@@ -195,8 +208,27 @@ int RunSimulate(int argc, const char* const* argv) {
     return Fail(Status::InvalidArgument("unknown scheme '" + scheme + "'"));
   }
   m2td::Rng rng(static_cast<std::uint64_t>(seed));
-  auto ensemble = m2td::ensemble::BuildConventionalEnsemble(
-      model->get(), conventional, static_cast<std::uint64_t>(budget), &rng);
+  Result<m2td::tensor::SparseTensor> ensemble =
+      Status::Internal("unreachable");
+  if (!g_robust_flags.checkpoint_dir.empty()) {
+    m2td::ensemble::EnsembleBuildOptions build_options;
+    build_options.checkpoint_dir = g_robust_flags.checkpoint_dir;
+    build_options.resume = g_robust_flags.resume;
+    m2td::ensemble::EnsembleBuildReport report;
+    ensemble = m2td::ensemble::BuildConventionalEnsembleRobust(
+        model->get(), conventional, static_cast<std::uint64_t>(budget), &rng,
+        build_options, &report);
+    if (ensemble.ok()) {
+      std::cout << "robust build: " << report.simulations_kept
+                << " simulations kept, " << report.failed_simulations
+                << " failed, " << report.replacement_draws
+                << " replacement draws, " << report.batches_resumed
+                << " batches resumed\n";
+    }
+  } else {
+    ensemble = m2td::ensemble::BuildConventionalEnsemble(
+        model->get(), conventional, static_cast<std::uint64_t>(budget), &rng);
+  }
   if (!ensemble.ok()) return Fail(ensemble.status());
 
   const Status save = format == "binary"
@@ -483,6 +515,15 @@ void PrintTopLevelUsage() {
       "                        Perfetto) of the run\n"
       "  --trace_summary       print an indented per-span wall-time summary\n"
       "  --metrics_out=<file>  write counters/gauges/histograms as JSON\n"
+      "  --max_retries=<n>     retry transient IO/task failures up to n\n"
+      "                        times (capped exponential backoff)\n"
+      "  --fail_point=<spec>   arm a fault-injection point, e.g.\n"
+      "                        chunk_store.read_blob:times=1 or\n"
+      "                        mapreduce.map_task:prob=0.2,seed=7;\n"
+      "                        repeatable, ';'-separated; the\n"
+      "                        M2TD_FAILPOINTS env var is also honored\n"
+      "  --checkpoint_dir=<d>  journal simulate progress under d (resumable)\n"
+      "  --resume              continue from an existing checkpoint journal\n"
       "run '<command> --help' for per-command flags\n";
 }
 
@@ -499,6 +540,9 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
   ObsFlags flags;
   const std::string_view trace_prefix = "--trace_out=";
   const std::string_view metrics_prefix = "--metrics_out=";
+  const std::string_view retries_prefix = "--max_retries=";
+  const std::string_view failpoint_prefix = "--fail_point=";
+  const std::string_view checkpoint_prefix = "--checkpoint_dir=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.substr(0, trace_prefix.size()) == trace_prefix) {
@@ -509,6 +553,23 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
       flags.trace_summary = true;
     } else if (arg == "--trace_summary=false") {
       flags.trace_summary = false;
+    } else if (arg.substr(0, retries_prefix.size()) == retries_prefix) {
+      g_robust_flags.max_retries =
+          std::strtol(std::string(arg.substr(retries_prefix.size())).c_str(),
+                      nullptr, 10);
+    } else if (arg.substr(0, failpoint_prefix.size()) == failpoint_prefix) {
+      if (!g_robust_flags.fail_point.empty()) {
+        g_robust_flags.fail_point += ";";
+      }
+      g_robust_flags.fail_point +=
+          std::string(arg.substr(failpoint_prefix.size()));
+    } else if (arg.substr(0, checkpoint_prefix.size()) == checkpoint_prefix) {
+      g_robust_flags.checkpoint_dir =
+          std::string(arg.substr(checkpoint_prefix.size()));
+    } else if (arg == "--resume" || arg == "--resume=true") {
+      g_robust_flags.resume = true;
+    } else if (arg == "--resume=false") {
+      g_robust_flags.resume = false;
     } else {
       remaining->push_back(argv[i]);
     }
@@ -556,6 +617,21 @@ int main(int argc, char** argv) {
   }
   if (!obs_flags.metrics_out.empty()) {
     m2td::obs::SetMetricsEnabled(true);
+  }
+  const Status env_armed = m2td::robust::ArmFailpointsFromEnv();
+  if (!env_armed.ok()) return Fail(env_armed);
+  if (!g_robust_flags.fail_point.empty()) {
+    const Status armed =
+        m2td::robust::ArmFailpointsFromString(g_robust_flags.fail_point);
+    if (!armed.ok()) return Fail(armed);
+  }
+  if (g_robust_flags.max_retries < 0) {
+    return Fail(Status::InvalidArgument("--max_retries must be >= 0"));
+  }
+  if (g_robust_flags.max_retries > 0) {
+    m2td::robust::RetryPolicy policy;
+    policy.max_retries = static_cast<int>(g_robust_flags.max_retries);
+    m2td::robust::SetGlobalRetryPolicy(policy);
   }
 
   if (args.size() < 2) {
