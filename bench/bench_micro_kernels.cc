@@ -5,16 +5,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/je_stitch.h"
 #include "core/pf_partition.h"
 #include "linalg/eigen.h"
+#include "parallel/thread_pool.h"
 #include "sim/lorenz.h"
 #include "sim/pendulum.h"
+#include "tensor/dense_tensor.h"
 #include "tensor/matricize.h"
 #include "tensor/sparse_tensor.h"
 #include "tensor/ttm.h"
 #include "tensor/tucker.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -211,6 +215,78 @@ void BM_LorenzSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_LorenzSimulation);
 
+m2td::tensor::DenseTensor MakeDense(const std::vector<std::uint64_t>& shape,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  m2td::tensor::DenseTensor x(shape);
+  for (std::uint64_t i = 0; i < x.NumElements(); ++i) {
+    x.flat(i) = rng.Gaussian();
+  }
+  return x;
+}
+
+/// Thread-count sweep over the two pool-parallel hot kernels (dense TTM
+/// and matricization). Reports per-thread-count wall seconds plus the
+/// speedup relative to --threads=1 into BENCH_micro_kernels.json. On a
+/// machine whose core count is below the sweep point, speedup saturates
+/// at ~1.0 — the JSON records what this box can actually do.
+void RunThreadSweep(m2td::bench::BenchJson* json) {
+  const m2td::tensor::DenseTensor x = MakeDense({48, 48, 48}, 53);
+  const Matrix u = RandomFactor(12, 48, 59);
+
+  std::cout << "\nthread sweep (dense TTM 48^3 x12, matricize 48^3):\n";
+  double ttm_base = 0.0;
+  double matricize_base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    m2td::parallel::SetGlobalThreads(threads);
+    constexpr int kReps = 5;
+    m2td::Timer timer;
+    for (int r = 0; r < kReps; ++r) {
+      auto y = m2td::tensor::ModeProduct(x, u, 1, /*transpose_u=*/false);
+      benchmark::DoNotOptimize(y);
+    }
+    const double ttm_seconds = timer.ElapsedSeconds() / kReps;
+    timer.Restart();
+    for (int r = 0; r < kReps; ++r) {
+      auto unfolded = m2td::tensor::Matricize(x, 1);
+      benchmark::DoNotOptimize(unfolded);
+    }
+    const double matricize_seconds = timer.ElapsedSeconds() / kReps;
+    if (threads == 1) {
+      ttm_base = ttm_seconds;
+      matricize_base = matricize_seconds;
+    }
+    const std::string suffix = "_t" + std::to_string(threads);
+    json->Add("ttm_seconds" + suffix, ttm_seconds);
+    json->Add("matricize_seconds" + suffix, matricize_seconds);
+    json->Add("ttm_speedup" + suffix,
+              ttm_seconds > 0.0 ? ttm_base / ttm_seconds : 0.0);
+    json->Add("matricize_speedup" + suffix,
+              matricize_seconds > 0.0 ? matricize_base / matricize_seconds
+                                      : 0.0);
+    std::cout << "  threads=" << threads << "  ttm " << ttm_seconds * 1e3
+              << " ms (x" << (ttm_seconds > 0.0 ? ttm_base / ttm_seconds : 0.0)
+              << ")  matricize " << matricize_seconds * 1e3 << " ms (x"
+              << (matricize_seconds > 0.0 ? matricize_base / matricize_seconds
+                                          : 0.0)
+              << ")\n";
+  }
+  json->Add("hardware_threads",
+            static_cast<double>(m2td::parallel::HardwareThreads()));
+  m2td::parallel::SetGlobalThreads(m2td::parallel::HardwareThreads());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  m2td::obs::SetTracingEnabled(true);
+  m2td::obs::SetMetricsEnabled(true);
+  m2td::bench::BenchJson json("micro_kernels");
+  RunThreadSweep(&json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  json.Write();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "core/dm2td.h"
 #include "io/table.h"
+#include "parallel/thread_pool.h"
 #include "tensor/tucker.h"
 
 int main() {
@@ -40,7 +41,13 @@ int main() {
   m2td::io::TablePrinter table({"Workers", "Phase1 (ms)", "Phase2 (ms)",
                                 "Phase3 (ms)", "Total (ms)", "Accuracy"});
 
+  double base_seconds = 0.0;
   for (int workers : {1, 2, 4, 8}) {
+    // Size the shared pool to the row's worker count: MapReduce phase
+    // tasks and the tensor kernels below them all draw from this pool,
+    // so "#servers" maps onto real thread-level parallelism (bounded by
+    // this machine's cores).
+    m2td::parallel::SetGlobalThreads(workers);
     m2td::core::DM2tdOptions options;
     options.method = m2td::core::M2tdMethod::kSelect;
     options.ranks = m2td::core::UniformRanks(**model, rank);
@@ -64,10 +71,17 @@ int main() {
                   m2td::io::TablePrinter::Cell(
                       result->TotalSeconds() * 1e3, 1),
                   m2td::io::TablePrinter::Cell(accuracy, 3)});
+    if (workers == 1) base_seconds = result->TotalSeconds();
     json.Add("total_seconds_workers" + std::to_string(workers),
              result->TotalSeconds());
+    json.Add("speedup_workers" + std::to_string(workers),
+             result->TotalSeconds() > 0.0
+                 ? base_seconds / result->TotalSeconds()
+                 : 0.0);
     json.Add("accuracy_workers" + std::to_string(workers), accuracy);
   }
+  json.Add("hardware_threads",
+           static_cast<double>(m2td::parallel::HardwareThreads()));
 
   table.Print(std::cout);
   std::cout << "\nHardware concurrency on this machine: "

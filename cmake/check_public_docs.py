@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Fail if a public symbol in the given headers lacks a Doxygen comment.
+
+Used by the `docs` CMake target as a doc-coverage gate for the public API
+of src/parallel/ (and any other directories passed on the command line).
+Unlike doxygen's WARN_IF_UNDOCUMENTED (which needs the doxygen binary and
+EXTRACT_ALL=NO), this runs anywhere python3 exists, so the gate holds even
+on machines without doxygen installed.
+
+A "public symbol" is a namespace-scope or public class-member declaration
+of a type (class/struct/enum/using/typedef) or a function. Member
+variables, private/protected members, forward declarations, and
+`= delete` / `= default` functions are exempt. A symbol counts as
+documented when the immediately preceding non-blank line closes a
+`///`, `//!`, or `/** ... */` comment (a `template <...>` header may sit
+between the comment and the declaration since it accumulates into the
+same logical statement).
+
+Usage: check_public_docs.py <header-or-directory>...
+Exits 1 and lists every undocumented symbol found.
+"""
+
+import os
+import re
+import sys
+
+ACCESS_LABELS = {"public:", "protected:", "private:"}
+TYPE_KEYWORDS = ("class ", "struct ", "enum ", "using ", "typedef ")
+
+
+def strip_line_comment(line):
+    """Remove a trailing // comment (headers here have no // in strings)."""
+    pos = line.find("//")
+    return line[:pos] if pos >= 0 else line
+
+
+def statement_name(stmt):
+    """Best-effort symbol name for the error message."""
+    for kw in ("class", "struct", "enum"):
+        m = re.search(r"\b%s\s+([A-Za-z_]\w*)" % kw, stmt)
+        if m:
+            return m.group(1)
+    m = re.search(r"\busing\s+([A-Za-z_]\w*)\s*=", stmt)
+    if m:
+        return m.group(1)
+    m = re.search(r"([~A-Za-z_][\w:]*)\s*\(", stmt)
+    if m:
+        return m.group(1)
+    return stmt[:60]
+
+
+def check_header(path):
+    """Returns a list of (line_number, symbol) undocumented public symbols."""
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+
+    errors = []
+    # Brace-scope stack: 'ns' (namespace), 'pub'/'priv' (class body with
+    # that access), 'skip' (function body or other ignored scope).
+    stack = []
+    pending_doc = False
+    in_block_comment = False
+    skip_depth = 0  # unbalanced braces inside a 'skip' scope
+
+    stmt = ""       # logical statement being accumulated
+    stmt_line = 0   # line the statement started on
+    stmt_doc = False
+
+    def context():
+        for entry in reversed(stack):
+            if entry == "skip":
+                return "skip"
+            return entry
+        return "ns"  # file scope
+
+    def finish_statement():
+        nonlocal stmt, stmt_doc
+        text = " ".join(stmt.split())
+        open_braces = text.count("{") - text.count("}")
+        ctx = context()
+
+        if text.startswith("namespace"):
+            if open_braces > 0:
+                stack.append("ns")
+        elif re.match(r"(template\s*<.*>\s*)?(class|struct|enum)\b", text):
+            is_definition = open_braces > 0
+            if ctx in ("ns", "pub") and (is_definition or ";" not in text):
+                pass  # fallthrough to doc check below
+            if is_definition:
+                if ctx in ("ns", "pub") and not stmt_doc:
+                    errors.append((stmt_line, statement_name(text)))
+                kind = "pub" if re.search(r"\b(struct|enum)\b", text) \
+                    else "priv"
+                stack.append(kind if ctx != "skip" else "skip")
+        elif open_braces > 0:
+            # Function (or lambda-bearing) definition: check, skip the body.
+            if ctx in ("ns", "pub") and "(" in text and not _exempt(text):
+                if not stmt_doc:
+                    errors.append((stmt_line, statement_name(text)))
+            stack.append("skip")
+            _note_skip(open_braces)
+        else:
+            # One-line statement: declaration, alias, or variable.
+            if ctx in ("ns", "pub") and not _exempt(text):
+                is_type = text.startswith(TYPE_KEYWORDS) and (
+                    "=" in text or "{" in text)
+                is_function = "(" in text and (
+                    ";" in text or "{" in text) and not _is_variable(text)
+                if (is_type or is_function) and not stmt_doc:
+                    errors.append((stmt_line, statement_name(text)))
+        stmt = ""
+        stmt_doc = False
+
+    def _exempt(text):
+        if "= delete" in text or "= default" in text:
+            return True
+        # Forward declaration: `class X;` with no body.
+        if re.match(r"(class|struct|enum)\s+[A-Za-z_]\w*\s*;", text):
+            return True
+        return False
+
+    def _is_variable(text):
+        # `std::function<void(int)> member;` has parens but no argument
+        # list following a name — treat decls whose parens all sit inside
+        # template angle brackets as variables.
+        depth, i = 0, 0
+        for ch in text:
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth = max(0, depth - 1)
+            elif ch == "(" and depth == 0:
+                return False
+            i += 1
+        return True
+
+    skip_extra = [0]
+
+    def _note_skip(n):
+        skip_extra[0] = n - 1  # one '{' is accounted by the stack entry
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+                pending_doc = True
+            continue
+
+        if not stmt:
+            if not line:
+                pending_doc = False
+                continue
+            if line.startswith("///") or line.startswith("//!"):
+                pending_doc = True
+                continue
+            if line.startswith("/**") or line.startswith("/*!"):
+                if "*/" not in line:
+                    in_block_comment = True
+                else:
+                    pending_doc = True
+                continue
+            if line.startswith("//") or line.startswith("/*"):
+                pending_doc = False
+                continue
+            if line.startswith("#"):
+                pending_doc = False
+                continue
+
+        code = strip_line_comment(line).strip()
+        if not code:
+            continue
+
+        # Inside a skipped scope, only track braces until it closes.
+        if context() == "skip":
+            skip_extra[0] += code.count("{") - code.count("}")
+            while skip_extra[0] < 0 and stack:
+                entry = stack.pop()
+                skip_extra[0] += 1
+                if entry != "skip":
+                    break
+            if skip_extra[0] < 0:
+                skip_extra[0] = 0
+            continue
+
+        if code in ACCESS_LABELS:
+            if stack and stack[-1] in ("pub", "priv"):
+                stack[-1] = "pub" if code == "public:" else "priv"
+            pending_doc = False
+            continue
+
+        if code.startswith("}"):
+            closes = code.count("}") - code.count("{")
+            for _ in range(max(1, closes)):
+                if stack:
+                    stack.pop()
+            pending_doc = False
+            continue
+
+        if not stmt:
+            stmt_line = lineno
+            stmt_doc = pending_doc
+            pending_doc = False
+        stmt += " " + code
+
+        # A statement is complete once it has a terminator and balanced
+        # parens (multi-line signatures keep accumulating).
+        parens = stmt.count("(") - stmt.count(")")
+        braces = stmt.count("{") - stmt.count("}")
+        terminated = (";" in code and parens == 0 and braces <= 0) or \
+            (braces > 0 and parens == 0) or \
+            ("{" in stmt and braces == 0 and parens == 0 and
+             code.endswith("}"))
+        if terminated:
+            finish_statement()
+
+    return errors
+
+
+def collect_headers(args):
+    headers = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _, files in os.walk(arg):
+                headers.extend(
+                    os.path.join(root, f) for f in sorted(files)
+                    if f.endswith(".h"))
+        else:
+            headers.append(arg)
+    return headers
+
+
+def main():
+    if len(sys.argv) < 2:
+        print("usage: check_public_docs.py <header-or-directory>...",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    headers = collect_headers(sys.argv[1:])
+    for path in headers:
+        for lineno, symbol in check_header(path):
+            print("%s:%d: undocumented public symbol: %s"
+                  % (path, lineno, symbol), file=sys.stderr)
+            failures += 1
+    if failures:
+        print("check_public_docs: %d undocumented public symbol(s)"
+              % failures, file=sys.stderr)
+        return 1
+    print("check_public_docs: %d header(s) clean" % len(headers))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace m2td::core {
@@ -60,6 +61,42 @@ void ScatterKey(std::uint64_t key, const std::vector<std::uint64_t>& dims,
   }
 }
 
+/// Appends every entry of `src` to `dst` in entry order.
+void AppendAll(tensor::SparseTensor& dst, const tensor::SparseTensor& src) {
+  std::vector<std::uint32_t> idx(src.num_modes());
+  for (std::uint64_t e = 0; e < src.NumNonZeros(); ++e) {
+    for (std::size_t m = 0; m < src.num_modes(); ++m) idx[m] = src.Index(m, e);
+    dst.AppendEntry(idx, src.Value(e));
+  }
+}
+
+/// Runs `emit_for_key` over `keys` in parallel chunks, each chunk
+/// appending into a chunk-local SparseTensor, and concatenates the local
+/// tensors in ascending chunk order. Chunks are contiguous, in-order
+/// slices of `keys`, so the concatenated append sequence is exactly the
+/// serial one — identical at any thread count and for any chunking.
+tensor::SparseTensor StitchOverKeys(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::uint64_t>& full_shape,
+    const std::function<void(std::uint64_t key, tensor::SparseTensor& local,
+                             std::vector<std::uint32_t>& indices)>&
+        emit_for_key) {
+  return parallel::ParallelReduce<tensor::SparseTensor>(
+      0, keys.size(), 0, tensor::SparseTensor(full_shape),
+      [&](std::uint64_t kb, std::uint64_t ke) {
+        tensor::SparseTensor local(full_shape);
+        std::vector<std::uint32_t> indices(full_shape.size());
+        for (std::uint64_t i = kb; i < ke; ++i) {
+          emit_for_key(keys[static_cast<std::size_t>(i)], local, indices);
+        }
+        return local;
+      },
+      [](tensor::SparseTensor& acc, tensor::SparseTensor&& local) {
+        AppendAll(acc, local);
+      },
+      "je_stitch_join");
+}
+
 }  // namespace
 
 Result<tensor::SparseTensor> JeStitch(
@@ -98,23 +135,32 @@ Result<tensor::SparseTensor> JeStitch(
   PivotGroups groups1 = GroupByPivot(subs.x1, k);
   PivotGroups groups2 = GroupByPivot(subs.x2, k);
 
-  tensor::SparseTensor join(full_shape);
-  std::vector<std::uint32_t> indices(full_shape.size());
-
   if (!options.zero_join) {
+    // Pivot keys in map iteration order; the chunked scan preserves this
+    // order, so the appended entry sequence matches the serial loop.
+    std::vector<std::uint64_t> pivot_keys;
+    pivot_keys.reserve(groups1.size());
     for (const auto& [pivot_key, list1] : groups1) {
-      auto it2 = groups2.find(pivot_key);
-      if (it2 == groups2.end()) continue;
-      ScatterKey(pivot_key, pivot_dims, partition.pivot_modes, &indices);
-      for (const SideEntry& e1 : list1) {
-        ScatterKey(e1.side_key, side1_dims, partition.side1_modes, &indices);
-        for (const SideEntry& e2 : it2->second) {
-          ScatterKey(e2.side_key, side2_dims, partition.side2_modes,
-                     &indices);
-          join.AppendEntry(indices, 0.5 * (e1.value + e2.value));
-        }
-      }
+      pivot_keys.push_back(pivot_key);
     }
+    tensor::SparseTensor join = StitchOverKeys(
+        pivot_keys, full_shape,
+        [&](std::uint64_t pivot_key, tensor::SparseTensor& local,
+            std::vector<std::uint32_t>& indices) {
+          auto it2 = groups2.find(pivot_key);
+          if (it2 == groups2.end()) return;
+          const std::vector<SideEntry>& list1 = groups1.at(pivot_key);
+          ScatterKey(pivot_key, pivot_dims, partition.pivot_modes, &indices);
+          for (const SideEntry& e1 : list1) {
+            ScatterKey(e1.side_key, side1_dims, partition.side1_modes,
+                       &indices);
+            for (const SideEntry& e2 : it2->second) {
+              ScatterKey(e2.side_key, side2_dims, partition.side2_modes,
+                         &indices);
+              local.AppendEntry(indices, 0.5 * (e1.value + e2.value));
+            }
+          }
+        });
     join.SortAndCoalesce(tensor::CoalescePolicy::kMean);
     span.Annotate("join_nnz", join.NumNonZeros());
     stitched_cells.Add(join.NumNonZeros());
@@ -139,30 +185,35 @@ Result<tensor::SparseTensor> JeStitch(
   std::unordered_set<std::uint64_t> pivot_union;
   for (const auto& [pivot_key, list] : groups1) pivot_union.insert(pivot_key);
   for (const auto& [pivot_key, list] : groups2) pivot_union.insert(pivot_key);
+  std::vector<std::uint64_t> union_keys(pivot_union.begin(),
+                                        pivot_union.end());
 
-  for (std::uint64_t pivot_key : pivot_union) {
-    ScatterKey(pivot_key, pivot_dims, partition.pivot_modes, &indices);
-    // Per-pivot lookup tables.
-    std::unordered_map<std::uint64_t, double> lookup1, lookup2;
-    if (auto it = groups1.find(pivot_key); it != groups1.end()) {
-      for (const SideEntry& e : it->second) lookup1[e.side_key] = e.value;
-    }
-    if (auto it = groups2.find(pivot_key); it != groups2.end()) {
-      for (const SideEntry& e : it->second) lookup2[e.side_key] = e.value;
-    }
-    for (std::uint64_t key1 : cand1) {
-      const auto v1 = lookup1.find(key1);
-      ScatterKey(key1, side1_dims, partition.side1_modes, &indices);
-      for (std::uint64_t key2 : cand2) {
-        const auto v2 = lookup2.find(key2);
-        if (v1 == lookup1.end() && v2 == lookup2.end()) continue;
-        const double a = (v1 != lookup1.end()) ? v1->second : 0.0;
-        const double b = (v2 != lookup2.end()) ? v2->second : 0.0;
-        ScatterKey(key2, side2_dims, partition.side2_modes, &indices);
-        join.AppendEntry(indices, 0.5 * (a + b));
-      }
-    }
-  }
+  tensor::SparseTensor join = StitchOverKeys(
+      union_keys, full_shape,
+      [&](std::uint64_t pivot_key, tensor::SparseTensor& local,
+          std::vector<std::uint32_t>& indices) {
+        ScatterKey(pivot_key, pivot_dims, partition.pivot_modes, &indices);
+        // Per-pivot lookup tables.
+        std::unordered_map<std::uint64_t, double> lookup1, lookup2;
+        if (auto it = groups1.find(pivot_key); it != groups1.end()) {
+          for (const SideEntry& e : it->second) lookup1[e.side_key] = e.value;
+        }
+        if (auto it = groups2.find(pivot_key); it != groups2.end()) {
+          for (const SideEntry& e : it->second) lookup2[e.side_key] = e.value;
+        }
+        for (std::uint64_t key1 : cand1) {
+          const auto v1 = lookup1.find(key1);
+          ScatterKey(key1, side1_dims, partition.side1_modes, &indices);
+          for (std::uint64_t key2 : cand2) {
+            const auto v2 = lookup2.find(key2);
+            if (v1 == lookup1.end() && v2 == lookup2.end()) continue;
+            const double a = (v1 != lookup1.end()) ? v1->second : 0.0;
+            const double b = (v2 != lookup2.end()) ? v2->second : 0.0;
+            ScatterKey(key2, side2_dims, partition.side2_modes, &indices);
+            local.AppendEntry(indices, 0.5 * (a + b));
+          }
+        }
+      });
   join.SortAndCoalesce(tensor::CoalescePolicy::kMean);
   span.Annotate("join_nnz", join.NumNonZeros());
   stitched_cells.Add(join.NumNonZeros());

@@ -4,17 +4,38 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/parallel_for.h"
+
 namespace m2td::linalg {
 
 namespace {
 
+// Rows below this stay serial: a Jacobi convergence check on a small
+// Gram matrix is cheaper than a pool region.
+constexpr std::size_t kParallelEigenRows = 64;
+
 double OffDiagonalNorm(const Matrix& a) {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      if (i != j) sum += a(i, j) * a(i, j);
+  auto row_range_sum = [&a](std::uint64_t rb, std::uint64_t re) {
+    double sum = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(rb);
+         i < static_cast<std::size_t>(re); ++i) {
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        if (i != j) sum += a(i, j) * a(i, j);
+      }
     }
+    return sum;
+  };
+  if (a.rows() < kParallelEigenRows) {
+    return std::sqrt(row_range_sum(0, a.rows()));
   }
+  // Ordered chunk merge keeps the summation association a pure function
+  // of the matrix size; results match across thread counts (though they
+  // reassociate relative to the small-matrix serial path, which is a
+  // size-based, thread-independent choice).
+  const double sum = parallel::ParallelReduce<double>(
+      0, a.rows(), 0, 0.0, row_range_sum,
+      [](double& acc, double partial) { acc += partial; },
+      "offdiag_norm");
   return std::sqrt(sum);
 }
 
@@ -27,13 +48,30 @@ Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
     return Status::InvalidArgument("SymmetricEigen requires a square matrix");
   }
   const double fro = input.FrobeniusNorm();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (std::fabs(input(i, j) - input(j, i)) >
-          1e-9 * std::max(1.0, fro)) {
-        return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
+  // Max asymmetry over the upper triangle. max() is exact (no rounding),
+  // so any chunking gives the identical value; the reduce is only worth
+  // a region on matrices past the size guard.
+  auto max_asymmetry = [&input](std::uint64_t rb, std::uint64_t re) {
+    double worst = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(rb);
+         i < static_cast<std::size_t>(re); ++i) {
+      for (std::size_t j = i + 1; j < input.rows(); ++j) {
+        worst = std::max(worst, std::fabs(input(i, j) - input(j, i)));
       }
     }
+    return worst;
+  };
+  const double asym =
+      n < kParallelEigenRows
+          ? max_asymmetry(0, n)
+          : parallel::ParallelReduce<double>(
+                0, n, 0, 0.0, max_asymmetry,
+                [](double& acc, double partial) {
+                  acc = std::max(acc, partial);
+                },
+                "symmetry_check");
+  if (asym > 1e-9 * std::max(1.0, fro)) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
   }
 
   Matrix a = input;

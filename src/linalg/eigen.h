@@ -33,6 +33,20 @@ struct JacobiOptions {
 /// side), where Jacobi's unconditional numerical robustness and simplicity
 /// beat more scalable tridiagonalization schemes. Returns InvalidArgument
 /// for non-square or non-symmetric (beyond 1e-9 relative) input.
+///
+/// Complexity: O(n^2) rotations per sweep, O(n) work each — O(n^3) per
+/// sweep, typically a handful of sweeps to converge. Memory: one n x n
+/// copy being diagonalized plus the n x n accumulated eigenvector matrix.
+///
+/// Thread-safety/parallelism: safe to call concurrently; inputs are
+/// const and all state is local. The rotations themselves run serially —
+/// each rotation mutates two rows/columns and reorders poorly — but the
+/// two O(n^2) scans (the symmetry check, span "symmetry_check", an exact
+/// max; and the off-diagonal norm, span "offdiag_norm", an ordered sum)
+/// run as ParallelReduce on parallel::GlobalPool() once n >= 64. Both
+/// reductions merge fixed, pool-size-independent chunks in ascending
+/// order, so acceptance and convergence decisions — and therefore the
+/// returned eigenpairs — are bit-identical across `--threads` values.
 Result<SymmetricEigenResult> SymmetricEigen(
     const Matrix& a, const JacobiOptions& options = JacobiOptions());
 

@@ -5,7 +5,34 @@
 #include <sstream>
 #include <utility>
 
+#include "parallel/parallel_for.h"
+
 namespace m2td::linalg {
+
+namespace {
+
+// Row-parallel kernels only pay off past a flop threshold; below it the
+// region setup dominates. The guard must not depend on the pool size:
+// each output row is computed wholly by one thread with the serial
+// instruction sequence, so results are bit-identical either way, but a
+// thread-count-dependent guard would still be a determinism smell.
+constexpr std::uint64_t kParallelFlopThreshold = 1 << 15;
+
+void RowParallel(std::size_t rows, std::uint64_t flops, const char* label,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (flops < kParallelFlopThreshold) {
+    body(0, rows);
+    return;
+  }
+  parallel::ParallelFor(
+      0, rows, 0,
+      [&](std::uint64_t b, std::uint64_t e) {
+        body(static_cast<std::size_t>(b), static_cast<std::size_t>(e));
+      },
+      label);
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -86,17 +113,24 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
       << b.rows() << "x" << b.cols();
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order: streams over rows of b, good locality in row-major.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.RowPtr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aik * brow[j];
+  // Row-parallel: each output row is produced by exactly one thread with
+  // the serial per-row instruction sequence (bit-identical at any thread
+  // count).
+  const std::uint64_t flops = static_cast<std::uint64_t>(a.rows()) *
+                              a.cols() * b.cols();
+  RowParallel(a.rows(), flops, "matmul", [&](std::size_t ib, std::size_t ie) {
+    for (std::size_t i = ib; i < ie; ++i) {
+      double* crow = c.RowPtr(i);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+          crow[j] += aik * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -105,18 +139,26 @@ Matrix MultiplyTransA(const Matrix& a, const Matrix& b) {
       << "multiplyTransA shape mismatch: (" << a.rows() << "x" << a.cols()
       << ")^T * " << b.rows() << "x" << b.cols();
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.RowPtr(k);
-    const double* brow = b.RowPtr(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
+  // Gather form of the serial k-i-j scatter: for a fixed output row i the
+  // contributions arrive in the same ascending-k order (with the same
+  // zero skip), so per-element addition sequences match the serial code
+  // bit-for-bit while rows parallelize with disjoint writes.
+  const std::uint64_t flops = static_cast<std::uint64_t>(a.rows()) *
+                              a.cols() * b.cols();
+  RowParallel(a.cols(), flops, "matmul_ta",
+              [&](std::size_t ib, std::size_t ie) {
+    for (std::size_t i = ib; i < ie; ++i) {
       double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aki * brow[j];
+      for (std::size_t k = 0; k < a.rows(); ++k) {
+        const double aki = a(k, i);
+        if (aki == 0.0) continue;
+        const double* brow = b.RowPtr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+          crow[j] += aki * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -125,15 +167,20 @@ Matrix MultiplyTransB(const Matrix& a, const Matrix& b) {
       << "multiplyTransB shape mismatch: " << a.rows() << "x" << a.cols()
       << " * (" << b.rows() << "x" << b.cols() << ")^T";
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.RowPtr(j);
-      double sum = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      c(i, j) = sum;
+  const std::uint64_t flops = static_cast<std::uint64_t>(a.rows()) *
+                              a.cols() * b.rows();
+  RowParallel(a.rows(), flops, "matmul_tb",
+              [&](std::size_t ib, std::size_t ie) {
+    for (std::size_t i = ib; i < ie; ++i) {
+      const double* arow = a.RowPtr(i);
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        const double* brow = b.RowPtr(j);
+        double sum = 0.0;
+        for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+        c(i, j) = sum;
+      }
     }
-  }
+  });
   return c;
 }
 

@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <thread>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
 #include "util/result.h"
@@ -23,10 +24,14 @@ namespace m2td::mapreduce {
 ///
 /// Substitutes the Hadoop cluster of the paper's D-M2TD experiments (see
 /// DESIGN.md): the same map -> shuffle-by-key -> reduce structure, with
-/// worker threads in place of cluster nodes. Inputs are sharded across map
+/// worker tasks in place of cluster nodes. Inputs are sharded across map
 /// workers; each map worker writes to per-reducer local buffers that are
 /// merged into reducer buckets after the map barrier (the "shuffle");
 /// reduce workers then group their bucket by key and fold each group.
+/// Phases execute their tasks on the shared parallel::GlobalPool() (one
+/// task per worker index; concurrency is capped by `--threads`), so a
+/// task exception can never strand a phase barrier — the pool rethrows it
+/// once in the initiator, where it becomes an error Status.
 ///
 /// Type parameters: InputT map input record, K2/V2 intermediate key/value,
 /// OutT reduce output record. K2 needs std::hash and operator== (or a
@@ -101,6 +106,36 @@ class BufferEmitter : public Emitter<K2, V2> {
   std::vector<std::vector<std::pair<K2, V2>>> buffers_;
 };
 
+/// Runs `task(w)` for every worker index in [0, workers) on the global
+/// thread pool (one pool chunk per task; actual parallelism is bounded by
+/// the pool size, i.e. `--threads`, not by `workers`). Any exception that
+/// escapes a task — including ones thrown *outside* the task's own
+/// try/retry scaffolding, e.g. by a user key type's hash or copy
+/// constructor during reduce grouping — is captured by the pool region
+/// and rethrown exactly once here, where it becomes a clean Status
+/// instead of std::terminate (the old per-phase std::thread vectors
+/// crashed the process on such escapes, and a crashed thread meant the
+/// phase barrier could never be joined).
+inline Status RunPhaseTasks(std::size_t workers, const char* label,
+                            const std::function<void(std::size_t)>& task) {
+  try {
+    parallel::ParallelFor(
+        0, workers, 1,
+        [&](std::uint64_t wb, std::uint64_t we) {
+          for (std::uint64_t w = wb; w < we; ++w) {
+            task(static_cast<std::size_t>(w));
+          }
+        },
+        label);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string(label) + " task escaped: " + e.what());
+  } catch (...) {
+    return Status::Internal(std::string(label) +
+                            " task escaped with a non-standard exception");
+  }
+  return Status::OK();
+}
+
 }  // namespace internal
 
 /// Runs a job over `inputs`; returns the concatenated reducer outputs
@@ -137,11 +172,8 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
     emitters.emplace_back(workers, partitioner);
   }
   std::vector<Status> map_status(workers);
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w]() {
+  M2TD_RETURN_IF_ERROR(internal::RunPhaseTasks(
+      workers, "map_tasks", [&](std::size_t w) {
         const std::size_t begin = inputs.size() * w / workers;
         const std::size_t end = inputs.size() * (w + 1) / workers;
         obs::ObsSpan task_span("map_task");
@@ -185,10 +217,7 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
               }
               return Status::OK();
             });
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
+      }));
   for (const Status& s : map_status) {
     if (!s.ok()) return s;
   }
@@ -236,11 +265,8 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
   if (!replay_reduce) reduce_policy.max_retries = 0;
   std::vector<std::vector<OutT>> outputs(workers);
   std::vector<Status> reduce_status(workers);
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t p = 0; p < workers; ++p) {
-      threads.emplace_back([&, p]() {
+  M2TD_RETURN_IF_ERROR(internal::RunPhaseTasks(
+      workers, "reduce_tasks", [&](std::size_t p) {
         obs::ObsSpan task_span("reduce_task");
         task_span.Annotate("worker", static_cast<std::int64_t>(p));
         task_span.Annotate("records",
@@ -250,24 +276,29 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
               outputs[p].clear();
               M2TD_RETURN_IF_ERROR(
                   robust::CheckFailpoint("mapreduce.reduce_task"));
-              std::unordered_map<K2, std::vector<V2>> groups;
-              groups.reserve(buckets[p].size());
-              if constexpr (kReplayableReduce) {
-                if (replay_reduce) {
-                  for (const auto& kv : buckets[p]) {
-                    groups[kv.first].push_back(kv.second);
+              // Grouping runs INSIDE the try: it invokes the user key
+              // type's hash, equality, and copy constructor, any of
+              // which may throw. It used to sit outside, where a throw
+              // escaped the worker thread and terminated the process
+              // before the phase barrier (see failure_injection_test).
+              try {
+                std::unordered_map<K2, std::vector<V2>> groups;
+                groups.reserve(buckets[p].size());
+                if constexpr (kReplayableReduce) {
+                  if (replay_reduce) {
+                    for (const auto& kv : buckets[p]) {
+                      groups[kv.first].push_back(kv.second);
+                    }
                   }
                 }
-              }
-              if (!replay_reduce) {
-                for (auto& kv : buckets[p]) {
-                  groups[std::move(kv.first)].push_back(
-                      std::move(kv.second));
+                if (!replay_reduce) {
+                  for (auto& kv : buckets[p]) {
+                    groups[std::move(kv.first)].push_back(
+                        std::move(kv.second));
+                  }
+                  buckets[p].clear();
+                  buckets[p].shrink_to_fit();
                 }
-                buckets[p].clear();
-                buckets[p].shrink_to_fit();
-              }
-              try {
                 for (auto& [key, values] : groups) {
                   spec.reducer(key, values, &outputs[p]);
                 }
@@ -284,10 +315,7 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
           buckets[p].clear();
           buckets[p].shrink_to_fit();
         }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
+      }));
   for (const Status& s : reduce_status) {
     if (!s.ok()) return s;
   }

@@ -1,0 +1,53 @@
+#include "parallel/parallel_for.h"
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace m2td::parallel {
+
+void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                 const ChunkFn& fn, const char* label) {
+  if (end <= begin) return;
+  const std::uint64_t range = end - begin;
+  ThreadPool& pool = GlobalPool();
+  const std::uint64_t threads =
+      static_cast<std::uint64_t>(pool.num_threads());
+  const std::uint64_t g =
+      grain > 0 ? grain
+                : std::max<std::uint64_t>(1, range / (4 * threads));
+  const std::uint64_t num_chunks = (range + g - 1) / g;
+
+  // Single chunk or serial pool: run inline, no region machinery. The
+  // exception path is identical (propagates once to the caller).
+  if (num_chunks <= 1 || threads <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  obs::ObsSpan span(label);
+  span.Annotate("range", range);
+  span.Annotate("chunks", num_chunks);
+  span.Annotate("threads", threads);
+  static obs::Counter& regions = obs::GetCounter("parallel.regions");
+  static obs::Counter& chunks = obs::GetCounter("parallel.chunks");
+  regions.Increment();
+  chunks.Add(num_chunks);
+
+  auto region = std::make_shared<internal::Region>();
+  region->num_chunks = num_chunks;
+  region->run_chunk = [&, g](std::uint64_t index) {
+    const std::uint64_t b = begin + index * g;
+    const std::uint64_t e = std::min(end, b + g);
+    fn(b, e);
+  };
+  pool.RunRegion(region);
+}
+
+void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                 const ChunkFn& fn) {
+  ParallelFor(begin, end, grain, fn, "parallel_for");
+}
+
+}  // namespace m2td::parallel

@@ -1,0 +1,99 @@
+#ifndef M2TD_PARALLEL_PARALLEL_FOR_H_
+#define M2TD_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace m2td::parallel {
+
+/// Chunk callback: processes the half-open index range [begin, end).
+using ChunkFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
+
+/// \brief Runs `fn` over [begin, end) in parallel chunks on the global
+/// pool.
+///
+/// The range is split into contiguous chunks of `grain` indices
+/// (`grain == 0` picks ~4 chunks per pool thread); chunks are claimed by
+/// work-sharing across the pool's workers plus the calling thread, which
+/// always participates (so nesting ParallelFor inside a chunk is legal
+/// and deadlock-free, and a 1-thread pool degenerates to an inline serial
+/// loop). Callers must treat chunk *boundaries* as unspecified: only the
+/// union of all chunks — exactly [begin, end), each index once — is
+/// contractual. Writes from different chunks must target disjoint data
+/// (or the caller synchronizes); use ParallelReduce for accumulations.
+///
+/// The first exception thrown by a chunk cancels the remaining chunks
+/// and is rethrown exactly once in the caller. With tracing enabled the
+/// region appears as a `label` span annotated with range/chunks/threads,
+/// and the pool counters (`parallel.regions`, `parallel.chunks`,
+/// `parallel.busy_us`, gauge `parallel.queue_depth`) are updated.
+void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                 const ChunkFn& fn, const char* label);
+
+/// ParallelFor with the default span label "parallel_for".
+void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                 const ChunkFn& fn);
+
+namespace internal {
+
+/// Deterministic reduction grain: `grain` when positive, otherwise the
+/// range split into at most kReduceChunks pieces. Never depends on the
+/// pool size — this is what makes ParallelReduce results identical
+/// across thread counts.
+inline std::uint64_t ReduceGrain(std::uint64_t range, std::uint64_t grain) {
+  constexpr std::uint64_t kReduceChunks = 16;
+  if (grain > 0) return grain;
+  return std::max<std::uint64_t>(1,
+                                 (range + kReduceChunks - 1) / kReduceChunks);
+}
+
+}  // namespace internal
+
+/// \brief Ordered-merge parallel reduction over [begin, end).
+///
+/// `chunk_fn(chunk_begin, chunk_end) -> T` computes a partial result per
+/// chunk (running serially within the chunk, in index order);
+/// `merge(acc, partial)` folds the partials into `init` **in ascending
+/// chunk order** on the calling thread. Chunk boundaries are a pure
+/// function of the range and `grain` (`grain == 0` uses a fixed 16-way
+/// split) — never of the pool size — so for a deterministic `chunk_fn`
+/// the result is bit-identical across thread counts, including
+/// floating-point accumulations whose association is fixed by the
+/// chunking. Exceptions from `chunk_fn` propagate exactly once; no merge
+/// happens after a failure.
+template <typename T, typename ChunkFnT, typename MergeFn>
+T ParallelReduce(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                 T init, const ChunkFnT& chunk_fn, const MergeFn& merge,
+                 const char* label = "parallel_reduce") {
+  if (end <= begin) return init;
+  const std::uint64_t range = end - begin;
+  const std::uint64_t g = internal::ReduceGrain(range, grain);
+  const std::uint64_t num_chunks = (range + g - 1) / g;
+  std::vector<std::optional<T>> partials(
+      static_cast<std::size_t>(num_chunks));
+  ParallelFor(
+      0, num_chunks, 1,
+      [&](std::uint64_t cb, std::uint64_t ce) {
+        for (std::uint64_t c = cb; c < ce; ++c) {
+          const std::uint64_t b = begin + c * g;
+          const std::uint64_t e = std::min(end, b + g);
+          partials[static_cast<std::size_t>(c)].emplace(chunk_fn(b, e));
+        }
+      },
+      label);
+  T acc = std::move(init);
+  for (auto& partial : partials) {
+    merge(acc, std::move(*partial));
+  }
+  return acc;
+}
+
+}  // namespace m2td::parallel
+
+#endif  // M2TD_PARALLEL_PARALLEL_FOR_H_

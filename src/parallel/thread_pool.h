@@ -1,0 +1,119 @@
+#ifndef M2TD_PARALLEL_THREAD_POOL_H_
+#define M2TD_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m2td::parallel {
+
+namespace internal {
+
+/// \brief One parallel region: a fixed number of chunks claimed by
+/// work-sharing.
+///
+/// Chunks are claimed with a single atomic fetch-add, so any thread —
+/// pool workers and the initiating thread alike — can help drain the
+/// region. The first exception thrown by a chunk is captured and the
+/// region is cancelled: remaining chunks are still *claimed* (so the
+/// completion count converges) but their bodies are skipped, and the
+/// captured exception is rethrown exactly once, in the initiator.
+struct Region {
+  /// Runs chunk `index` in [0, num_chunks).
+  std::function<void(std::uint64_t index)> run_chunk;
+  std::uint64_t num_chunks = 0;
+
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  /// Chunks finished (run or skipped); guarded by `mu`.
+  std::uint64_t completed = 0;
+  /// First exception thrown by a chunk body; guarded by `mu`.
+  std::exception_ptr error;
+};
+
+}  // namespace internal
+
+/// \brief Fixed-size work-sharing thread pool.
+///
+/// A pool of size N owns N-1 OS worker threads: the thread that initiates
+/// a region always participates in executing it, so `--threads=1` means a
+/// fully inline, zero-thread serial pool and nested regions can never
+/// deadlock (an initiator only blocks once every chunk of its region has
+/// been claimed, and every claimed chunk is being executed by some thread
+/// that makes progress).
+///
+/// Thread-safety: RunRegion may be called concurrently from any thread,
+/// including from inside a chunk of another region (nested parallelism —
+/// the inner initiator participates, and idle workers pick up inner
+/// chunks once their outer claims are exhausted). Construction and
+/// destruction must not race with RunRegion.
+class ThreadPool {
+ public:
+  /// Creates a pool of `num_threads` total execution threads (clamped to
+  /// at least 1); spawns `num_threads - 1` workers.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Queued regions are drained by their initiators
+  /// (which always participate), never abandoned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution threads (workers + the initiating caller).
+  int num_threads() const { return num_threads_; }
+
+  /// Executes every chunk of `region`, the caller participating, and
+  /// returns once all chunks completed. Rethrows the first chunk
+  /// exception (exactly once).
+  void RunRegion(const std::shared_ptr<internal::Region>& region);
+
+  /// Regions currently enqueued (diagnostic; also exported as the
+  /// `parallel.queue_depth` gauge).
+  std::size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs chunks of `region` until none are left.
+  static void ExecuteChunks(internal::Region& region);
+
+  int num_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<internal::Region>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+int HardwareThreads();
+
+/// \brief Process-wide pool singleton, created on first use with
+/// HardwareThreads() threads (or the size set by SetGlobalThreads).
+///
+/// All parallel kernels in the library run on this pool; the CLI's
+/// `--threads` flag configures it. The reference stays valid until the
+/// next SetGlobalThreads call.
+ThreadPool& GlobalPool();
+
+/// Resizes the global pool to `num_threads` total threads (clamped to
+/// [1, 512]). Must not be called while regions are in flight (callers:
+/// CLI startup, bench sweeps, tests between cases).
+void SetGlobalThreads(int num_threads);
+
+/// Size the global pool has (or will be created with).
+int GlobalThreads();
+
+}  // namespace m2td::parallel
+
+#endif  // M2TD_PARALLEL_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "linalg/eigen.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 
@@ -67,8 +68,14 @@ Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
                                     const HooiOptions& options,
                                     HooiInfo* info, ProjectFn project,
                                     CoreFn compute_core) {
+  // The sweep itself is Gauss-Seidel (mode n + 1 consumes the factor just
+  // produced for mode n) and must stay sequential; parallelism comes from
+  // the pooled inner kernels (TTM, matricize, Gram, matmul) each sweep
+  // step calls.
   obs::ObsSpan hooi_span("hooi");
   hooi_span.Annotate("num_modes", static_cast<std::uint64_t>(factors.size()));
+  hooi_span.Annotate("threads",
+                     static_cast<std::uint64_t>(parallel::GlobalThreads()));
   double previous_fit = -1.0;
   bool converged = false;
   int iterations = 0;

@@ -38,12 +38,30 @@ struct HooiInfo {
 /// from the core norm without materializing the reconstruction.
 ///
 /// The input must be coalesced; `ranks` are clamped to mode lengths.
+///
+/// Complexity: per sweep, each mode costs one projection chain
+/// (O(nnz * r) for the sparse first hop, then dense chain products over
+/// the shrinking intermediate) plus a Gram + Jacobi eigensolve of an
+/// I_n x I_n matrix. Memory peaks at the largest projection intermediate
+/// (nnz-independent after the first hop) plus per-mode Grams.
+///
+/// Thread-safety/parallelism: safe to call concurrently. The sweep itself
+/// is sequential by construction — HOOI is Gauss–Seidel, each mode's
+/// update consumes the factors just refreshed this sweep — so parallelism
+/// comes from the pooled kernels underneath (SparseModeProduct,
+/// ModeProduct, ModeGram, matrix multiplies, Jacobi norm reductions). All
+/// of those are bit-identical across thread counts, so a HOOI run
+/// converges to exactly the same factors/core at any `--threads` value
+/// (asserted by parallel_test.cc). The enclosing span "hooi" annotates
+/// the pool size used.
 Result<TuckerDecomposition> HooiSparse(const SparseTensor& x,
                                        std::vector<std::uint64_t> ranks,
                                        const HooiOptions& options = {},
                                        HooiInfo* info = nullptr);
 
-/// Dense-input variant.
+/// Dense-input variant: same sweep structure, same sequential-sweep /
+/// parallel-kernel split and cross-thread-count determinism; the
+/// projection chain is all-dense (O(|X| * r) first hop).
 Result<TuckerDecomposition> HooiDense(const DenseTensor& x,
                                       std::vector<std::uint64_t> ranks,
                                       const HooiOptions& options = {},

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 
 namespace m2td::tensor {
 
@@ -40,28 +41,64 @@ Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.column < b.column; });
 
-  // Each group of equal columns contributes an outer product of its
-  // (row, value) pairs. Accumulate the upper triangle, mirror at the end.
-  std::uint64_t group_begin = 0;
-  while (group_begin < entries.size()) {
-    std::uint64_t group_end = group_begin + 1;
-    while (group_end < entries.size() &&
-           entries[group_end].column == entries[group_begin].column) {
-      ++group_end;
+  // Group boundaries: one group per distinct matricization column. Each
+  // group contributes an outer product of its (row, value) pairs.
+  std::vector<std::uint64_t> group_offsets;
+  for (std::uint64_t e = 0; e < entries.size(); ++e) {
+    if (e == 0 || entries[e].column != entries[e - 1].column) {
+      group_offsets.push_back(e);
     }
-    for (std::uint64_t i = group_begin; i < group_end; ++i) {
-      for (std::uint64_t j = i; j < group_end; ++j) {
-        const std::uint32_t ri = entries[i].row;
-        const std::uint32_t rj = entries[j].row;
-        const double contrib = entries[i].value * entries[j].value;
-        if (ri <= rj) {
-          gram(ri, rj) += contrib;
-        } else {
-          gram(rj, ri) += contrib;
+  }
+  group_offsets.push_back(entries.size());
+  const std::uint64_t num_groups = group_offsets.size() - 1;
+
+  // Accumulate the upper triangle into per-chunk partial Gram matrices
+  // (chunks split at group boundaries, never inside a group), merged in
+  // ascending chunk order. The chunking is a pure function of the group
+  // count, so the result is bit-identical across thread counts. The
+  // partial matrices cost O(chunks * n^2) memory; for wide modes or few
+  // groups the serial single-matrix path is used instead. The choice must
+  // NOT depend on the pool size: chunked merge reassociates the sums, so
+  // gating it on the thread count would break bit-identity across
+  // --threads values.
+  const bool use_partials = num_groups >= 64 && n <= 512;
+  auto accumulate_groups = [&](linalg::Matrix& acc, std::uint64_t gb,
+                               std::uint64_t ge) {
+    for (std::uint64_t g = gb; g < ge; ++g) {
+      const std::uint64_t group_begin = group_offsets[g];
+      const std::uint64_t group_end = group_offsets[g + 1];
+      for (std::uint64_t i = group_begin; i < group_end; ++i) {
+        for (std::uint64_t j = i; j < group_end; ++j) {
+          const std::uint32_t ri = entries[i].row;
+          const std::uint32_t rj = entries[j].row;
+          const double contrib = entries[i].value * entries[j].value;
+          if (ri <= rj) {
+            acc(ri, rj) += contrib;
+          } else {
+            acc(rj, ri) += contrib;
+          }
         }
       }
     }
-    group_begin = group_end;
+  };
+  if (use_partials) {
+    gram = parallel::ParallelReduce<linalg::Matrix>(
+        0, num_groups, 0, std::move(gram),
+        [&](std::uint64_t gb, std::uint64_t ge) {
+          linalg::Matrix partial(n, n);
+          accumulate_groups(partial, gb, ge);
+          return partial;
+        },
+        [n](linalg::Matrix& acc, linalg::Matrix&& partial) {
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i; j < n; ++j) {
+              acc(i, j) += partial(i, j);
+            }
+          }
+        },
+        "mode_gram_partials");
+  } else {
+    accumulate_groups(gram, 0, num_groups);
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -79,21 +116,29 @@ Result<linalg::Matrix> Matricize(const DenseTensor& x, std::size_t mode) {
   const std::uint64_t cols = x.NumElements() / n;
   linalg::Matrix out(n, static_cast<std::size_t>(cols));
 
+  // Pure assignment kernel: every linear index maps to a distinct
+  // (row, column) cell, so chunks write disjoint data and the result is
+  // bit-identical at any thread count.
   const std::size_t modes = x.num_modes();
-  std::vector<std::uint32_t> idx(modes);
-  for (std::uint64_t linear = 0; linear < x.NumElements(); ++linear) {
-    std::uint64_t rest = linear;
-    for (std::size_t m = 0; m < modes; ++m) {
-      idx[m] = static_cast<std::uint32_t>(rest / x.Stride(m));
-      rest %= x.Stride(m);
-    }
-    std::uint64_t column = 0;
-    for (std::size_t m = 0; m < modes; ++m) {
-      if (m == mode) continue;
-      column = column * x.dim(m) + idx[m];
-    }
-    out(idx[mode], static_cast<std::size_t>(column)) = x.flat(linear);
-  }
+  parallel::ParallelFor(
+      0, x.NumElements(), 0,
+      [&](std::uint64_t lb, std::uint64_t le) {
+        std::vector<std::uint32_t> idx(modes);
+        for (std::uint64_t linear = lb; linear < le; ++linear) {
+          std::uint64_t rest = linear;
+          for (std::size_t m = 0; m < modes; ++m) {
+            idx[m] = static_cast<std::uint32_t>(rest / x.Stride(m));
+            rest %= x.Stride(m);
+          }
+          std::uint64_t column = 0;
+          for (std::size_t m = 0; m < modes; ++m) {
+            if (m == mode) continue;
+            column = column * x.dim(m) + idx[m];
+          }
+          out(idx[mode], static_cast<std::size_t>(column)) = x.flat(linear);
+        }
+      },
+      "matricize");
   return out;
 }
 

@@ -18,10 +18,24 @@ namespace m2td::tensor {
 /// tensors cheap — the paper's key computational primitive. Requires a
 /// coalesced tensor (duplicate coordinates would double-count; aborts if
 /// unsorted).
+///
+/// Complexity: O(nnz log nnz) for the column sort plus O(sum_c g_c^2)
+/// for the outer products (g_c = entries sharing column c); memory is the
+/// I_n x I_n Gram plus an nnz-sized entry buffer.
+///
+/// Thread-safety/parallelism: safe to call concurrently. Large inputs
+/// accumulate per-chunk partial Grams on parallel::GlobalPool() (span
+/// "mode_gram_partials"), split at column-group boundaries and merged in
+/// ascending chunk order. The chunking is a pure function of the group
+/// count — never the pool size — so results are bit-identical across
+/// `--threads` values (the chunked merge does reassociate the sums
+/// relative to a single serial accumulator, deterministically).
 Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode);
 
 /// Dense-tensor Gram of the mode-n matricization (test oracle for
-/// ModeGram and used on small dense tensors).
+/// ModeGram and used on small dense tensors). Implemented as
+/// Matricize + MultiplyTransB, so it inherits their pool parallelism:
+/// O(|X| * I_n) flops, one |X|-sized temporary.
 Result<linalg::Matrix> ModeGramDense(const DenseTensor& x, std::size_t mode);
 
 /// \brief Fully materialized mode-n matricization of a dense tensor
@@ -29,6 +43,10 @@ Result<linalg::Matrix> ModeGramDense(const DenseTensor& x, std::size_t mode);
 ///
 /// Column ordering matches SparseTensor::MatricizationColumn: the remaining
 /// modes in increasing mode order, last varying fastest.
+///
+/// Complexity: O(|X|) assignments (pure data movement, gather-order reads
+/// against scatter-order writes). Thread-safe; runs as a disjoint-write
+/// ParallelFor (span "matricize"), bit-identical at any thread count.
 Result<linalg::Matrix> Matricize(const DenseTensor& x, std::size_t mode);
 
 }  // namespace m2td::tensor

@@ -1,6 +1,7 @@
 #include "tensor/ttm.h"
 
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 #include "util/string_util.h"
 
 namespace m2td::tensor {
@@ -44,22 +45,37 @@ Result<DenseTensor> ModeProduct(const DenseTensor& x, const linalg::Matrix& u,
   const std::uint64_t out_stride = y.Stride(mode);
   const std::uint64_t out_block = out_stride * new_dim;
 
-  for (std::uint64_t linear = 0; linear < x.NumElements(); ++linear) {
-    const double v = x.flat(linear);
-    if (v == 0.0) continue;
-    const std::uint64_t outer = linear / block;
-    const std::uint64_t in_mode = (linear % block) / stride;
-    const std::uint64_t inner = linear % stride;
-    const std::uint64_t out_base = outer * out_block + inner;
-    for (std::uint64_t j = 0; j < new_dim; ++j) {
-      const double coef = transpose_u
-                              ? u(static_cast<std::size_t>(in_mode),
-                                  static_cast<std::size_t>(j))
-                              : u(static_cast<std::size_t>(j),
-                                  static_cast<std::size_t>(in_mode));
-      y.flat(out_base + j * out_stride) += coef * v;
-    }
-  }
+  // Gather over output fibers: fiber f = (outer, inner) owns the output
+  // elements {outer * out_block + inner + j * out_stride}, so chunks
+  // write disjoint data. Accumulating over in_mode in ascending order
+  // (with the same v == 0.0 skip) performs bit-identically the additions
+  // of the serial scatter loop, for any thread count.
+  const std::uint64_t num_fibers = (x.NumElements() / block) * stride;
+  parallel::ParallelFor(
+      0, num_fibers, 0,
+      [&](std::uint64_t fb, std::uint64_t fe) {
+        for (std::uint64_t f = fb; f < fe; ++f) {
+          const std::uint64_t outer = f / stride;
+          const std::uint64_t inner = f % stride;
+          const std::uint64_t in_base = outer * block + inner;
+          const std::uint64_t out_base = outer * out_block + inner;
+          for (std::uint64_t j = 0; j < new_dim; ++j) {
+            double acc = 0.0;
+            for (std::uint64_t i = 0; i < old_dim; ++i) {
+              const double v = x.flat(in_base + i * stride);
+              if (v == 0.0) continue;
+              const double coef = transpose_u
+                                      ? u(static_cast<std::size_t>(i),
+                                          static_cast<std::size_t>(j))
+                                      : u(static_cast<std::size_t>(j),
+                                          static_cast<std::size_t>(i));
+              acc += coef * v;
+            }
+            y.flat(out_base + j * out_stride) = acc;
+          }
+        }
+      },
+      "mode_product_fibers");
   return y;
 }
 
@@ -77,22 +93,48 @@ Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
   DenseTensor y(out_shape);
 
   const std::size_t modes = x.num_modes();
-  std::vector<std::uint32_t> idx(modes);
-  for (std::uint64_t e = 0; e < x.NumNonZeros(); ++e) {
-    const double v = x.Value(e);
-    for (std::size_t m = 0; m < modes; ++m) idx[m] = x.Index(m, e);
-    const std::uint32_t in_mode = idx[mode];
-    // Linear base for the output fiber along `mode`.
-    idx[mode] = 0;
-    const std::uint64_t out_base = y.LinearIndex(idx);
-    const std::uint64_t out_stride = y.Stride(mode);
-    for (std::uint64_t j = 0; j < new_dim; ++j) {
-      const double coef = transpose_u
-                              ? u(in_mode, static_cast<std::size_t>(j))
-                              : u(static_cast<std::size_t>(j), in_mode);
-      y.flat(out_base + j * out_stride) += coef * v;
-    }
-  }
+  const std::uint64_t nnz = x.NumNonZeros();
+  const std::uint64_t out_stride = y.Stride(mode);
+
+  // Pass 1 (disjoint writes): linear base of each entry's output fiber
+  // along `mode`, plus its coordinate on that mode.
+  std::vector<std::uint64_t> out_base(static_cast<std::size_t>(nnz));
+  std::vector<std::uint32_t> in_coord(static_cast<std::size_t>(nnz));
+  parallel::ParallelFor(
+      0, nnz, 0,
+      [&](std::uint64_t eb, std::uint64_t ee) {
+        std::vector<std::uint32_t> idx(modes);
+        for (std::uint64_t e = eb; e < ee; ++e) {
+          for (std::size_t m = 0; m < modes; ++m) idx[m] = x.Index(m, e);
+          in_coord[static_cast<std::size_t>(e)] = idx[mode];
+          idx[mode] = 0;
+          out_base[static_cast<std::size_t>(e)] = y.LinearIndex(idx);
+        }
+      },
+      "sparse_mode_product_index");
+
+  // Pass 2: parallel over j-slices of the output. Slice j only touches
+  // output elements {out_base[e] + j * out_stride}, which are disjoint
+  // across slices; within a slice entries are scanned in the original
+  // order, so the per-element addition sequence matches the serial scan
+  // bit-for-bit at any thread count.
+  parallel::ParallelFor(
+      0, new_dim, 1,
+      [&](std::uint64_t jb, std::uint64_t je) {
+        for (std::uint64_t j = jb; j < je; ++j) {
+          for (std::uint64_t e = 0; e < nnz; ++e) {
+            const double v = x.Value(e);
+            const std::uint32_t in_mode =
+                in_coord[static_cast<std::size_t>(e)];
+            const double coef =
+                transpose_u ? u(in_mode, static_cast<std::size_t>(j))
+                            : u(static_cast<std::size_t>(j), in_mode);
+            y.flat(out_base[static_cast<std::size_t>(e)] + j * out_stride) +=
+                coef * v;
+          }
+        }
+      },
+      "sparse_mode_product_slices");
   return y;
 }
 

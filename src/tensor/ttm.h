@@ -16,12 +16,32 @@ namespace m2td::tensor {
 /// With `transpose_u` the operator is U^T, i.e. the contraction runs over
 /// U's rows — the form used to project onto factor matrices when computing
 /// a Tucker core (G = X ×_n U^(n)T).
+///
+/// Complexity: O(|X| * new_dim) flops; memory traffic is one streaming
+/// read of X plus one write of Y (|X| / old_dim * new_dim elements), with
+/// U re-read per output fiber (small — it should sit in cache).
+///
+/// Thread-safety/parallelism: const inputs, freshly allocated output;
+/// safe to call concurrently. Runs fiber-parallel on parallel::GlobalPool()
+/// (span "mode_product_fibers"); each output fiber accumulates over the
+/// contracted mode in ascending index order, so the result is
+/// bit-identical to the serial loop at every `--threads` value.
 Result<DenseTensor> ModeProduct(const DenseTensor& x, const linalg::Matrix& u,
                                 std::size_t mode, bool transpose_u);
 
-/// Mode-n product of a *sparse* tensor, producing a dense result of shape
-/// (.., new_dim, ..). This is the first hop of every core computation: the
-/// cost is nnz * new_dim regardless of the logical size of X.
+/// \brief Mode-n product of a *sparse* tensor, producing a dense result of
+/// shape (.., new_dim, ..).
+///
+/// This is the first hop of every core computation: the cost is
+/// O(nnz * new_dim) flops regardless of the logical size of X, plus an
+/// O(nnz) indexing pass. Memory: the dense output plus two nnz-sized
+/// scratch arrays (per-entry output base and mode coordinate).
+///
+/// Thread-safety/parallelism: safe to call concurrently. Parallel over
+/// j-slices of the output (spans "sparse_mode_product_index" /
+/// "sparse_mode_product_slices"); each slice scans the entries in their
+/// stored order, so per-element addition order — and therefore the result
+/// — is bit-identical across thread counts.
 Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
                                       const linalg::Matrix& u,
                                       std::size_t mode, bool transpose_u);
@@ -30,15 +50,21 @@ Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
 ///
 /// `factors[m]` must have rows == X.dim(m); its column count becomes core
 /// dim m. The first product leaves the sparse domain (SparseModeProduct),
-/// the rest are dense chain products over the shrinking intermediate.
+/// the rest are dense chain products over the shrinking intermediate —
+/// each hop inherits that kernel's pool parallelism and determinism.
+/// Peak memory is the largest intermediate (after the first hop:
+/// nnz-independent, prod of r_1 and the remaining full dims).
 Result<DenseTensor> CoreFromSparse(const SparseTensor& x,
                                    const std::vector<linalg::Matrix>& factors);
 
-/// Dense-input variant of CoreFromSparse.
+/// Dense-input variant of CoreFromSparse (a chain of ModeProduct calls;
+/// same parallelism and determinism guarantees).
 Result<DenseTensor> CoreFromDense(const DenseTensor& x,
                                   const std::vector<linalg::Matrix>& factors);
 
-/// Reconstruction X~ = G ×_1 U^(1) ×_2 ... ×_N U^(N).
+/// Reconstruction X~ = G ×_1 U^(1) ×_2 ... ×_N U^(N). The intermediates
+/// *grow* toward the full shape here, so peak memory is ~2x the full
+/// tensor; see io/out_of_core.h when that does not fit.
 Result<DenseTensor> ExpandCore(const DenseTensor& core,
                                const std::vector<linalg::Matrix>& factors);
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "linalg/svd.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 
@@ -29,6 +32,44 @@ Status CheckRanks(std::size_t num_modes,
   return Status::OK();
 }
 
+// Mode-parallel factor computation: each mode's Gram + truncated eigen
+// solve is an independent task executed wholly by one thread, so the
+// per-mode arithmetic is untouched (bit-identical to the serial loop at
+// any thread count). Nested pool regions inside ModeGram etc. are legal:
+// the initiating thread participates, so no deadlock. Errors are
+// reported for the lowest failing mode to keep the surfaced Status
+// deterministic.
+Status ComputeModeFactors(
+    std::size_t modes,
+    const std::function<Result<linalg::Matrix>(std::size_t)>& factor_for_mode,
+    std::vector<linalg::Matrix>* factors) {
+  std::vector<std::optional<linalg::Matrix>> slots(modes);
+  std::vector<std::optional<Status>> errors(modes);
+  parallel::ParallelFor(
+      0, modes, 1,
+      [&](std::uint64_t mb, std::uint64_t me) {
+        for (std::uint64_t m = mb; m < me; ++m) {
+          const std::size_t mode = static_cast<std::size_t>(m);
+          Result<linalg::Matrix> u = factor_for_mode(mode);
+          if (u.ok()) {
+            slots[mode].emplace(std::move(u).ValueOrDie());
+          } else {
+            errors[mode].emplace(u.status());
+          }
+        }
+      },
+      "hosvd_modes");
+  for (std::size_t m = 0; m < modes; ++m) {
+    if (errors[m]) return *errors[m];
+  }
+  factors->clear();
+  factors->reserve(modes);
+  for (std::size_t m = 0; m < modes; ++m) {
+    factors->push_back(std::move(*slots[m]));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
@@ -40,18 +81,18 @@ Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
   obs::ObsSpan span("hosvd");
   span.Annotate("nnz", x.NumNonZeros());
   TuckerDecomposition out;
-  out.factors.reserve(x.num_modes());
-  for (std::size_t m = 0; m < x.num_modes(); ++m) {
-    obs::ObsSpan mode_span("mode_factor");
-    mode_span.Annotate("mode", static_cast<std::uint64_t>(m));
-    const std::size_t rank =
-        static_cast<std::size_t>(std::min<std::uint64_t>(ranks[m], x.dim(m)));
-    mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
-    M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGram(x, m));
-    M2TD_ASSIGN_OR_RETURN(linalg::Matrix u,
-                          linalg::LeftSingularVectorsFromGram(gram, rank));
-    out.factors.push_back(std::move(u));
-  }
+  M2TD_RETURN_IF_ERROR(ComputeModeFactors(
+      x.num_modes(),
+      [&](std::size_t m) -> Result<linalg::Matrix> {
+        obs::ObsSpan mode_span("mode_factor");
+        mode_span.Annotate("mode", static_cast<std::uint64_t>(m));
+        const std::size_t rank = static_cast<std::size_t>(
+            std::min<std::uint64_t>(ranks[m], x.dim(m)));
+        mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
+        M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGram(x, m));
+        return linalg::LeftSingularVectorsFromGram(gram, rank);
+      },
+      &out.factors));
   M2TD_ASSIGN_OR_RETURN(out.core, CoreFromSparse(x, out.factors));
   return out;
 }
@@ -62,18 +103,18 @@ Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
   obs::ObsSpan span("hosvd");
   span.Annotate("elements", x.NumElements());
   TuckerDecomposition out;
-  out.factors.reserve(x.num_modes());
-  for (std::size_t m = 0; m < x.num_modes(); ++m) {
-    obs::ObsSpan mode_span("mode_factor");
-    mode_span.Annotate("mode", static_cast<std::uint64_t>(m));
-    const std::size_t rank =
-        static_cast<std::size_t>(std::min<std::uint64_t>(ranks[m], x.dim(m)));
-    mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
-    M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGramDense(x, m));
-    M2TD_ASSIGN_OR_RETURN(linalg::Matrix u,
-                          linalg::LeftSingularVectorsFromGram(gram, rank));
-    out.factors.push_back(std::move(u));
-  }
+  M2TD_RETURN_IF_ERROR(ComputeModeFactors(
+      x.num_modes(),
+      [&](std::size_t m) -> Result<linalg::Matrix> {
+        obs::ObsSpan mode_span("mode_factor");
+        mode_span.Annotate("mode", static_cast<std::uint64_t>(m));
+        const std::size_t rank = static_cast<std::size_t>(
+            std::min<std::uint64_t>(ranks[m], x.dim(m)));
+        mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
+        M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGramDense(x, m));
+        return linalg::LeftSingularVectorsFromGram(gram, rank);
+      },
+      &out.factors));
   M2TD_ASSIGN_OR_RETURN(out.core, CoreFromDense(x, out.factors));
   return out;
 }

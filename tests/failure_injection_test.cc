@@ -219,6 +219,70 @@ TEST(MapReduceFailureTest, ThrowingMapperHealedByTaskRetry) {
   EXPECT_EQ((*result)[0], 10);
 }
 
+/// Key type whose std::hash throws on demand. The custom partitioner
+/// below keeps the map-side Emit path hash-free, so the first hash call
+/// happens during reduce-phase grouping — which used to run OUTSIDE the
+/// task's try block: the exception escaped the worker thread and
+/// terminated the process before the phase barrier. Routed through the
+/// pool, it must surface as a clean Internal status instead.
+struct BoomKey {
+  int id = 0;
+  bool operator==(const BoomKey& other) const { return id == other.id; }
+};
+
+std::atomic<bool> g_boom_key_armed{false};
+
+}  // namespace
+}  // namespace m2td
+
+template <>
+struct std::hash<m2td::BoomKey> {
+  std::size_t operator()(const m2td::BoomKey& k) const {
+    if (m2td::g_boom_key_armed.load()) {
+      throw std::runtime_error("hash exploded during grouping");
+    }
+    return static_cast<std::size_t>(k.id);
+  }
+};
+
+namespace m2td {
+namespace {
+
+TEST(MapReduceFailureTest, ThrowingKeyHashInReduceGroupingSurfacesInternal) {
+  std::vector<int> inputs = {1, 2, 3, 4};
+  mapreduce::JobSpec<int, BoomKey, int, int> spec;
+  spec.num_workers = 2;
+  // Hash-free placement: the map phase never touches std::hash<BoomKey>.
+  spec.partitioner = [](const BoomKey& k) {
+    return static_cast<std::size_t>(k.id);
+  };
+  spec.mapper = [](const int& v, mapreduce::Emitter<BoomKey, int>* e) {
+    e->Emit(BoomKey{v % 2}, v);
+  };
+  spec.reducer = [](const BoomKey&, std::vector<int>& values,
+                    std::vector<int>* out) {
+    int sum = 0;
+    for (int v : values) sum += v;
+    out->push_back(sum);
+  };
+
+  g_boom_key_armed.store(true);
+  auto result = mapreduce::RunJob(spec, inputs);
+  g_boom_key_armed.store(false);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("hash exploded"),
+            std::string::npos);
+
+  // Disarmed, the identical job runs to completion — the engine is not
+  // left wedged by the failed run.
+  auto healthy = mapreduce::RunJob(spec, inputs);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ASSERT_EQ(healthy->size(), 2u);
+  EXPECT_EQ((*healthy)[0] + (*healthy)[1], 10);
+}
+
 TEST(NumericEdgeTest, GramOfAllZeroValuesIsZeroAndDecomposable) {
   tensor::SparseTensor x({3, 3});
   x.AppendEntry({0, 0}, 0.0);

@@ -1,0 +1,323 @@
+// Tests for the shared thread-pool execution layer (src/parallel/):
+// chunking contracts, exception propagation, nested regions, the ordered
+// reduction's bit-determinism across pool sizes, and a stress loop meant
+// to run under ThreadSanitizer (cmake -DM2TD_ENABLE_TSAN=ON, then
+// `ctest -L parallel`).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/hooi.h"
+#include "tensor/matricize.h"
+#include "tensor/sparse_tensor.h"
+#include "tensor/ttm.h"
+#include "util/random.h"
+
+namespace m2td {
+namespace {
+
+using parallel::ParallelFor;
+using parallel::ParallelReduce;
+using parallel::SetGlobalThreads;
+
+/// Restores the pool to a known size when a test exits.
+class PoolGuard {
+ public:
+  explicit PoolGuard(int threads) { SetGlobalThreads(threads); }
+  ~PoolGuard() { SetGlobalThreads(parallel::HardwareThreads()); }
+};
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  PoolGuard guard(4);
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanGrainIsOneInlineChunk) {
+  PoolGuard guard(4);
+  std::atomic<int> calls{0};
+  std::uint64_t seen_begin = 99;
+  std::uint64_t seen_end = 0;
+  ParallelFor(2, 6, 100, [&](std::uint64_t b, std::uint64_t e) {
+    ++calls;
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2u);
+  EXPECT_EQ(seen_end, 6u);
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    PoolGuard guard(threads);
+    constexpr std::uint64_t kRange = 1000;
+    std::vector<std::atomic<int>> visits(kRange);
+    ParallelFor(0, kRange, 7, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) {
+        visits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesExactlyOnce) {
+  for (int threads : {1, 4}) {
+    PoolGuard guard(threads);
+    int caught = 0;
+    try {
+      // Throw from whichever chunk covers index 13 (with one thread the
+      // whole range is a single inline chunk).
+      ParallelFor(0, 64, 1, [&](std::uint64_t b, std::uint64_t e) {
+        if (b <= 13 && 13 < e) throw std::runtime_error("boom");
+      });
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      EXPECT_STREQ(e.what(), "boom");
+    }
+    EXPECT_EQ(caught, 1) << "at " << threads << " threads";
+  }
+}
+
+TEST(ParallelForTest, ExceptionCancelsRemainingChunks) {
+  PoolGuard guard(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      ParallelFor(0, 10000, 1,
+                  [&](std::uint64_t b, std::uint64_t) {
+                    if (b == 0) throw std::runtime_error("early");
+                    ++executed;
+                  }),
+      std::runtime_error);
+  // Cancellation is advisory (claimed chunks may already be running), but
+  // most of the region must have been skipped.
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ParallelForTest, NestedRegionsComplete) {
+  PoolGuard guard(4);
+  std::atomic<std::uint64_t> sum{0};
+  ParallelFor(0, 8, 1, [&](std::uint64_t ob, std::uint64_t oe) {
+    for (std::uint64_t o = ob; o < oe; ++o) {
+      ParallelFor(0, 100, 10, [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) sum.fetch_add(i);
+      });
+    }
+  });
+  EXPECT_EQ(sum.load(), 8u * (99u * 100u / 2u));
+}
+
+TEST(ParallelPoolTest, SerialPoolRunsInline) {
+  PoolGuard guard(1);
+  EXPECT_EQ(parallel::GlobalThreads(), 1);
+  std::vector<std::uint64_t> order;
+  // With one thread everything runs on the caller; appends without a
+  // mutex must be safe and ordered.
+  ParallelFor(0, 100, 3, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelPoolTest, SetGlobalThreadsClampsAndResizes) {
+  PoolGuard guard(2);
+  EXPECT_EQ(parallel::GlobalThreads(), 2);
+  SetGlobalThreads(0);
+  EXPECT_EQ(parallel::GlobalThreads(), 1);
+  SetGlobalThreads(-5);
+  EXPECT_EQ(parallel::GlobalThreads(), 1);
+  SetGlobalThreads(3);
+  EXPECT_EQ(parallel::GlobalThreads(), 3);
+  EXPECT_EQ(parallel::GlobalPool().num_threads(), 3);
+}
+
+/// The ordered reduction must be bit-identical across pool sizes: chunk
+/// boundaries are a function of the range only, partials merge in
+/// ascending chunk order.
+TEST(ParallelReduceTest, FloatSumBitIdenticalAcrossThreadCounts) {
+  Rng rng(97);
+  std::vector<double> values(10001);
+  for (double& v : values) v = rng.Gaussian() * 1e3;
+
+  std::vector<double> sums;
+  for (int threads : {1, 2, 8}) {
+    PoolGuard guard(threads);
+    const double sum = ParallelReduce<double>(
+        0, values.size(), 0, 0.0,
+        [&](std::uint64_t b, std::uint64_t e) {
+          double partial = 0.0;
+          for (std::uint64_t i = b; i < e; ++i) {
+            partial += values[static_cast<std::size_t>(i)];
+          }
+          return partial;
+        },
+        [](double& acc, double partial) { acc += partial; });
+    sums.push_back(sum);
+  }
+  // Exact equality, not near-equality: the whole point of the ordered
+  // merge is that the floating-point association never changes.
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[0], sums[2]);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  PoolGuard guard(4);
+  const double out = ParallelReduce<double>(
+      3, 3, 0, 42.0,
+      [](std::uint64_t, std::uint64_t) { return 1.0; },
+      [](double& acc, double partial) { acc += partial; });
+  EXPECT_EQ(out, 42.0);
+}
+
+TEST(ParallelReduceTest, MergesInAscendingChunkOrder) {
+  PoolGuard guard(8);
+  // Identity chunk_fn over 160 indices with grain 10 -> 16 chunks; the
+  // merged list of chunk-begin values must be ascending.
+  const std::vector<std::uint64_t> begins =
+      ParallelReduce<std::vector<std::uint64_t>>(
+          0, 160, 10, {},
+          [](std::uint64_t b, std::uint64_t) {
+            return std::vector<std::uint64_t>{b};
+          },
+          [](std::vector<std::uint64_t>& acc,
+             std::vector<std::uint64_t>&& partial) {
+            acc.insert(acc.end(), partial.begin(), partial.end());
+          });
+  ASSERT_EQ(begins.size(), 16u);
+  for (std::size_t i = 0; i < begins.size(); ++i) {
+    EXPECT_EQ(begins[i], i * 10);
+  }
+}
+
+tensor::SparseTensor MakeSparse(std::uint64_t dim, std::size_t modes,
+                                std::uint64_t nnz, std::uint64_t seed) {
+  Rng rng(seed);
+  tensor::SparseTensor x(std::vector<std::uint64_t>(modes, dim));
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t e = 0; e < nnz; ++e) {
+    for (std::size_t m = 0; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(dim));
+    }
+    x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+/// End-to-end determinism: the pooled kernels must produce bit-identical
+/// tensors at 1, 2, and 8 threads.
+TEST(ParallelKernelsTest, HooiBitIdenticalAcrossThreadCounts) {
+  const tensor::SparseTensor x = MakeSparse(10, 3, 400, 7);
+  const std::vector<std::uint64_t> ranks(3, 3);
+
+  std::vector<tensor::DenseTensor> cores;
+  std::vector<std::vector<linalg::Matrix>> factor_sets;
+  for (int threads : {1, 2, 8}) {
+    PoolGuard guard(threads);
+    auto tucker = tensor::HooiSparse(x, ranks);
+    ASSERT_TRUE(tucker.ok()) << tucker.status();
+    cores.push_back(tucker->core);
+    factor_sets.push_back(tucker->factors);
+  }
+  for (std::size_t v = 1; v < cores.size(); ++v) {
+    ASSERT_EQ(cores[0].NumElements(), cores[v].NumElements());
+    for (std::uint64_t i = 0; i < cores[0].NumElements(); ++i) {
+      ASSERT_EQ(cores[0].flat(i), cores[v].flat(i)) << "core element " << i;
+    }
+    ASSERT_EQ(factor_sets[0].size(), factor_sets[v].size());
+    for (std::size_t m = 0; m < factor_sets[0].size(); ++m) {
+      EXPECT_EQ(linalg::Matrix::MaxAbsDiff(factor_sets[0][m],
+                                           factor_sets[v][m]),
+                0.0)
+          << "factor " << m;
+    }
+  }
+}
+
+TEST(ParallelKernelsTest, DenseTtmMatchesAcrossThreadCounts) {
+  Rng rng(13);
+  tensor::DenseTensor x({9, 14, 11});
+  for (std::uint64_t i = 0; i < x.NumElements(); ++i) {
+    x.flat(i) = rng.Gaussian();
+  }
+  linalg::Matrix u(6, 14);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 14; ++j) u(i, j) = rng.Gaussian();
+  }
+
+  std::vector<tensor::DenseTensor> outs;
+  for (int threads : {1, 2, 8}) {
+    PoolGuard guard(threads);
+    auto y = tensor::ModeProduct(x, u, 1, /*transpose_u=*/false);
+    ASSERT_TRUE(y.ok()) << y.status();
+    outs.push_back(*y);
+  }
+  for (std::size_t v = 1; v < outs.size(); ++v) {
+    for (std::uint64_t i = 0; i < outs[0].NumElements(); ++i) {
+      ASSERT_EQ(outs[0].flat(i), outs[v].flat(i));
+    }
+  }
+}
+
+TEST(ParallelKernelsTest, ModeGramMatchesAcrossThreadCounts) {
+  const tensor::SparseTensor x = MakeSparse(12, 3, 3000, 23);
+  std::vector<linalg::Matrix> grams;
+  for (int threads : {1, 2, 8}) {
+    PoolGuard guard(threads);
+    auto gram = tensor::ModeGram(x, 0);
+    ASSERT_TRUE(gram.ok()) << gram.status();
+    grams.push_back(*gram);
+  }
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(grams[0], grams[1]), 0.0);
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(grams[0], grams[2]), 0.0);
+}
+
+/// Hammer the pool with many small regions from concurrent initiators.
+/// The assertions are weak on purpose — under TSAN this test's job is to
+/// surface data races in the region/queue machinery.
+TEST(ParallelStressTest, ManySmallRegionsUnderContention) {
+  PoolGuard guard(4);
+  std::atomic<std::uint64_t> total{0};
+  ParallelFor(0, 16, 1, [&](std::uint64_t ob, std::uint64_t oe) {
+    for (std::uint64_t o = ob; o < oe; ++o) {
+      for (int rep = 0; rep < 50; ++rep) {
+        ParallelFor(0, 64, 4, [&](std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t i = b; i < e; ++i) total.fetch_add(1);
+        });
+      }
+    }
+  });
+  EXPECT_EQ(total.load(), 16u * 50u * 64u);
+}
+
+TEST(ParallelStressTest, RepeatedResizeWithTraffic) {
+  for (int rep = 0; rep < 20; ++rep) {
+    SetGlobalThreads(1 + rep % 5);
+    std::atomic<std::uint64_t> sum{0};
+    ParallelFor(0, 256, 8, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) sum.fetch_add(i);
+    });
+    ASSERT_EQ(sum.load(), 255u * 256u / 2u);
+  }
+  SetGlobalThreads(parallel::HardwareThreads());
+}
+
+}  // namespace
+}  // namespace m2td

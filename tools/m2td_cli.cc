@@ -34,6 +34,7 @@
 #include "io/tucker_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
 #include "tensor/cp.h"
@@ -524,6 +525,10 @@ void PrintTopLevelUsage() {
       "                        M2TD_FAILPOINTS env var is also honored\n"
       "  --checkpoint_dir=<d>  journal simulate progress under d (resumable)\n"
       "  --resume              continue from an existing checkpoint journal\n"
+      "  --threads=<n>         size of the shared kernel thread pool\n"
+      "                        (default: hardware concurrency; 1 = serial;\n"
+      "                        results are bit-identical for any value —\n"
+      "                        see docs/PERFORMANCE.md)\n"
       "run '<command> --help' for per-command flags\n";
 }
 
@@ -533,6 +538,8 @@ struct ObsFlags {
   std::string trace_out;
   std::string metrics_out;
   bool trace_summary = false;
+  /// 0 = not set; pool defaults to hardware concurrency.
+  long threads = 0;
 };
 
 ObsFlags ExtractObsFlags(int argc, char** argv,
@@ -543,6 +550,7 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
   const std::string_view retries_prefix = "--max_retries=";
   const std::string_view failpoint_prefix = "--fail_point=";
   const std::string_view checkpoint_prefix = "--checkpoint_dir=";
+  const std::string_view threads_prefix = "--threads=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.substr(0, trace_prefix.size()) == trace_prefix) {
@@ -570,6 +578,10 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
       g_robust_flags.resume = true;
     } else if (arg == "--resume=false") {
       g_robust_flags.resume = false;
+    } else if (arg.substr(0, threads_prefix.size()) == threads_prefix) {
+      flags.threads = std::strtol(
+          std::string(arg.substr(threads_prefix.size())).c_str(), nullptr,
+          10);
     } else {
       remaining->push_back(argv[i]);
     }
@@ -617,6 +629,12 @@ int main(int argc, char** argv) {
   }
   if (!obs_flags.metrics_out.empty()) {
     m2td::obs::SetMetricsEnabled(true);
+  }
+  if (obs_flags.threads < 0) {
+    return Fail(Status::InvalidArgument("--threads must be >= 1"));
+  }
+  if (obs_flags.threads > 0) {
+    m2td::parallel::SetGlobalThreads(static_cast<int>(obs_flags.threads));
   }
   const Status env_armed = m2td::robust::ArmFailpointsFromEnv();
   if (!env_armed.ok()) return Fail(env_armed);
