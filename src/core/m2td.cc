@@ -4,6 +4,7 @@
 
 #include "linalg/svd.h"
 #include "obs/trace.h"
+#include "robust/cancel.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
 #include "util/logging.h"
@@ -73,12 +74,10 @@ Result<linalg::Matrix> SubFactor(const tensor::SparseTensor& sub,
   return linalg::LeftSingularVectorsFromGram(gram, k);
 }
 
-}  // namespace
-
-Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
-                                 const PfPartition& partition,
-                                 const std::vector<std::uint64_t>& full_shape,
-                                 const M2tdOptions& options) {
+Result<M2tdResult> M2tdDecomposeImpl(
+    const SubEnsembles& subs, const PfPartition& partition,
+    const std::vector<std::uint64_t>& full_shape,
+    const M2tdOptions& options) {
   const std::size_t num_modes = full_shape.size();
   if (partition.NumModes() != num_modes) {
     return Status::InvalidArgument("partition does not match full shape");
@@ -160,6 +159,21 @@ Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
   result.tucker.core = std::move(core);
   result.tucker.factors = std::move(factors);
   return result;
+}
+
+}  // namespace
+
+Result<M2tdResult> M2tdDecompose(const SubEnsembles& subs,
+                                 const PfPartition& partition,
+                                 const std::vector<std::uint64_t>& full_shape,
+                                 const M2tdOptions& options) {
+  // Pooled kernels report cancellation by throwing through the void
+  // ParallelFor channel; convert back to the Status this API promises.
+  try {
+    return M2tdDecomposeImpl(subs, partition, full_shape, options);
+  } catch (const robust::CancelledError& error) {
+    return error.ToStatus();
+  }
 }
 
 }  // namespace m2td::core

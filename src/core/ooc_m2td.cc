@@ -10,6 +10,7 @@
 #include "linalg/svd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
 #include "robust/durable.h"
 #include "robust/failpoint.h"
@@ -49,9 +50,7 @@ Result<tensor::SparseTensor> ReadPivotSlab(
   return store.ReadRegion(lo, hi);
 }
 
-}  // namespace
-
-Result<M2tdResult> M2tdDecomposeFromStores(
+Result<M2tdResult> M2tdDecomposeFromStoresImpl(
     const io::ChunkStore& store1, const io::ChunkStore& store2,
     const PfPartition& partition,
     const std::vector<std::uint64_t>& full_shape, const M2tdOptions& options,
@@ -218,7 +217,6 @@ Result<M2tdResult> M2tdDecomposeFromStores(
   core_timer.Stop();
   std::vector<std::uint32_t> pivot_index(k);
   for (std::uint64_t linear = start_linear; linear < pivot_total; ++linear) {
-    M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("ooc.slab"));
     std::uint64_t rest = linear;
     for (std::size_t i = k; i-- > 0;) {
       pivot_index[i] = static_cast<std::uint32_t>(rest % pivot_dims[i]);
@@ -226,34 +224,63 @@ Result<M2tdResult> M2tdDecomposeFromStores(
     }
     obs::ObsSpan slab_span("pivot_slab");
     slab_span.Annotate("pivot_linear", linear);
-    stitch_timer.Resume();
-    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab1,
-                          ReadPivotSlab(store1, pivot_index, k));
-    M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab2,
-                          ReadPivotSlab(store2, pivot_index, k));
-    if (slab1.NumNonZeros() > 0 && slab2.NumNonZeros() > 0) {
-      SubEnsembles slab_subs;
-      slab_subs.x1 = std::move(slab1);
-      slab_subs.x2 = std::move(slab2);
-      M2TD_ASSIGN_OR_RETURN(
-          tensor::SparseTensor join_slab,
-          JeStitch(slab_subs, partition, full_shape, options.stitch));
-      result.join_nnz += join_slab.NumNonZeros();
-      slab_span.Annotate("join_nnz", join_slab.NumNonZeros());
-      stitch_timer.Stop();
+    // The slab body stages its join_nnz contribution locally and only
+    // commits into `result` after the slab fully completes: a mid-slab
+    // cancellation (Status from a check, or CancelledError out of a
+    // pooled kernel) must leave `result`/`core` exactly as of the last
+    // completed slab so the flushed checkpoint resumes bit-identically.
+    std::uint64_t slab_join_nnz = 0;
+    Status slab_status = Status::OK();
+    try {
+      slab_status = [&]() -> Status {
+        M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
+        M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("ooc.slab"));
+        stitch_timer.Resume();
+        M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab1,
+                              ReadPivotSlab(store1, pivot_index, k));
+        M2TD_ASSIGN_OR_RETURN(tensor::SparseTensor slab2,
+                              ReadPivotSlab(store2, pivot_index, k));
+        if (slab1.NumNonZeros() > 0 && slab2.NumNonZeros() > 0) {
+          SubEnsembles slab_subs;
+          slab_subs.x1 = std::move(slab1);
+          slab_subs.x2 = std::move(slab2);
+          M2TD_ASSIGN_OR_RETURN(
+              tensor::SparseTensor join_slab,
+              JeStitch(slab_subs, partition, full_shape, options.stitch));
+          slab_join_nnz = join_slab.NumNonZeros();
+          slab_span.Annotate("join_nnz", join_slab.NumNonZeros());
+          stitch_timer.Stop();
 
-      core_timer.Resume();
-      if (join_slab.NumNonZeros() > 0) {
-        M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
-                              tensor::CoreFromSparse(join_slab, factors));
-        for (std::uint64_t i = 0; i < core.NumElements(); ++i) {
-          core.flat(i) += partial.flat(i);
+          core_timer.Resume();
+          if (join_slab.NumNonZeros() > 0) {
+            M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
+                                  tensor::CoreFromSparse(join_slab, factors));
+            for (std::uint64_t i = 0; i < core.NumElements(); ++i) {
+              core.flat(i) += partial.flat(i);
+            }
+          }
+          core_timer.Stop();
+        } else {
+          stitch_timer.Stop();
         }
-      }
-      core_timer.Stop();
-    } else {
-      stitch_timer.Stop();
+        return Status::OK();
+      }();
+    } catch (const robust::CancelledError& error) {
+      slab_status = error.ToStatus();
     }
+    if (robust::IsCancellation(slab_status)) {
+      stitch_timer.Stop();
+      core_timer.Stop();
+      // Graceful drain: flush a snapshot covering every *completed* slab
+      // before surfacing the cancellation, so --resume picks up at
+      // exactly this slab and the final core stays bit-identical.
+      if (journal) {
+        M2TD_RETURN_IF_ERROR(snapshot_core(linear));
+      }
+      return slab_status;
+    }
+    M2TD_RETURN_IF_ERROR(slab_status);
+    result.join_nnz += slab_join_nnz;
     if (journal && checkpoint.checkpoint_every > 0 &&
         (linear + 1) % checkpoint.checkpoint_every == 0 &&
         linear + 1 < pivot_total) {
@@ -266,6 +293,25 @@ Result<M2tdResult> M2tdDecomposeFromStores(
   result.tucker.core = std::move(core);
   result.tucker.factors = std::move(factors);
   return result;
+}
+
+}  // namespace
+
+Result<M2tdResult> M2tdDecomposeFromStores(
+    const io::ChunkStore& store1, const io::ChunkStore& store2,
+    const PfPartition& partition,
+    const std::vector<std::uint64_t>& full_shape, const M2tdOptions& options,
+    const OocCheckpointOptions& checkpoint) {
+  // The factor phase runs pooled kernels with no Status channel of their
+  // own; a cancelled region throws CancelledError, which this boundary
+  // converts back into the Status the API promises. (The slab loop handles
+  // cancellation itself so it can flush a checkpoint first.)
+  try {
+    return M2tdDecomposeFromStoresImpl(store1, store2, partition, full_shape,
+                                       options, checkpoint);
+  } catch (const robust::CancelledError& error) {
+    return error.ToStatus();
+  }
 }
 
 }  // namespace m2td::core

@@ -8,6 +8,7 @@
 
 #include "io/tensor_io.h"
 #include "obs/metrics.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
 #include "robust/durable.h"
 #include "robust/failpoint.h"
@@ -300,6 +301,7 @@ Result<tensor::SparseTensor> BuildConventionalEnsemble(
   ensemble.Reserve(combos.size() * time_res);
   std::vector<std::uint32_t> indices(space.num_modes());
   for (const std::vector<std::uint32_t>& combo : combos) {
+    M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
     std::size_t cursor = 0;
     for (std::size_t m = 0; m < space.num_modes(); ++m) {
       if (m != time_mode) indices[m] = combo[cursor++];
@@ -412,6 +414,10 @@ Result<tensor::SparseTensor> BuildConventionalEnsembleRobust(
       obs::GetCounter("robust.ensemble_batches_resumed").Add(1);
       continue;
     }
+    // Completed batches are already journaled (artifact + mark), so a
+    // cancellation here loses at most the in-flight batch; a later
+    // --resume restores everything marked and re-simulates the rest.
+    M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
     M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("ensemble.batch"));
 
     tensor::SparseTensor batch(space.Shape());

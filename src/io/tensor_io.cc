@@ -22,6 +22,14 @@ Status ParseFailed(const std::string& path, const std::string& what) {
   return Status::IOError("malformed tensor file '" + path + "': " + what);
 }
 
+/// Ingest screen for loaded entries. Distinct from ParseFailed on purpose:
+/// a NaN/Inf payload is a *data* defect, so it surfaces as InvalidArgument
+/// (never retried by the IO retry layer) rather than a retryable IOError.
+Status RejectEntry(const std::string& path, const Status& why) {
+  return Status::InvalidArgument("rejected entry in '" + path +
+                                 "': " + why.message());
+}
+
 }  // namespace
 
 Status SaveSparseText(const tensor::SparseTensor& x,
@@ -82,7 +90,8 @@ Result<tensor::SparseTensor> LoadSparseText(const std::string& path) {
     }
     double value = 0.0;
     if (!(in >> value)) return ParseFailed(path, "truncated value");
-    x.AppendEntry(idx, value);
+    const Status appended = x.AppendEntryChecked(idx, value);
+    if (!appended.ok()) return RejectEntry(path, appended);
   }
   x.SortAndCoalesce();
   return x;
@@ -154,7 +163,8 @@ Result<tensor::SparseTensor> LoadSparseBinary(const std::string& path) {
       }
       idx[m] = indices[m][e];
     }
-    x.AppendEntry(idx, values[e]);
+    const Status appended = x.AppendEntryChecked(idx, values[e]);
+    if (!appended.ok()) return RejectEntry(path, appended);
   }
   x.SortAndCoalesce();
   return x;

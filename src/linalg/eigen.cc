@@ -4,7 +4,11 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "robust/cancel.h"
+#include "util/logging.h"
 
 namespace m2td::linalg {
 
@@ -80,12 +84,23 @@ Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
     SymmetricEigenResult result;
     result.eigenvalues.assign(n, n == 1 ? a(0, 0) : 0.0);
     result.eigenvectors = v;
+    result.converged = true;
     return result;
   }
 
+  obs::ObsSpan span("symmetric_eigen");
   const double threshold = options.tolerance * std::max(fro, 1e-300);
+  int sweeps = 0;
+  bool converged = false;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
-    if (OffDiagonalNorm(a) <= threshold) break;
+    // Per-sweep cancellation point: a fired ambient token abandons the
+    // solve (HOOI converts this into best-so-far factors upstream).
+    M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
+    if (OffDiagonalNorm(a) <= threshold) {
+      converged = true;
+      break;
+    }
+    ++sweeps;
     for (std::size_t p = 0; p < n - 1; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
@@ -123,6 +138,24 @@ Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
     }
   }
 
+  // The loop exits non-converged only when every allowed sweep ran; the
+  // last sweep may still have met the tolerance, so re-check before
+  // declaring failure.
+  double final_norm = 0.0;
+  if (!converged) {
+    final_norm = OffDiagonalNorm(a);
+    converged = final_norm <= threshold;
+  }
+  if (!converged) {
+    obs::GetCounter("linalg.eigen.nonconverged").Increment();
+    span.Annotate("nonconverged", std::string_view("true"));
+    span.Annotate("offdiag_norm", final_norm);
+    M2TD_LOG_WARNING() << "Jacobi eigensolver: not converged after "
+                       << options.max_sweeps << " sweeps (off-diagonal norm "
+                       << final_norm << " > threshold " << threshold
+                       << "); returning the partial diagonalization";
+  }
+
   // Sort eigenpairs by decreasing eigenvalue.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -133,6 +166,8 @@ Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
   });
 
   SymmetricEigenResult result;
+  result.sweeps = sweeps;
+  result.converged = converged;
   result.eigenvalues.resize(n);
   result.eigenvectors = Matrix(n, n);
   for (std::size_t j = 0; j < n; ++j) {

@@ -14,6 +14,14 @@ struct SymmetricEigenResult {
   std::vector<double> eigenvalues;
   /// Orthonormal eigenvectors as columns, ordered to match `eigenvalues`.
   Matrix eigenvectors;
+  /// Full Jacobi sweeps actually performed.
+  int sweeps = 0;
+  /// True when the off-diagonal norm met the tolerance within
+  /// `max_sweeps`. A non-converged result is still returned (the
+  /// rotations only ever improve the diagonalization) but the event is
+  /// surfaced: `linalg.eigen.nonconverged` counter, a "nonconverged"
+  /// annotation on the "symmetric_eigen" span, and a WARN log line.
+  bool converged = false;
 };
 
 /// Options for the cyclic Jacobi eigensolver.
@@ -47,6 +55,10 @@ struct JacobiOptions {
 /// reductions merge fixed, pool-size-independent chunks in ascending
 /// order, so acceptance and convergence decisions — and therefore the
 /// returned eigenpairs — are bit-identical across `--threads` values.
+///
+/// Cancellation: the ambient robust::CancelToken is checked once per
+/// sweep; a fired token returns Status::Cancelled / DeadlineExceeded
+/// (callers like HOOI translate that into best-so-far results).
 Result<SymmetricEigenResult> SymmetricEigen(
     const Matrix& a, const JacobiOptions& options = JacobiOptions());
 

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "robust/cancel.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
 #include "util/result.h"
@@ -127,6 +128,12 @@ inline Status RunPhaseTasks(std::size_t workers, const char* label,
           }
         },
         label);
+  } catch (const robust::CancelledError& e) {
+    // Cooperative cancellation is not a task failure: surface the
+    // Cancelled / DeadlineExceeded code so callers can drain gracefully
+    // (and so the retry layer, which only retries IOError/Internal,
+    // never replays a cancelled task).
+    return e.ToStatus();
   } catch (const std::exception& e) {
     return Status::Internal(std::string(label) + " task escaped: " + e.what());
   } catch (...) {
@@ -188,6 +195,11 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
                   robust::CheckFailpoint("mapreduce.map_task"));
               try {
                 for (std::size_t i = begin; i < end; ++i) {
+                  // Periodic cancellation point inside the record loop
+                  // (every 256 records) so long map shards stop promptly.
+                  if (((i - begin) & 0xFF) == 0) {
+                    M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
+                  }
                   spec.mapper(inputs[i], &emitters[w]);
                 }
                 if (spec.combiner) {
@@ -208,6 +220,8 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
                     }
                   }
                 }
+              } catch (const robust::CancelledError& e) {
+                return e.ToStatus();
               } catch (const std::exception& e) {
                 return Status::Internal("map task " + std::to_string(w) +
                                         " threw: " + e.what());
@@ -274,6 +288,7 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
         reduce_status[p] = robust::RetryStatusCall(
             reduce_policy, "mapreduce.reduce_task", [&]() -> Status {
               outputs[p].clear();
+              M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
               M2TD_RETURN_IF_ERROR(
                   robust::CheckFailpoint("mapreduce.reduce_task"));
               // Grouping runs INSIDE the try: it invokes the user key
@@ -302,6 +317,8 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
                 for (auto& [key, values] : groups) {
                   spec.reducer(key, values, &outputs[p]);
                 }
+              } catch (const robust::CancelledError& e) {
+                return e.ToStatus();
               } catch (const std::exception& e) {
                 return Status::Internal("reduce task " + std::to_string(p) +
                                         " threw: " + e.what());

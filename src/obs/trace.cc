@@ -16,6 +16,7 @@ namespace m2td::obs {
 namespace {
 
 std::atomic<bool> g_tracing_enabled{false};
+std::atomic<SpanListener> g_span_listener{nullptr};
 
 /// Nesting depth of open *recording* spans, per thread.
 thread_local std::uint32_t t_span_depth = 0;
@@ -109,6 +110,10 @@ void JsonEscape(std::string_view text, std::string* out) {
 
 bool TracingEnabled() {
   return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetSpanListener(SpanListener listener) {
+  g_span_listener.store(listener, std::memory_order_relaxed);
 }
 
 void SetTracingEnabled(bool enabled) {
@@ -274,10 +279,16 @@ void Tracer::WriteTextSummary(std::ostream& os) const {
 }
 
 ObsSpan::ObsSpan(std::string_view name, Mode mode) {
+  if (SpanListener listener =
+          g_span_listener.load(std::memory_order_relaxed)) {
+    listener(name, /*begin=*/true);
+    notified_ = true;
+  }
   recording_ = TracingEnabled();
   timing_ = recording_ || mode == kAlwaysTime;
-  if (!timing_) return;
+  if (!timing_ && !notified_) return;
   name_.assign(name);
+  if (!timing_) return;
   if (recording_) depth_ = t_span_depth++;
   start_us_ = Tracer::NowMicros();
 }
@@ -305,8 +316,15 @@ void ObsSpan::Annotate(std::string_view key, std::string_view value) {
 }
 
 double ObsSpan::End() {
-  if (ended_ || !timing_) return elapsed_seconds_;
+  if (ended_) return elapsed_seconds_;
   ended_ = true;
+  if (notified_) {
+    if (SpanListener listener =
+            g_span_listener.load(std::memory_order_relaxed)) {
+      listener(name_, /*begin=*/false);
+    }
+  }
+  if (!timing_) return elapsed_seconds_;
   const double end_us = Tracer::NowMicros();
   elapsed_seconds_ = (end_us - start_us_) * 1e-6;
   if (recording_) {

@@ -19,6 +19,21 @@ namespace m2td::obs {
 bool TracingEnabled();
 void SetTracingEnabled(bool enabled);
 
+/// \brief Callback observing every ObsSpan open (`begin == true`) and
+/// close (`begin == false`), regardless of whether tracing is enabled.
+///
+/// This is the heartbeat feed for robust::Watchdog: span opens/closes
+/// double as per-phase liveness signals without a second instrumentation
+/// layer. The callback must be thread-safe (spans open on pool workers)
+/// and cheap; it runs inline in the instrumented code. A plain function
+/// pointer (not std::function) so the not-installed fast path stays one
+/// relaxed atomic load.
+using SpanListener = void (*)(std::string_view name, bool begin);
+
+/// Installs the process-wide span listener (nullptr uninstalls). Spans
+/// already open keep notifying the listener loaded at their close.
+void SetSpanListener(SpanListener listener);
+
 /// One key/value annotation attached to a span ("nnz", "mode", "rank",
 /// "bytes", ...). Numeric values are stored unquoted so the Chrome trace
 /// viewer can aggregate them.
@@ -150,6 +165,7 @@ class ObsSpan {
  private:
   bool timing_ = false;     // clock was read at construction
   bool recording_ = false;  // will be pushed into the tracer on End()
+  bool notified_ = false;   // a SpanListener saw the open, owes a close
   bool ended_ = false;
   std::uint32_t depth_ = 0;
   double start_us_ = 0.0;

@@ -10,6 +10,12 @@ namespace m2td::parallel {
 void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
                  const ChunkFn& fn, const char* label) {
   if (end <= begin) return;
+  // Every ParallelFor is a cancellation point: an already-fired ambient
+  // token stops the region before any chunk runs, a token firing mid-
+  // region stops further chunks (thread_pool.cc). Either way the caller
+  // sees one robust::CancelledError.
+  const robust::CancelToken cancel = robust::CurrentCancelToken();
+  if (cancel.IsCancelled()) throw robust::CancelledError(cancel.cause());
   const std::uint64_t range = end - begin;
   ThreadPool& pool = GlobalPool();
   const std::uint64_t threads =
@@ -37,6 +43,7 @@ void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
 
   auto region = std::make_shared<internal::Region>();
   region->num_chunks = num_chunks;
+  region->cancel = cancel;
   region->run_chunk = [&, g](std::uint64_t index) {
     const std::uint64_t b = begin + index * g;
     const std::uint64_t e = std::min(end, b + g);

@@ -29,10 +29,15 @@ using ChunkFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
 /// (or the caller synchronizes); use ParallelReduce for accumulations.
 ///
 /// The first exception thrown by a chunk cancels the remaining chunks
-/// and is rethrown exactly once in the caller. With tracing enabled the
-/// region appears as a `label` span annotated with range/chunks/threads,
-/// and the pool counters (`parallel.regions`, `parallel.chunks`,
-/// `parallel.busy_us`, gauge `parallel.queue_depth`) are updated.
+/// and is rethrown exactly once in the caller. The caller's ambient
+/// robust::CancelToken (CurrentCancelToken) makes every region a
+/// cancellation point: a fired token stops further chunk bodies through
+/// the same machinery and surfaces as a single robust::CancelledError
+/// in the caller; chunk bodies run with that token ambient even on pool
+/// workers. With tracing enabled the region appears as a `label` span
+/// annotated with range/chunks/threads, and the pool counters
+/// (`parallel.regions`, `parallel.chunks`, `parallel.busy_us`, gauge
+/// `parallel.queue_depth`) are updated.
 void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
                  const ChunkFn& fn, const char* label);
 

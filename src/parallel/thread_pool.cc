@@ -30,10 +30,26 @@ void ThreadPool::ExecuteChunks(internal::Region& region) {
     const std::uint64_t index =
         region.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (index >= region.num_chunks) return;
+    // A fired CancelToken cancels the region exactly like a chunk
+    // exception: remaining chunks are claimed-but-skipped and the
+    // initiator rethrows CancelledError once.
+    if (!region.cancelled.load(std::memory_order_relaxed) &&
+        region.cancel.IsCancelled()) {
+      region.cancelled.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(region.mu);
+      if (!region.error) {
+        region.error = std::make_exception_ptr(
+            robust::CancelledError(region.cancel.cause()));
+      }
+    }
     const bool measure = obs::MetricsEnabled();
     const double start_us = measure ? obs::Tracer::NowMicros() : 0.0;
     if (!region.cancelled.load(std::memory_order_relaxed)) {
       try {
+        // Chunk bodies run with the initiator's token ambient, so
+        // nested kernels (and nested regions) on pool workers observe
+        // the same cancellation the initiating thread would.
+        robust::CancelScope scope(region.cancel);
         region.run_chunk(index);
       } catch (...) {
         region.cancelled.store(true, std::memory_order_relaxed);

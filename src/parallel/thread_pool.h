@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "robust/cancel.h"
+
 namespace m2td::parallel {
 
 namespace internal {
@@ -25,10 +27,19 @@ namespace internal {
 /// region is cancelled: remaining chunks are still *claimed* (so the
 /// completion count converges) but their bodies are skipped, and the
 /// captured exception is rethrown exactly once, in the initiator.
+///
+/// `cancel` is the initiator's ambient CancelToken: a fired token
+/// cancels the region through the same machinery (pending chunk bodies
+/// are skipped and a robust::CancelledError is rethrown in the
+/// initiator), and executors re-install it as *their* ambient token
+/// while running chunk bodies, so cancellation crosses the pool's
+/// thread boundary.
 struct Region {
   /// Runs chunk `index` in [0, num_chunks).
   std::function<void(std::uint64_t index)> run_chunk;
   std::uint64_t num_chunks = 0;
+  /// Ambient token captured by the initiator (null when none).
+  robust::CancelToken cancel;
 
   std::atomic<std::uint64_t> next_chunk{0};
   std::atomic<bool> cancelled{false};

@@ -1,0 +1,240 @@
+#include "robust/cancel.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <limits>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace m2td::robust {
+
+Deadline Deadline::AfterMillis(double ms) {
+  Deadline d;
+  d.finite_ = true;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(ms));
+  return d;
+}
+
+bool Deadline::Expired() const {
+  return finite_ && std::chrono::steady_clock::now() >= at_;
+}
+
+double Deadline::RemainingMillis() const {
+  if (!finite_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(
+             at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+namespace internal {
+
+CancelCause CancelState::CancelledSlow() {
+  if (!deadline.IsInfinite() && deadline.Expired()) {
+    Fire(CancelCause::kDeadlineExceeded);
+    return static_cast<CancelCause>(cause.load(std::memory_order_relaxed));
+  }
+  if (parent) {
+    const CancelCause inherited = parent->CancelledNow();
+    if (inherited != CancelCause::kNone) {
+      Fire(inherited);
+      return static_cast<CancelCause>(cause.load(std::memory_order_relaxed));
+    }
+  }
+  return CancelCause::kNone;
+}
+
+void CancelState::Fire(CancelCause new_cause) {
+  int expected = 0;
+  const bool won = cause.compare_exchange_strong(
+      expected, static_cast<int>(new_cause), std::memory_order_relaxed);
+  if (won) obs::GetCounter("robust.cancel.fired").Increment();
+  std::vector<std::shared_ptr<CancelState>> kids;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::weak_ptr<CancelState>& weak : children) {
+      if (std::shared_ptr<CancelState> kid = weak.lock()) {
+        kids.push_back(std::move(kid));
+      }
+    }
+  }
+  cv.notify_all();
+  if (!won) return;  // children were already reached by the first firing
+  const auto effective =
+      static_cast<CancelCause>(cause.load(std::memory_order_relaxed));
+  for (const std::shared_ptr<CancelState>& kid : kids) kid->Fire(effective);
+}
+
+}  // namespace internal
+
+Status CancelToken::CheckCancel() const {
+  return StatusFromCause(cause());
+}
+
+bool CancelToken::WaitForMillis(double ms) const {
+  const double total = std::max(ms, 0.0);
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(total));
+  if (!state_) {
+    if (total > 0) std::this_thread::sleep_until(end);
+    return false;
+  }
+  constexpr std::chrono::milliseconds kSlice{50};
+  for (;;) {
+    // The full check (deadline + parent walk) runs *outside* the lock:
+    // it may Fire(), which takes the same mutex.
+    if (state_->CancelledNow() != CancelCause::kNone) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= end) return false;
+    const auto slice =
+        std::min<std::chrono::steady_clock::duration>(end - now, kSlice);
+    std::unique_lock<std::mutex> lock(state_->mu);
+    // Re-check under the lock (atomic only — no Fire) so a cause stored
+    // before we acquired the mutex is never slept past.
+    if (state_->cause.load(std::memory_order_relaxed) != 0) return true;
+    state_->cv.wait_for(lock, slice);
+  }
+}
+
+CancelSource::CancelSource(Deadline deadline)
+    : state_(std::make_shared<internal::CancelState>()) {
+  state_->deadline = deadline;
+}
+
+CancelSource::CancelSource(const CancelToken& parent, Deadline deadline)
+    : state_(std::make_shared<internal::CancelState>()) {
+  state_->deadline = deadline;
+  if (parent.state_) {
+    state_->parent = parent.state_;
+    std::lock_guard<std::mutex> lock(parent.state_->mu);
+    parent.state_->children.push_back(state_);
+  }
+}
+
+CancelSource::~CancelSource() {
+  if (!state_ || !state_->parent) return;
+  std::lock_guard<std::mutex> lock(state_->parent->mu);
+  auto& kids = state_->parent->children;
+  kids.erase(std::remove_if(kids.begin(), kids.end(),
+                            [&](const std::weak_ptr<internal::CancelState>&
+                                    weak) {
+                              const auto kid = weak.lock();
+                              return !kid || kid == state_;
+                            }),
+             kids.end());
+}
+
+void CancelSource::Cancel(CancelCause cause) {
+  state_->Fire(cause == CancelCause::kNone ? CancelCause::kCancelled : cause);
+}
+
+namespace {
+
+thread_local CancelToken t_ambient_token;
+
+}  // namespace
+
+CancelScope::CancelScope(CancelToken token)
+    : previous_(t_ambient_token) {
+  t_ambient_token = std::move(token);
+}
+
+CancelScope::~CancelScope() { t_ambient_token = previous_; }
+
+CancelToken CurrentCancelToken() { return t_ambient_token; }
+
+Status CheckCancelled() { return t_ambient_token.CheckCancel(); }
+
+CancelledError::CancelledError(CancelCause cause)
+    : std::runtime_error(cause == CancelCause::kDeadlineExceeded
+                             ? "deadline exceeded"
+                             : "cancelled"),
+      cause_(cause) {}
+
+Status CancelledError::ToStatus() const { return StatusFromCause(cause_); }
+
+bool IsCancellation(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+const char* CancelCauseName(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "none";
+    case CancelCause::kCancelled:
+      return "cancelled";
+    case CancelCause::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+Status StatusFromCause(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return Status::OK();
+    case CancelCause::kDeadlineExceeded:
+      return Status::DeadlineExceeded("deadline exceeded");
+    case CancelCause::kCancelled:
+      break;
+  }
+  return Status::Cancelled("cancelled");
+}
+
+namespace {
+
+/// Keeps the signal-routed state alive for the life of the process.
+std::shared_ptr<internal::CancelState>& SignalStateOwner() {
+  static auto* owner = new std::shared_ptr<internal::CancelState>();
+  return *owner;
+}
+
+std::atomic<internal::CancelState*> g_signal_state{nullptr};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void M2tdCancelSignalHandler(int /*signum*/) {
+  // Async-signal-safe: relaxed atomics and _exit only.
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    _exit(130);
+  }
+  internal::CancelState* state =
+      g_signal_state.load(std::memory_order_relaxed);
+  if (state != nullptr) {
+    int expected = 0;
+    state->cause.compare_exchange_strong(
+        expected, static_cast<int>(CancelCause::kCancelled),
+        std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+bool InstallCancelOnSignal(const CancelSource& source) {
+  SignalStateOwner() = internal::StateForTest(source);
+  g_signal_state.store(SignalStateOwner().get(), std::memory_order_relaxed);
+  g_signal_count.store(0, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = &M2tdCancelSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  bool ok = sigaction(SIGINT, &action, nullptr) == 0;
+  ok = sigaction(SIGTERM, &action, nullptr) == 0 && ok;
+  return ok;
+}
+
+namespace internal {
+
+std::shared_ptr<CancelState> StateForTest(const CancelSource& source) {
+  return source.state_;
+}
+
+}  // namespace internal
+
+}  // namespace m2td::robust

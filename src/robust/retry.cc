@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/cancel.h"
 #include "util/logging.h"
 
 namespace m2td::robust {
@@ -87,6 +88,25 @@ void SleepForMs(double delay_ms) {
       std::max(delay_ms, 0.0)));
 }
 
+Status InterruptibleBackoff(double delay_ms) {
+  const CancelToken token = CurrentCancelToken();
+  // Already cancelled: bail before the wait, not after it.
+  M2TD_RETURN_IF_ERROR(token.CheckCancel());
+  SleepFn sleeper;
+  {
+    std::lock_guard<std::mutex> lock(StateMutex());
+    sleeper = TestSleeper();
+  }
+  if (sleeper) {
+    // Tests observe the scheduled delay without wall-clock sleeping; a
+    // token fired by the sleeper itself is still honoured below.
+    sleeper(delay_ms);
+  } else {
+    token.WaitForMillis(delay_ms);
+  }
+  return token.CheckCancel();
+}
+
 void CountAttemptFailure(std::string_view op_name, const Status& status,
                          int attempt, bool will_retry, double delay_ms) {
   if (!will_retry) return;
@@ -128,7 +148,11 @@ Status RetryStatusCall(const RetryPolicy& policy, std::string_view op_name,
       internal::CountOutcome(op_name, /*success=*/false, attempt + 1);
       return status;
     }
-    internal::SleepForMs(delay_ms);
+    const Status wait = internal::InterruptibleBackoff(delay_ms);
+    if (!wait.ok()) {
+      internal::CountOutcome(op_name, /*success=*/false, attempt + 1);
+      return wait;
+    }
   }
 }
 

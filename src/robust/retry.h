@@ -63,6 +63,11 @@ void SetGlobalRetryPolicy(const RetryPolicy& policy);
 
 namespace internal {
 void SleepForMs(double delay_ms);
+/// The backoff wait between attempts: returns Cancelled/DeadlineExceeded
+/// immediately (without sleeping) when the calling thread's ambient
+/// CancelToken has fired, wakes early if it fires mid-wait, and honours
+/// the test sleeper for waits that do run.
+Status InterruptibleBackoff(double delay_ms);
 void CountAttemptFailure(std::string_view op_name, const Status& status,
                          int attempt, bool will_retry, double delay_ms);
 void CountOutcome(std::string_view op_name, bool success, int attempts);
@@ -73,6 +78,12 @@ void CountOutcome(std::string_view op_name, bool success, int attempts);
 /// Emits obs counters `robust.retry_attempts` (re-attempts performed),
 /// `robust.retry_success` (ops that succeeded after >= 1 retry), and
 /// `robust.retry_exhausted` (ops that failed every attempt).
+///
+/// Backoff waits are interruptible: when the calling thread's ambient
+/// CancelToken (see robust::CurrentCancelToken) fires, the pending wait is
+/// abandoned and the cancellation Status is returned immediately — a
+/// cancelled pipeline never sits out a multi-second backoff. Cancellation
+/// codes returned by `fn` itself are never retried (IsRetryable).
 template <typename T>
 Result<T> RetryCall(const RetryPolicy& policy, std::string_view op_name,
                     const std::function<Result<T>()>& fn) {
@@ -92,7 +103,11 @@ Result<T> RetryCall(const RetryPolicy& policy, std::string_view op_name,
       internal::CountOutcome(op_name, /*success=*/false, attempt + 1);
       return result;
     }
-    internal::SleepForMs(delay_ms);
+    const Status wait = internal::InterruptibleBackoff(delay_ms);
+    if (!wait.ok()) {
+      internal::CountOutcome(op_name, /*success=*/false, attempt + 1);
+      return wait;
+    }
   }
 }
 

@@ -1,0 +1,227 @@
+#include "robust/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace m2td::robust {
+
+namespace {
+
+/// One open span as seen by the listener.
+struct SpanEntry {
+  std::string name;
+  double start_us = 0.0;
+  bool soft_reported = false;
+  bool hard_reported = false;
+};
+
+/// Per-thread stack of open spans. Records are created on a thread's
+/// first span and deliberately never freed (bounded by the number of
+/// threads ever seen), so the monitor may scan them without lifetime
+/// games against exiting threads.
+struct ThreadRecord {
+  std::mutex mu;
+  std::vector<SpanEntry> stack;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadRecord*> records;
+};
+
+Registry& GetRegistry() {
+  static auto* registry = new Registry();
+  return *registry;
+}
+
+thread_local ThreadRecord* t_record = nullptr;
+
+ThreadRecord* LocalRecord() {
+  if (t_record == nullptr) {
+    auto* record = new ThreadRecord();
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.records.push_back(record);
+    t_record = record;
+  }
+  return t_record;
+}
+
+void OnSpanEvent(std::string_view name, bool begin) {
+  ThreadRecord* record = LocalRecord();
+  std::lock_guard<std::mutex> lock(record->mu);
+  if (begin) {
+    record->stack.push_back(
+        SpanEntry{std::string(name), obs::Tracer::NowMicros(), false, false});
+  } else if (!record->stack.empty() && record->stack.back().name == name) {
+    // The name guard drops closes of spans that opened before the
+    // listener was installed (or while it was swapped out).
+    record->stack.pop_back();
+  }
+}
+
+std::atomic<Watchdog*> g_active_watchdog{nullptr};
+
+/// "t3:[hooi > hooi_sweep > mode_gram]" for every non-empty stack.
+std::string DescribeStacks(const std::vector<ThreadRecord*>& records) {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::lock_guard<std::mutex> lock(records[i]->mu);
+    if (records[i]->stack.empty()) continue;
+    if (!first) out << " ";
+    first = false;
+    out << "t" << i << ":[";
+    for (std::size_t d = 0; d < records[i]->stack.size(); ++d) {
+      if (d) out << " > ";
+      out << records[i]->stack[d].name;
+    }
+    out << "]";
+  }
+  if (first) out << "(no open spans)";
+  return out.str();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(std::move(options)) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+bool Watchdog::Start() {
+  Watchdog* expected = nullptr;
+  if (!g_active_watchdog.compare_exchange_strong(expected, this)) {
+    return false;
+  }
+  // Drop stale entries left by spans that closed while no listener was
+  // installed; currently-open spans simply miss from this run's stacks
+  // (their closes are dropped by the name guard).
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> reg_lock(registry.mu);
+    for (ThreadRecord* record : registry.records) {
+      std::lock_guard<std::mutex> lock(record->mu);
+      record->stack.clear();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+    running_ = true;
+  }
+  obs::SetSpanListener(&OnSpanEvent);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  return true;
+}
+
+void Watchdog::Stop() {
+  if (g_active_watchdog.load(std::memory_order_relaxed) != this) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+  obs::SetSpanListener(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  g_active_watchdog.store(nullptr, std::memory_order_relaxed);
+}
+
+std::uint64_t Watchdog::stalls() const {
+  return stalls_.load(std::memory_order_relaxed);
+}
+
+bool Watchdog::hard_fired() const {
+  return hard_fired_.load(std::memory_order_relaxed);
+}
+
+void Watchdog::MonitorLoop() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      std::max(options_.poll_interval_ms, 1.0));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, poll, [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    // Forcing a token check makes a lazy Deadline on the source expire
+    // even while the pipeline sits in a wait that never polls it.
+    if (options_.source != nullptr) {
+      (void)options_.source->token().IsCancelled();
+    }
+
+    std::vector<ThreadRecord*> records;
+    {
+      Registry& registry = GetRegistry();
+      std::lock_guard<std::mutex> lock(registry.mu);
+      records = registry.records;
+    }
+    const double now_us = obs::Tracer::NowMicros();
+
+    struct Breach {
+      std::string leaf;
+      double age_ms = 0.0;
+      bool hard = false;
+    };
+    std::vector<Breach> breaches;
+    for (ThreadRecord* record : records) {
+      std::lock_guard<std::mutex> lock(record->mu);
+      if (record->stack.empty()) continue;
+      SpanEntry& leaf = record->stack.back();
+      const double age_ms = (now_us - leaf.start_us) * 1e-3;
+      if (options_.hard_budget_ms > 0 && age_ms > options_.hard_budget_ms &&
+          !leaf.hard_reported && !hard_fired()) {
+        leaf.hard_reported = true;
+        breaches.push_back(Breach{leaf.name, age_ms, /*hard=*/true});
+      } else if (options_.soft_budget_ms > 0 &&
+                 age_ms > options_.soft_budget_ms && !leaf.soft_reported) {
+        leaf.soft_reported = true;
+        breaches.push_back(Breach{leaf.name, age_ms, /*hard=*/false});
+      }
+    }
+    if (breaches.empty()) continue;
+
+    const std::string stacks = DescribeStacks(records);
+    std::string depth = "n/a";
+    if (options_.queue_depth_fn) {
+      depth = std::to_string(options_.queue_depth_fn());
+    }
+    for (const Breach& breach : breaches) {
+      if (breach.hard) {
+        obs::GetCounter("robust.watchdog.hard_fires").Increment();
+        obs::Tracer::Get().RecordInstant("watchdog_hard:" + breach.leaf);
+        M2TD_LOG_WARNING() << "watchdog: '" << breach.leaf << "' open for "
+                           << breach.age_ms << " ms (hard budget "
+                           << options_.hard_budget_ms
+                           << " ms) — cancelling; open spans: " << stacks
+                           << "; pool queue depth: " << depth;
+        hard_fired_.store(true, std::memory_order_relaxed);
+        if (options_.source != nullptr) {
+          options_.source->Cancel(CancelCause::kDeadlineExceeded);
+        }
+      } else {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        obs::GetCounter("robust.watchdog.stalls").Increment();
+        obs::Tracer::Get().RecordInstant("watchdog_stall:" + breach.leaf);
+        M2TD_LOG_WARNING() << "watchdog: '" << breach.leaf << "' open for "
+                           << breach.age_ms << " ms (soft budget "
+                           << options_.soft_budget_ms
+                           << " ms); open spans: " << stacks
+                           << "; pool queue depth: " << depth;
+      }
+    }
+  }
+}
+
+}  // namespace m2td::robust

@@ -1,0 +1,93 @@
+#ifndef M2TD_ROBUST_WATCHDOG_H_
+#define M2TD_ROBUST_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "robust/cancel.h"
+
+namespace m2td::robust {
+
+/// \brief Budgets and plumbing for a Watchdog.
+///
+/// Budgets apply to the innermost open obs span on any thread: a span
+/// older than `soft_budget_ms` is reported (once) as a stall; older than
+/// `hard_budget_ms` fires `source` with kDeadlineExceeded. A zero budget
+/// disables that tier.
+struct WatchdogOptions {
+  /// Age at which an open span is reported as a stall (trace instant +
+  /// `robust.watchdog.stalls` counter + WARN dump). 0 disables.
+  double soft_budget_ms = 0.0;
+  /// Age at which `source` is fired with kDeadlineExceeded. 0 disables.
+  double hard_budget_ms = 0.0;
+  /// Monitor poll cadence.
+  double poll_interval_ms = 50.0;
+  /// Source fired on a hard-budget breach; also polled every interval so
+  /// a lazy Deadline attached to it expires even while the pipeline sits
+  /// in a non-token wait. May be null (hard budget then has no effect).
+  CancelSource* source = nullptr;
+  /// Diagnostic included in stall dumps (wire parallel::GlobalPool()
+  /// queue depth here — injected as a callback so robust/ does not link
+  /// against parallel/). May be null.
+  std::function<std::size_t()> queue_depth_fn;
+};
+
+/// \brief Stall monitor fed by per-phase heartbeats piggybacked on obs
+/// spans.
+///
+/// Start() registers an obs::SpanListener that maintains a per-thread
+/// stack of open spans, then launches a monitor thread that polls those
+/// stacks every `poll_interval_ms`: the innermost open span's age drives
+/// the soft (report) and hard (cancel) budgets. The listener path is a
+/// mutex-protected push/pop on a thread-local record — cheap enough for
+/// phase-granularity spans, and exactly the spans the tracer already
+/// emits, so no second instrumentation layer exists to drift.
+///
+/// At most one Watchdog may be running at a time (enforced: a second
+/// Start() is a no-op returning false). Stop() joins the monitor and
+/// unregisters the listener; the destructor calls Stop().
+class Watchdog {
+ public:
+  /// Creates a stopped watchdog with the given budgets.
+  explicit Watchdog(WatchdogOptions options);
+
+  /// Stops the monitor if running.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers the span listener and launches the monitor thread.
+  /// Returns false (and does nothing) when another Watchdog is running.
+  bool Start();
+
+  /// Unregisters the listener and joins the monitor thread. Idempotent.
+  void Stop();
+
+  /// Soft-budget stalls reported so far (also the
+  /// `robust.watchdog.stalls` counter).
+  std::uint64_t stalls() const;
+
+  /// True once the hard budget fired `source`.
+  bool hard_fired() const;
+
+ private:
+  void MonitorLoop();
+
+  WatchdogOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread monitor_;
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<bool> hard_fired_{false};
+};
+
+}  // namespace m2td::robust
+
+#endif  // M2TD_ROBUST_WATCHDOG_H_

@@ -58,10 +58,22 @@ Result<DenseTensor> ProjectAllExceptDense(
   return y;
 }
 
+/// Fit from the core norm under orthonormal factors:
+/// ||X - X~||^2 = ||X||^2 - ||G||^2.
+double FitFromCore(const DenseTensor& core, double input_norm) {
+  const double core_norm = core.FrobeniusNorm();
+  const double err_sq =
+      std::max(0.0, input_norm * input_norm - core_norm * core_norm);
+  return input_norm > 0.0 ? 1.0 - std::sqrt(err_sq) / input_norm : 1.0;
+}
+
 /// Shared ALS loop; `project` computes the all-but-one projection of the
-/// original tensor against the current factors.
+/// original tensor against the current factors. Starts from the full
+/// HOSVD `init` (factors *and* core) so an interruption at any point —
+/// even before the first sweep completes — still has a valid
+/// decomposition to return as best-so-far.
 template <typename ProjectFn, typename CoreFn>
-Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
+Result<TuckerDecomposition> RunHooi(TuckerDecomposition init,
                                     const std::vector<std::uint64_t>& shape,
                                     const std::vector<std::uint64_t>& ranks,
                                     double input_norm,
@@ -73,36 +85,63 @@ Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
   // the pooled inner kernels (TTM, matricize, Gram, matmul) each sweep
   // step calls.
   obs::ObsSpan hooi_span("hooi");
-  hooi_span.Annotate("num_modes", static_cast<std::uint64_t>(factors.size()));
+  hooi_span.Annotate("num_modes",
+                     static_cast<std::uint64_t>(init.factors.size()));
   hooi_span.Annotate("threads",
                      static_cast<std::uint64_t>(parallel::GlobalThreads()));
-  double previous_fit = -1.0;
+  // `best` is the last fully completed state (initially the HOSVD init);
+  // `factors` is the working set a sweep mutates mode by mode, so it is
+  // only copied back into `best` once the whole sweep (including the
+  // core) finished.
+  TuckerDecomposition best = std::move(init);
+  std::vector<linalg::Matrix> factors = best.factors;
+  double previous_fit = FitFromCore(best.core, input_norm);
   bool converged = false;
+  robust::CancelCause interrupted = robust::CancelCause::kNone;
   int iterations = 0;
-  DenseTensor core;
 
   for (int sweep = 0; sweep < options.max_iterations && !converged; ++sweep) {
     obs::ObsSpan sweep_span("hooi_sweep");
     sweep_span.Annotate("sweep", static_cast<std::int64_t>(sweep));
-    ++iterations;
-    for (std::size_t n = 0; n < factors.size(); ++n) {
-      M2TD_ASSIGN_OR_RETURN(DenseTensor projected, project(factors, n));
-      M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram,
-                            ModeGramDense(projected, n));
-      const std::size_t rank = static_cast<std::size_t>(
-          std::min<std::uint64_t>(ranks[n], shape[n]));
-      M2TD_ASSIGN_OR_RETURN(factors[n],
-                            linalg::LeadingEigenvectors(gram, rank));
+    DenseTensor core;
+    // The sweep body reports cancellation through either channel: a
+    // cancellation Status from the eigensolver, or a CancelledError
+    // thrown out of a pooled kernel region.
+    Status sweep_status = Status::OK();
+    try {
+      sweep_status = [&]() -> Status {
+        M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
+        for (std::size_t n = 0; n < factors.size(); ++n) {
+          M2TD_ASSIGN_OR_RETURN(DenseTensor projected, project(factors, n));
+          M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram,
+                                ModeGramDense(projected, n));
+          const std::size_t rank = static_cast<std::size_t>(
+              std::min<std::uint64_t>(ranks[n], shape[n]));
+          M2TD_ASSIGN_OR_RETURN(factors[n],
+                                linalg::LeadingEigenvectors(gram, rank));
+        }
+        M2TD_ASSIGN_OR_RETURN(core, compute_core(factors));
+        return Status::OK();
+      }();
+    } catch (const robust::CancelledError& error) {
+      sweep_status = error.ToStatus();
     }
-    M2TD_ASSIGN_OR_RETURN(core, compute_core(factors));
-    // Orthonormal factors: ||X - X~||^2 = ||X||^2 - ||G||^2.
-    const double core_norm = core.FrobeniusNorm();
-    const double err_sq =
-        std::max(0.0, input_norm * input_norm - core_norm * core_norm);
-    const double fit =
-        input_norm > 0.0 ? 1.0 - std::sqrt(err_sq) / input_norm : 1.0;
+    if (robust::IsCancellation(sweep_status)) {
+      interrupted = sweep_status.code() == StatusCode::kDeadlineExceeded
+                        ? robust::CancelCause::kDeadlineExceeded
+                        : robust::CancelCause::kCancelled;
+      sweep_span.Annotate("interrupted",
+                          std::string_view(
+                              robust::CancelCauseName(interrupted)));
+      break;  // return best-so-far below
+    }
+    M2TD_RETURN_IF_ERROR(sweep_status);
+    ++iterations;
+    best.factors = factors;
+    best.core = std::move(core);
+    const double fit = FitFromCore(best.core, input_norm);
     if (previous_fit >= 0.0 &&
-        std::fabs(fit - previous_fit) < options.tolerance) {
+        std::fabs(fit - previous_fit) < options.tolerance && sweep > 0) {
       converged = true;
     }
     previous_fit = fit;
@@ -110,16 +149,18 @@ Result<TuckerDecomposition> RunHooi(std::vector<linalg::Matrix> factors,
   }
   hooi_span.Annotate("iterations", static_cast<std::int64_t>(iterations));
   hooi_span.Annotate("fit", previous_fit);
+  if (interrupted != robust::CancelCause::kNone) {
+    hooi_span.Annotate("interrupted",
+                       std::string_view(robust::CancelCauseName(interrupted)));
+  }
 
   if (info != nullptr) {
     info->iterations = iterations;
     info->fit = previous_fit;
     info->converged = converged;
+    info->interrupted = interrupted;
   }
-  TuckerDecomposition out;
-  out.core = std::move(core);
-  out.factors = std::move(factors);
-  return out;
+  return best;
 }
 
 }  // namespace
@@ -135,11 +176,16 @@ Result<TuckerDecomposition> HooiSparse(const SparseTensor& x,
   if (x.num_modes() < 2) {
     return Status::InvalidArgument("HOOI needs at least two modes");
   }
-  // HOSVD initialization (the standard warm start).
-  M2TD_ASSIGN_OR_RETURN(TuckerDecomposition init, HosvdSparse(x, ranks));
+  // HOSVD initialization (the standard warm start). A cancellation here
+  // (either channel) is a plain error: no usable factors exist yet.
+  TuckerDecomposition init;
+  try {
+    M2TD_ASSIGN_OR_RETURN(init, HosvdSparse(x, ranks));
+  } catch (const robust::CancelledError& error) {
+    return error.ToStatus();
+  }
   return RunHooi(
-      std::move(init.factors), x.shape(), ranks, x.FrobeniusNorm(), options,
-      info,
+      std::move(init), x.shape(), ranks, x.FrobeniusNorm(), options, info,
       [&x](const std::vector<linalg::Matrix>& factors, std::size_t skip) {
         return ProjectAllExceptSparse(x, factors, skip);
       },
@@ -156,10 +202,14 @@ Result<TuckerDecomposition> HooiDense(const DenseTensor& x,
   if (x.num_modes() < 2) {
     return Status::InvalidArgument("HOOI needs at least two modes");
   }
-  M2TD_ASSIGN_OR_RETURN(TuckerDecomposition init, HosvdDense(x, ranks));
+  TuckerDecomposition init;
+  try {
+    M2TD_ASSIGN_OR_RETURN(init, HosvdDense(x, ranks));
+  } catch (const robust::CancelledError& error) {
+    return error.ToStatus();
+  }
   return RunHooi(
-      std::move(init.factors), x.shape(), ranks, x.FrobeniusNorm(), options,
-      info,
+      std::move(init), x.shape(), ranks, x.FrobeniusNorm(), options, info,
       [&x](const std::vector<linalg::Matrix>& factors, std::size_t skip) {
         return ProjectAllExceptDense(x, factors, skip);
       },

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "robust/cancel.h"
 #include "tensor/sparse_tensor.h"
 #include "tensor/tucker.h"
 #include "util/result.h"
@@ -24,6 +25,13 @@ struct HooiInfo {
   /// ground truth).
   double fit = 0.0;
   bool converged = false;
+  /// Why the run stopped early: kNone when it ran to convergence or
+  /// max_iterations; kCancelled / kDeadlineExceeded when the ambient
+  /// CancelToken fired mid-run. In the latter case the returned
+  /// decomposition is the best-so-far state (HOSVD init, then the last
+  /// fully completed ALS sweep) rather than an error — HOOI is an
+  /// anytime algorithm, every completed sweep only improves the fit.
+  robust::CancelCause interrupted = robust::CancelCause::kNone;
 };
 
 /// \brief Higher-Order Orthogonal Iteration (Tucker-ALS): refines the
@@ -54,6 +62,13 @@ struct HooiInfo {
 /// converges to exactly the same factors/core at any `--threads` value
 /// (asserted by parallel_test.cc). The enclosing span "hooi" annotates
 /// the pool size used.
+///
+/// Cancellation/deadline: the ambient robust::CancelToken is polled per
+/// sweep (and inside every pooled kernel). A token firing after the
+/// HOSVD init completes returns OK with the best-so-far decomposition
+/// and `info->interrupted` set (the "hooi" span gains an "interrupted"
+/// annotation); a token firing during the init itself returns the
+/// cancellation Status, as no usable factors exist yet.
 Result<TuckerDecomposition> HooiSparse(const SparseTensor& x,
                                        std::vector<std::uint64_t> ranks,
                                        const HooiOptions& options = {},

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "util/string_util.h"
 
@@ -49,6 +50,55 @@ void SparseTensor::AppendEntry(const std::vector<std::uint32_t>& indices,
   }
   values_.push_back(value);
   sorted_ = false;
+}
+
+namespace {
+
+std::string CoordinateString(const std::vector<std::uint32_t>& indices) {
+  std::string out = "(";
+  for (std::size_t m = 0; m < indices.size(); ++m) {
+    if (m > 0) out += ", ";
+    out += std::to_string(indices[m]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+Status SparseTensor::AppendEntryChecked(
+    const std::vector<std::uint32_t>& indices, double value) {
+  if (indices.size() != shape_.size()) {
+    return Status::InvalidArgument(
+        "entry arity " + std::to_string(indices.size()) +
+        " != tensor modes " + std::to_string(shape_.size()));
+  }
+  for (std::size_t m = 0; m < shape_.size(); ++m) {
+    if (indices[m] >= shape_[m]) {
+      return Status::InvalidArgument(
+          "index " + std::to_string(indices[m]) + " out of range for mode " +
+          std::to_string(m) + " at coordinate " + CoordinateString(indices));
+    }
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        std::string(std::isnan(value) ? "NaN" : "infinite") +
+        " value at coordinate " + CoordinateString(indices));
+  }
+  AppendEntry(indices, value);
+  return Status::OK();
+}
+
+Status SparseTensor::CheckFinite() const {
+  std::vector<std::uint32_t> coord(shape_.size());
+  for (std::uint64_t e = 0; e < NumNonZeros(); ++e) {
+    if (std::isfinite(values_[e])) continue;
+    for (std::size_t m = 0; m < shape_.size(); ++m) coord[m] = indices_[m][e];
+    return Status::InvalidArgument(
+        std::string(std::isnan(values_[e]) ? "NaN" : "infinite") +
+        " value at coordinate " + CoordinateString(coord));
+  }
+  return Status::OK();
 }
 
 void SparseTensor::SortAndCoalesce(CoalescePolicy policy) {

@@ -57,6 +57,19 @@ class SparseTensor {
   /// Appends one entry. Aborts when an index is out of range.
   void AppendEntry(const std::vector<std::uint32_t>& indices, double value);
 
+  /// Status-returning AppendEntry for ingest boundaries (file loaders,
+  /// external data): rejects a wrong arity or out-of-range index and, most
+  /// importantly, a non-finite (NaN/Inf) value — with InvalidArgument
+  /// naming the offending coordinate. Nothing is appended on failure.
+  Status AppendEntryChecked(const std::vector<std::uint32_t>& indices,
+                            double value);
+
+  /// Scans every stored value; InvalidArgument naming the coordinate of
+  /// the first non-finite (NaN/Inf) value, OK otherwise. The bulk flavour
+  /// of AppendEntryChecked's value screen, for tensors assembled via the
+  /// unchecked fast path.
+  Status CheckFinite() const;
+
   /// Index of entry `e` along `mode`.
   std::uint32_t Index(std::size_t mode, std::uint64_t entry) const {
     return indices_[mode][entry];

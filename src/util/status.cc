@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "Data loss";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

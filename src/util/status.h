@@ -25,6 +25,13 @@ enum class StatusCode {
   /// mismatch, torn write). Unlike kIOError this is not retryable: the
   /// bytes on disk are wrong, not merely momentarily unavailable.
   kDataLoss,
+  /// The operation was cooperatively cancelled (robust::CancelToken).
+  /// Not retryable: the caller asked the work to stop.
+  kCancelled,
+  /// A robust::Deadline attached to the governing CancelToken expired.
+  /// Like kCancelled this is cooperative and not retryable, but callers
+  /// may treat it differently (e.g. report best-so-far results).
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -73,6 +80,12 @@ class Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -162,6 +163,25 @@ TEST(TablePrinterTest, PrintAlignsColumns) {
 TEST(TablePrinterTest, CellFormatting) {
   EXPECT_EQ(TablePrinter::Cell(0.5678, 2), "0.57");
   EXPECT_EQ(TablePrinter::SciCell(0.00021), "2.1e-04");
+}
+
+TEST_F(TensorIoTest, BinaryLoadRejectsNaNPayloadNamingCoordinate) {
+  // Build a tensor holding a NaN via the unchecked builder (modelling a
+  // corrupt file written by a buggy producer), serialize it, and verify
+  // the loader's ingest screen rejects it as InvalidArgument — not
+  // IOError, so the retry layer never re-reads known-bad data.
+  tensor::SparseTensor bad({4, 3, 5});
+  bad.AppendEntry({0, 0, 0}, 1.0);
+  bad.AppendEntry({2, 1, 4}, std::numeric_limits<double>::quiet_NaN());
+  const std::string path = Path("bad.spbin");
+  ASSERT_TRUE(SaveSparseBinary(bad, path).ok());
+  auto loaded = LoadSparseBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("NaN"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("(2, 1, 4)"), std::string::npos)
+      << loaded.status().message();
 }
 
 class TableCsvTest : public TensorIoTest {};

@@ -12,6 +12,7 @@
 #include "linalg/qr.h"
 #include "linalg/rsvd.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace m2td::linalg {
@@ -81,6 +82,34 @@ TEST(EigenEdgeTest, ExtremeScalesConverge) {
     EXPECT_LT(Matrix::MaxAbsDiff(a, reconstructed), 1e-9 * scale)
         << "scale " << scale;
   }
+}
+
+TEST(EigenEdgeTest, NonConvergenceIsSurfacedNotFatal) {
+  // A dense random symmetric matrix cannot be diagonalized to 1e-15
+  // relative off-diagonal norm in a single Jacobi sweep, so this forces
+  // the non-convergence path deterministically.
+  obs::SetMetricsEnabled(true);
+  obs::GetCounter("linalg.eigen.nonconverged").Reset();
+  Rng rng(11);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.Gaussian();
+    }
+  }
+  JacobiOptions options;
+  options.tolerance = 1e-15;
+  options.max_sweeps = 1;
+  auto eig = SymmetricEigen(a, options);
+  ASSERT_TRUE(eig.ok());  // best-effort result, not an error
+  EXPECT_FALSE(eig->converged);
+  EXPECT_EQ(eig->sweeps, 1);
+  EXPECT_EQ(obs::GetCounter("linalg.eigen.nonconverged").value(), 1u);
+  // The partial result is still a valid orthonormal basis.
+  Matrix vtv = MultiplyTransA(eig->eigenvectors, eig->eigenvectors);
+  EXPECT_LT(Matrix::MaxAbsDiff(vtv, Matrix::Identity(n)), 1e-10);
+  obs::SetMetricsEnabled(false);
 }
 
 TEST(QrEdgeTest, RankDeficientInputStillOrthonormalQ) {

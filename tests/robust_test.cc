@@ -9,12 +9,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 #include <unistd.h>
 
@@ -30,11 +32,14 @@
 #include "io/tensor_io.h"
 #include "mapreduce/engine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robust/cancel.h"
 #include "robust/checkpoint.h"
 #include "robust/crc32.h"
 #include "robust/durable.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
+#include "robust/watchdog.h"
 #include "tensor/tucker.h"
 #include "util/random.h"
 
@@ -583,6 +588,216 @@ TEST_F(RobustTest, KilledEnsembleBuildResumesFromCheckpoint) {
       &rng3);
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(resumed->NumNonZeros(), reference->NumNonZeros());
+}
+
+// ------------------------------------------------- cooperative cancellation
+
+TEST_F(RobustTest, DefaultTokenNeverFires) {
+  robust::CancelToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_TRUE(token.CheckCancel().ok());
+  EXPECT_EQ(token.cause(), robust::CancelCause::kNone);
+}
+
+TEST_F(RobustTest, CancelPropagatesToChildrenNeverToParents) {
+  robust::CancelSource root;
+  robust::CancelSource child(root.token());
+  EXPECT_FALSE(child.token().IsCancelled());
+
+  child.Cancel();
+  EXPECT_TRUE(child.token().IsCancelled());
+  EXPECT_FALSE(root.token().IsCancelled());
+
+  robust::CancelSource root2;
+  robust::CancelSource child2(root2.token());
+  robust::CancelSource grandchild(child2.token());
+  root2.Cancel();
+  EXPECT_TRUE(child2.token().IsCancelled());
+  EXPECT_TRUE(grandchild.token().IsCancelled());
+  EXPECT_EQ(grandchild.token().cause(), robust::CancelCause::kCancelled);
+}
+
+TEST_F(RobustTest, ExpiredDeadlineFiresDeadlineExceeded) {
+  robust::CancelSource source(robust::Deadline::AfterMillis(-1.0));
+  EXPECT_TRUE(source.token().IsCancelled());
+  EXPECT_EQ(source.token().cause(), robust::CancelCause::kDeadlineExceeded);
+  const Status status = source.token().CheckCancel();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(robust::IsCancellation(status));
+  EXPECT_FALSE(robust::IsRetryable(status));
+}
+
+TEST_F(RobustTest, ChildInheritsExpiredParentDeadlineLazily) {
+  robust::CancelSource root(robust::Deadline::AfterMillis(-1.0));
+  // The child itself has no deadline; its token observes the parent's
+  // expiry through the lazy parent walk.
+  robust::CancelSource child(root.token());
+  EXPECT_EQ(child.token().cause(), robust::CancelCause::kDeadlineExceeded);
+}
+
+TEST_F(RobustTest, WaitForMillisReturnsImmediatelyWhenCancelled) {
+  robust::CancelSource source;
+  source.Cancel();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(source.token().WaitForMillis(10'000));
+  // Far below the requested 10 s — the wait was interrupted, not served.
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            5.0);
+}
+
+TEST_F(RobustTest, CancelScopeInstallsAndRestoresAmbientToken) {
+  EXPECT_FALSE(robust::CurrentCancelToken().CanBeCancelled());
+  robust::CancelSource source;
+  {
+    robust::CancelScope scope(source.token());
+    EXPECT_TRUE(robust::CurrentCancelToken().CanBeCancelled());
+    EXPECT_TRUE(robust::CheckCancelled().ok());
+    source.Cancel();
+    EXPECT_EQ(robust::CheckCancelled().code(), StatusCode::kCancelled);
+  }
+  EXPECT_TRUE(robust::CheckCancelled().ok());
+  EXPECT_FALSE(robust::CurrentCancelToken().CanBeCancelled());
+}
+
+TEST_F(RobustTest, CancelledErrorRoundTripsToStatus) {
+  const robust::CancelledError error(robust::CancelCause::kDeadlineExceeded);
+  EXPECT_EQ(error.cause(), robust::CancelCause::kDeadlineExceeded);
+  EXPECT_EQ(error.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(robust::StatusFromCause(robust::CancelCause::kNone).code(),
+            StatusCode::kOk);
+  EXPECT_STREQ(robust::CancelCauseName(robust::CancelCause::kCancelled),
+               "cancelled");
+}
+
+// ------------------------------------------------- interruptible backoff
+
+TEST_F(RobustTest, CancelledRetryReturnsCancelledWithoutSleeping) {
+  std::vector<double> sleeps;
+  robust::SetRetrySleeperForTest(
+      [&sleeps](double ms) { sleeps.push_back(ms); });
+  robust::RetryPolicy policy;
+  policy.max_retries = 5;
+
+  robust::CancelSource source;
+  source.Cancel();
+  robust::CancelScope scope(source.token());
+  int attempts = 0;
+  const Status status =
+      robust::RetryStatusCall(policy, "op", [&attempts]() {
+        ++attempts;
+        return Status::IOError("flaky");
+      });
+  // The retryable failure is eclipsed by the fired token: Cancelled comes
+  // back immediately, after the one attempt already in flight and with no
+  // backoff wait performed.
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST_F(RobustTest, RetryBackoffInterruptedMidWait) {
+  robust::CancelSource source;
+  std::vector<double> sleeps;
+  robust::SetRetrySleeperForTest([&](double ms) {
+    sleeps.push_back(ms);
+    source.Cancel();  // fires while the backoff wait is in progress
+  });
+  robust::RetryPolicy policy;
+  policy.max_retries = 5;
+  robust::CancelScope scope(source.token());
+  int attempts = 0;
+  const Status status = robust::RetryStatusCall(policy, "op", [&]() {
+    ++attempts;
+    return Status::IOError("flaky");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(sleeps.size(), 1u);
+}
+
+TEST_F(RobustTest, CancellationStatusFromOperationIsNeverRetried) {
+  std::vector<double> sleeps;
+  robust::SetRetrySleeperForTest(
+      [&sleeps](double ms) { sleeps.push_back(ms); });
+  robust::RetryPolicy policy;
+  policy.max_retries = 5;
+  int attempts = 0;
+  const Status status = robust::RetryStatusCall(policy, "op", [&]() {
+    ++attempts;
+    return Status::Cancelled("stop requested");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST_F(RobustTest, RetryCallValueFlavorHonoursCancellation) {
+  robust::SetRetrySleeperForTest([](double) {});
+  robust::RetryPolicy policy;
+  policy.max_retries = 3;
+  robust::CancelSource source;
+  source.Cancel();
+  robust::CancelScope scope(source.token());
+  const Result<int> result = robust::RetryCall<int>(
+      policy, "op", []() -> Result<int> { return Status::IOError("flaky"); });
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// ------------------------------------------------------------- watchdog
+
+TEST_F(RobustTest, WatchdogReportsSoftStall) {
+  robust::WatchdogOptions options;
+  options.soft_budget_ms = 5.0;
+  options.poll_interval_ms = 2.0;
+  options.queue_depth_fn = [] { return std::size_t{0}; };
+  robust::Watchdog watchdog(options);
+  ASSERT_TRUE(watchdog.Start());
+  {
+    obs::ObsSpan span("stalling_phase");
+    for (int i = 0; i < 400 && watchdog.stalls() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  watchdog.Stop();
+  EXPECT_GE(watchdog.stalls(), 1u);
+  EXPECT_FALSE(watchdog.hard_fired());
+  EXPECT_GE(obs::GetCounter("robust.watchdog.stalls").value(), 1u);
+}
+
+TEST_F(RobustTest, WatchdogHardBudgetFiresSource) {
+  robust::CancelSource source;
+  robust::WatchdogOptions options;
+  options.soft_budget_ms = 2.0;
+  options.hard_budget_ms = 6.0;
+  options.poll_interval_ms = 2.0;
+  options.source = &source;
+  robust::Watchdog watchdog(options);
+  ASSERT_TRUE(watchdog.Start());
+  {
+    obs::ObsSpan span("hung_phase");
+    for (int i = 0; i < 400 && !source.token().IsCancelled(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  watchdog.Stop();
+  EXPECT_TRUE(watchdog.hard_fired());
+  EXPECT_TRUE(source.token().IsCancelled());
+  EXPECT_EQ(source.token().cause(), robust::CancelCause::kDeadlineExceeded);
+}
+
+TEST_F(RobustTest, OnlyOneWatchdogRunsAtATime) {
+  robust::WatchdogOptions options;
+  options.soft_budget_ms = 1000.0;
+  robust::Watchdog first(options);
+  ASSERT_TRUE(first.Start());
+  robust::Watchdog second(options);
+  EXPECT_FALSE(second.Start());
+  first.Stop();
+  EXPECT_TRUE(second.Start());
+  second.Stop();
 }
 
 }  // namespace

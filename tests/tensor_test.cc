@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -458,6 +459,50 @@ TEST(TuckerTest, HigherRankNeverHurtsAccuracy) {
     last = acc;
   }
   EXPECT_NEAR(last, 1.0, 1e-9);
+}
+
+// ------------------------------------------------- ingest validation
+
+TEST(SparseTensorTest, AppendEntryCheckedRejectsNaNNamingCoordinate) {
+  SparseTensor x({4, 3, 5});
+  const Status s = x.AppendEntryChecked(
+      {1, 2, 3}, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("NaN"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("(1, 2, 3)"), std::string::npos) << s.message();
+  EXPECT_EQ(x.NumNonZeros(), 0u);  // nothing partially appended
+}
+
+TEST(SparseTensorTest, AppendEntryCheckedRejectsInfinity) {
+  SparseTensor x({2, 2});
+  const Status s =
+      x.AppendEntryChecked({0, 1}, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("infinite"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("(0, 1)"), std::string::npos) << s.message();
+}
+
+TEST(SparseTensorTest, AppendEntryCheckedRejectsBadArityAndRange) {
+  SparseTensor x({2, 2});
+  EXPECT_EQ(x.AppendEntryChecked({0}, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  const Status range = x.AppendEntryChecked({0, 5}, 1.0);
+  EXPECT_EQ(range.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(range.message().find("(0, 5)"), std::string::npos)
+      << range.message();
+  EXPECT_TRUE(x.AppendEntryChecked({0, 1}, 1.0).ok());
+  EXPECT_EQ(x.NumNonZeros(), 1u);
+}
+
+TEST(SparseTensorTest, CheckFiniteLocatesOffendingCoordinate) {
+  SparseTensor x({3, 3});
+  x.AppendEntry({0, 0}, 1.0);
+  // Unchecked append models data corrupted after construction.
+  x.AppendEntry({2, 1}, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(SparseTensor({3, 3}).CheckFinite().ok());
+  const Status s = x.CheckFinite();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("(2, 1)"), std::string::npos) << s.message();
 }
 
 }  // namespace

@@ -35,8 +35,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
+#include "robust/watchdog.h"
 #include "tensor/cp.h"
 #include "tensor/hooi.h"
 #include "tensor/tucker.h"
@@ -65,6 +67,11 @@ struct RobustFlags {
   std::string checkpoint_dir;
   std::int64_t max_retries = 0;
   bool resume = false;
+  /// Overall wall-clock budget; 0 = no deadline. When it expires the root
+  /// CancelSource fires kDeadlineExceeded and every pipeline drains.
+  double deadline_ms = 0.0;
+  /// Stall watchdog soft budget per phase (leaf span); 0 = watchdog off.
+  double soft_deadline_ms = 0.0;
 };
 
 RobustFlags g_robust_flags;
@@ -301,6 +308,19 @@ int RunDecompose(int argc, const char* const* argv) {
     if (!tucker.ok()) return Fail(tucker.status());
     std::cout << "hooi: " << info.iterations << " sweeps, converged="
               << (info.converged ? "yes" : "no") << "\n";
+    if (info.interrupted != m2td::robust::CancelCause::kNone) {
+      // Best-so-far drain: save and report what the completed sweeps
+      // produced, then surface the cancellation — the token has fired, so
+      // further pooled work (reconstruction) would only fail against it.
+      std::cout << "hooi: interrupted ("
+                << m2td::robust::CancelCauseName(info.interrupted)
+                << "); best decomposition from " << info.iterations
+                << " completed sweeps, fit (vs input norm) " << info.fit
+                << "\n";
+      const Status saved = maybe_save(*tucker);
+      if (!saved.ok()) return Fail(saved);
+      return Fail(m2td::robust::StatusFromCause(info.interrupted));
+    }
     auto reconstructed = m2td::tensor::Reconstruct(*tucker);
     if (!reconstructed.ok()) return Fail(reconstructed.status());
     fit = m2td::tensor::ReconstructionAccuracy(*reconstructed, dense);
@@ -525,6 +545,14 @@ void PrintTopLevelUsage() {
       "                        M2TD_FAILPOINTS env var is also honored\n"
       "  --checkpoint_dir=<d>  journal simulate progress under d (resumable)\n"
       "  --resume              continue from an existing checkpoint journal\n"
+      "  --deadline_ms=<ms>    overall wall-clock budget; on expiry the run\n"
+      "                        drains gracefully (iterative decompositions\n"
+      "                        report best-so-far, checkpoints flush) and\n"
+      "                        exits with a DeadlineExceeded error\n"
+      "  --soft_deadline_ms=<ms> stall watchdog: report any phase older\n"
+      "                        than ms (trace instant + stack dump) without\n"
+      "                        cancelling; SIGINT/SIGTERM also drain\n"
+      "                        gracefully (press twice to exit at once)\n"
       "  --threads=<n>         size of the shared kernel thread pool\n"
       "                        (default: hardware concurrency; 1 = serial;\n"
       "                        results are bit-identical for any value —\n"
@@ -551,6 +579,8 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
   const std::string_view failpoint_prefix = "--fail_point=";
   const std::string_view checkpoint_prefix = "--checkpoint_dir=";
   const std::string_view threads_prefix = "--threads=";
+  const std::string_view deadline_prefix = "--deadline_ms=";
+  const std::string_view soft_deadline_prefix = "--soft_deadline_ms=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.substr(0, trace_prefix.size()) == trace_prefix) {
@@ -582,6 +612,14 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
       flags.threads = std::strtol(
           std::string(arg.substr(threads_prefix.size())).c_str(), nullptr,
           10);
+    } else if (arg.substr(0, deadline_prefix.size()) == deadline_prefix) {
+      g_robust_flags.deadline_ms = std::strtod(
+          std::string(arg.substr(deadline_prefix.size())).c_str(), nullptr);
+    } else if (arg.substr(0, soft_deadline_prefix.size()) ==
+               soft_deadline_prefix) {
+      g_robust_flags.soft_deadline_ms = std::strtod(
+          std::string(arg.substr(soft_deadline_prefix.size())).c_str(),
+          nullptr);
     } else {
       remaining->push_back(argv[i]);
     }
@@ -652,6 +690,11 @@ int main(int argc, char** argv) {
     m2td::robust::SetGlobalRetryPolicy(policy);
   }
 
+  if (g_robust_flags.deadline_ms < 0 || g_robust_flags.soft_deadline_ms < 0) {
+    return Fail(Status::InvalidArgument(
+        "--deadline_ms / --soft_deadline_ms must be >= 0"));
+  }
+
   if (args.size() < 2) {
     PrintTopLevelUsage();
     return 1;
@@ -659,29 +702,63 @@ int main(int argc, char** argv) {
   const std::string command = args[1];
   const int sub_argc = static_cast<int>(args.size()) - 2;
   const char* const* sub_argv = args.data() + 2;
-  int code = 0;
-  if (command == "experiment") {
-    code = RunExperiment(sub_argc, sub_argv);
-  } else if (command == "simulate") {
-    code = RunSimulate(sub_argc, sub_argv);
-  } else if (command == "decompose") {
-    code = RunDecompose(sub_argc, sub_argv);
-  } else if (command == "analyze") {
-    code = RunAnalyze(sub_argc, sub_argv);
-  } else if (command == "query") {
-    code = RunQuery(sub_argc, sub_argv);
-  } else if (command == "info") {
-    code = RunInfo(sub_argc, sub_argv);
-  } else if (command == "store") {
-    code = RunStore(sub_argc, sub_argv);
-  } else if (command == "--help" || command == "-h" || command == "help") {
-    PrintTopLevelUsage();
-    return 0;
-  } else {
-    std::cerr << "unknown command '" << command << "'\n";
-    PrintTopLevelUsage();
-    return 1;
+
+  // Root cancellation: --deadline_ms bounds the whole run, and a first
+  // SIGINT/SIGTERM trips the same source for graceful drain (checkpoints
+  // flush, trace/metrics below are still written; a second signal exits
+  // immediately).
+  m2td::robust::CancelSource root_source(
+      g_robust_flags.deadline_ms > 0
+          ? m2td::robust::Deadline::AfterMillis(g_robust_flags.deadline_ms)
+          : m2td::robust::Deadline::Infinite());
+  if (!m2td::robust::InstallCancelOnSignal(root_source)) {
+    std::cerr << "warning: could not install signal handlers\n";
   }
+  m2td::robust::Watchdog watchdog([&] {
+    m2td::robust::WatchdogOptions options;
+    options.soft_budget_ms = g_robust_flags.soft_deadline_ms;
+    options.source = &root_source;
+    options.queue_depth_fn = [] {
+      return m2td::parallel::GlobalPool().QueueDepth();
+    };
+    return options;
+  }());
+  if (g_robust_flags.soft_deadline_ms > 0) watchdog.Start();
+
+  int code = 0;
+  {
+    m2td::robust::CancelScope scope(root_source.token());
+    try {
+      if (command == "experiment") {
+        code = RunExperiment(sub_argc, sub_argv);
+      } else if (command == "simulate") {
+        code = RunSimulate(sub_argc, sub_argv);
+      } else if (command == "decompose") {
+        code = RunDecompose(sub_argc, sub_argv);
+      } else if (command == "analyze") {
+        code = RunAnalyze(sub_argc, sub_argv);
+      } else if (command == "query") {
+        code = RunQuery(sub_argc, sub_argv);
+      } else if (command == "info") {
+        code = RunInfo(sub_argc, sub_argv);
+      } else if (command == "store") {
+        code = RunStore(sub_argc, sub_argv);
+      } else if (command == "--help" || command == "-h" ||
+                 command == "help") {
+        PrintTopLevelUsage();
+        return 0;
+      } else {
+        std::cerr << "unknown command '" << command << "'\n";
+        PrintTopLevelUsage();
+        return 1;
+      }
+    } catch (const m2td::robust::CancelledError& error) {
+      // A cancelled pooled kernel unwound past a subcommand that predates
+      // the Status channel; drain gracefully all the same.
+      code = Fail(error.ToStatus());
+    }
+  }
+  watchdog.Stop();
   const int obs_code = ExportObservability(obs_flags);
   return code != 0 ? code : obs_code;
 }
