@@ -1,12 +1,14 @@
 #ifndef M2TD_BENCH_BENCH_COMMON_H_
 #define M2TD_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -88,7 +90,14 @@ inline void PrintBanner(const std::string& table, const std::string& what) {
 /// order.
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  /// Captures the machine's hardware concurrency at construction — once,
+  /// before any bench resizes the global pool — so every BENCH_*.json
+  /// reports the true core count regardless of what thread counts the
+  /// bench itself sweeps (previously each bench Add()ed it ad hoc, after
+  /// pool manipulation, and most forgot entirely).
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)),
+        hardware_threads_(std::max(1u, std::thread::hardware_concurrency())) {}
 
   void Add(const std::string& key, double value) {
     results_.emplace_back(key, value);
@@ -103,7 +112,8 @@ class BenchJson {
       M2TD_LOG_WARNING() << "cannot write " << path;
       return;
     }
-    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"results\": {";
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"hardware_threads\": "
+        << hardware_threads_ << ",\n  \"results\": {";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       out << (i ? "," : "") << "\n    \"" << results_[i].first
           << "\": " << results_[i].second;
@@ -137,6 +147,7 @@ class BenchJson {
 
  private:
   std::string name_;
+  unsigned hardware_threads_;
   std::vector<std::pair<std::string, double>> results_;
 };
 

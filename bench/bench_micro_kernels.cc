@@ -271,9 +271,56 @@ void RunThreadSweep(m2td::bench::BenchJson* json) {
                                           : 0.0)
               << ")\n";
   }
-  json->Add("hardware_threads",
-            static_cast<double>(m2td::parallel::HardwareThreads()));
   m2td::parallel::SetGlobalThreads(m2td::parallel::HardwareThreads());
+}
+
+/// Fixed-iteration timing of the two hottest sparse kernels, over the
+/// same input grid the google-benchmark entries use. Unlike the adaptive
+/// phase totals (google-benchmark picks iteration counts per run, so the
+/// per-call mix — and with it the aggregate per-call mean — drifts
+/// between runs), these loops run an identical call sequence every time:
+/// the reported us-per-call is comparable across builds, which is what
+/// tools/check_bench_regression.py keys off for the bench-smoke gate.
+void RunSmokeKernels(m2td::bench::BenchJson* json) {
+  constexpr int kCalls = 100;
+  std::cout << "\nfixed-iteration smoke kernels (" << kCalls
+            << " calls per config):\n";
+
+  {
+    std::vector<SparseTensor> inputs;
+    inputs.push_back(MakeSparse(16, 3, 1000, 11));
+    inputs.push_back(MakeSparse(16, 3, 10000, 11));
+    inputs.push_back(MakeSparse(64, 3, 10000, 11));
+    m2td::Timer timer;
+    for (const SparseTensor& x : inputs) {
+      for (int c = 0; c < kCalls; ++c) {
+        auto gram = m2td::tensor::ModeGram(x, 0);
+        benchmark::DoNotOptimize(gram);
+      }
+    }
+    const double us_per_call =
+        timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+    json->Add("smoke_mode_gram_us_per_call", us_per_call);
+    std::cout << "  mode_gram " << us_per_call << " us/call\n";
+  }
+  {
+    std::vector<SparseTensor> inputs;
+    inputs.push_back(MakeSparse(16, 4, 1000, 17));
+    inputs.push_back(MakeSparse(16, 4, 10000, 17));
+    inputs.push_back(MakeSparse(16, 4, 100000, 17));
+    const Matrix u = RandomFactor(16, 5, 19);
+    m2td::Timer timer;
+    for (const SparseTensor& x : inputs) {
+      for (int c = 0; c < kCalls; ++c) {
+        auto y = m2td::tensor::SparseModeProduct(x, u, 0, true);
+        benchmark::DoNotOptimize(y);
+      }
+    }
+    const double us_per_call =
+        timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+    json->Add("smoke_sparse_mode_product_us_per_call", us_per_call);
+    std::cout << "  sparse_mode_product " << us_per_call << " us/call\n";
+  }
 }
 
 }  // namespace
@@ -283,6 +330,7 @@ int main(int argc, char** argv) {
   m2td::obs::SetMetricsEnabled(true);
   m2td::bench::BenchJson json("micro_kernels");
   RunThreadSweep(&json);
+  RunSmokeKernels(&json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

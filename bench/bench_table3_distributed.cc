@@ -80,9 +80,6 @@ int main() {
                  : 0.0);
     json.Add("accuracy_workers" + std::to_string(workers), accuracy);
   }
-  json.Add("hardware_threads",
-           static_cast<double>(m2td::parallel::HardwareThreads()));
-
   table.Print(std::cout);
   std::cout << "\nHardware concurrency on this machine: "
             << std::thread::hardware_concurrency() << "\n";

@@ -151,6 +151,9 @@ Result<M2tdResult> M2tdDecomposeImpl(
 
   // --- Core recovery: G = J x_1 U^(1)T ... x_N U^(N)T. ---
   obs::ObsSpan core_span("core_recovery", obs::ObsSpan::kAlwaysTime);
+  // CoreFromSparse's first hop walks the join tensor's CSF index (the
+  // join is freshly coalesced, so this is the build-and-use call).
+  core_span.Annotate("csf", std::uint64_t{join.IsSorted() ? 1u : 0u});
   M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor core,
                         tensor::CoreFromSparse(join, factors));
   core_span.Annotate("core_elements", core.NumElements());

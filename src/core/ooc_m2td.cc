@@ -253,6 +253,10 @@ Result<M2tdResult> M2tdDecomposeFromStoresImpl(
 
           core_timer.Resume();
           if (join_slab.NumNonZeros() > 0) {
+            // CoreFromSparse's first hop builds and walks the slab join's
+            // CSF index; each slab is a fresh tensor, so this is a
+            // build-and-use call (annotated for trace attribution).
+            slab_span.Annotate("csf", std::uint64_t{1});
             M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor partial,
                                   tensor::CoreFromSparse(join_slab, factors));
             for (std::uint64_t i = 0; i < core.NumElements(); ++i) {

@@ -18,6 +18,15 @@ namespace {
 // thread-count-dependent guard would still be a determinism smell.
 constexpr std::uint64_t kParallelFlopThreshold = 1 << 15;
 
+// Cache-blocking tiles for the multiply kernels. Blocking only regroups
+// the (i, k) iteration space; every output element still accumulates its
+// k-contributions in full ascending order (k tiles ascend, k ascends
+// within a tile), so blocked results are bit-identical to the unblocked
+// loops. kTileK rows of b (64 * cols doubles) is the reuse unit held hot
+// across a kTileI-row stripe of a.
+constexpr std::size_t kTileI = 16;
+constexpr std::size_t kTileK = 64;
+
 void RowParallel(std::size_t rows, std::uint64_t flops, const char* label,
                  const std::function<void(std::size_t, std::size_t)>& body) {
   if (flops < kParallelFlopThreshold) {
@@ -112,21 +121,30 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
       << "multiply shape mismatch: " << a.rows() << "x" << a.cols() << " * "
       << b.rows() << "x" << b.cols();
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order: streams over rows of b, good locality in row-major.
-  // Row-parallel: each output row is produced by exactly one thread with
-  // the serial per-row instruction sequence (bit-identical at any thread
-  // count).
+  // Cache-blocked i-k-j: a kTileK-row block of b stays hot while a
+  // kTileI-row stripe of a sweeps it, instead of re-streaming all of b
+  // per output row. Per output element the k-contributions still arrive
+  // in full ascending order (with the same zero skip), so the result is
+  // bit-identical to the unblocked loop. Row-parallel: each output row
+  // is produced by exactly one thread (bit-identical at any thread
+  // count; tile edges never split an output element's accumulation).
   const std::uint64_t flops = static_cast<std::uint64_t>(a.rows()) *
                               a.cols() * b.cols();
   RowParallel(a.rows(), flops, "matmul", [&](std::size_t ib, std::size_t ie) {
-    for (std::size_t i = ib; i < ie; ++i) {
-      double* crow = c.RowPtr(i);
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        const double aik = a(i, k);
-        if (aik == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (std::size_t j = 0; j < b.cols(); ++j) {
-          crow[j] += aik * brow[j];
+    for (std::size_t ii = ib; ii < ie; ii += kTileI) {
+      const std::size_t i_end = std::min(ii + kTileI, ie);
+      for (std::size_t kk = 0; kk < a.cols(); kk += kTileK) {
+        const std::size_t k_end = std::min(kk + kTileK, a.cols());
+        for (std::size_t i = ii; i < i_end; ++i) {
+          double* crow = c.RowPtr(i);
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            const double* brow = b.RowPtr(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
         }
       }
     }
@@ -139,22 +157,30 @@ Matrix MultiplyTransA(const Matrix& a, const Matrix& b) {
       << "multiplyTransA shape mismatch: (" << a.rows() << "x" << a.cols()
       << ")^T * " << b.rows() << "x" << b.cols();
   Matrix c(a.cols(), b.cols());
-  // Gather form of the serial k-i-j scatter: for a fixed output row i the
-  // contributions arrive in the same ascending-k order (with the same
-  // zero skip), so per-element addition sequences match the serial code
-  // bit-for-bit while rows parallelize with disjoint writes.
+  // Gather form of the serial k-i-j scatter, cache-blocked like Multiply:
+  // a kTileK-row block of b is reused across a kTileI-row stripe of the
+  // output. For a fixed output row i the contributions still arrive in
+  // ascending-k order (with the same zero skip), so per-element addition
+  // sequences match the serial code bit-for-bit while rows parallelize
+  // with disjoint writes.
   const std::uint64_t flops = static_cast<std::uint64_t>(a.rows()) *
                               a.cols() * b.cols();
   RowParallel(a.cols(), flops, "matmul_ta",
               [&](std::size_t ib, std::size_t ie) {
-    for (std::size_t i = ib; i < ie; ++i) {
-      double* crow = c.RowPtr(i);
-      for (std::size_t k = 0; k < a.rows(); ++k) {
-        const double aki = a(k, i);
-        if (aki == 0.0) continue;
-        const double* brow = b.RowPtr(k);
-        for (std::size_t j = 0; j < b.cols(); ++j) {
-          crow[j] += aki * brow[j];
+    for (std::size_t ii = ib; ii < ie; ii += kTileI) {
+      const std::size_t i_end = std::min(ii + kTileI, ie);
+      for (std::size_t kk = 0; kk < a.rows(); kk += kTileK) {
+        const std::size_t k_end = std::min(kk + kTileK, a.rows());
+        for (std::size_t i = ii; i < i_end; ++i) {
+          double* crow = c.RowPtr(i);
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aki = a(k, i);
+            if (aki == 0.0) continue;
+            const double* brow = b.RowPtr(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+              crow[j] += aki * brow[j];
+            }
+          }
         }
       }
     }
@@ -169,14 +195,41 @@ Matrix MultiplyTransB(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.rows());
   const std::uint64_t flops = static_cast<std::uint64_t>(a.rows()) *
                               a.cols() * b.rows();
+  // Register-blocked row-dot-row: four output columns share one streaming
+  // pass over arow, quartering the arow bandwidth (the k dimension is the
+  // long one here — ModeGramDense calls this with cols = the unfolding
+  // width). Each dot keeps its own accumulator over the full ascending k
+  // range, so every output element's addition sequence is exactly the
+  // serial single-dot order — bit-identical, blocked or not.
   RowParallel(a.rows(), flops, "matmul_tb",
               [&](std::size_t ib, std::size_t ie) {
+    const std::size_t n = b.rows();
+    const std::size_t cols = a.cols();
     for (std::size_t i = ib; i < ie; ++i) {
       const double* arow = a.RowPtr(i);
-      for (std::size_t j = 0; j < b.rows(); ++j) {
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const double* b0 = b.RowPtr(j);
+        const double* b1 = b.RowPtr(j + 1);
+        const double* b2 = b.RowPtr(j + 2);
+        const double* b3 = b.RowPtr(j + 3);
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (std::size_t k = 0; k < cols; ++k) {
+          const double av = arow[k];
+          s0 += av * b0[k];
+          s1 += av * b1[k];
+          s2 += av * b2[k];
+          s3 += av * b3[k];
+        }
+        c(i, j) = s0;
+        c(i, j + 1) = s1;
+        c(i, j + 2) = s2;
+        c(i, j + 3) = s3;
+      }
+      for (; j < n; ++j) {
         const double* brow = b.RowPtr(j);
         double sum = 0.0;
-        for (std::size_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+        for (std::size_t k = 0; k < cols; ++k) sum += arow[k] * brow[k];
         c(i, j) = sum;
       }
     }

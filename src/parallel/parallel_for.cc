@@ -20,9 +20,19 @@ void ParallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
   ThreadPool& pool = GlobalPool();
   const std::uint64_t threads =
       static_cast<std::uint64_t>(pool.num_threads());
+  // Default grain targets 4 chunks per thread but never drops below a
+  // floor: per-element kernel bodies are often a handful of ns, and
+  // sub-256-element chunks make pool dispatch dominate (the t8 matricize
+  // regression in BENCH_micro_kernels came from exactly this). The floor
+  // depends only on the constant, not the pool size, so chunk boundaries
+  // stay a pure function of (range, grain) per thread count — callers
+  // relying on chunk-count determinism (ParallelReduce merges) pass an
+  // explicit grain anyway.
+  constexpr std::uint64_t kMinAutoGrain = 256;
   const std::uint64_t g =
       grain > 0 ? grain
-                : std::max<std::uint64_t>(1, range / (4 * threads));
+                : std::max<std::uint64_t>(kMinAutoGrain,
+                                          range / (4 * threads));
   const std::uint64_t num_chunks = (range + g - 1) / g;
 
   // Single chunk or serial pool: run inline, no region machinery. The

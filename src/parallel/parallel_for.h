@@ -19,7 +19,10 @@ using ChunkFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
 /// pool.
 ///
 /// The range is split into contiguous chunks of `grain` indices
-/// (`grain == 0` picks ~4 chunks per pool thread); chunks are claimed by
+/// (`grain == 0` picks ~4 chunks per pool thread, floored at 256 indices
+/// per chunk so cheap per-element bodies are not swamped by dispatch —
+/// pass an explicit larger grain for kernels whose body is mere loads
+/// and stores); chunks are claimed by
 /// work-sharing across the pool's workers plus the calling thread, which
 /// always participates (so nesting ParallelFor inside a chunk is legal
 /// and deadlock-free, and a 1-thread pool degenerates to an inline serial

@@ -1,0 +1,61 @@
+#include "parallel/scratch.h"
+
+#include "obs/metrics.h"
+
+namespace m2td::parallel {
+
+namespace {
+
+void CountAcquire(bool reused) {
+  static obs::Counter& acquires = obs::GetCounter("parallel.scratch.acquires");
+  static obs::Counter& reuses = obs::GetCounter("parallel.scratch.reuses");
+  acquires.Increment();
+  if (reused) reuses.Increment();
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::Get() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+template <>
+internal::ScratchPool<double>& ScratchArena::PoolFor<double>() {
+  return doubles_;
+}
+template <>
+internal::ScratchPool<std::uint32_t>& ScratchArena::PoolFor<std::uint32_t>() {
+  return u32_;
+}
+template <>
+internal::ScratchPool<std::uint64_t>& ScratchArena::PoolFor<std::uint64_t>() {
+  return u64_;
+}
+
+namespace {
+
+template <typename T>
+ScratchLease<T> Lease(ScratchArena* arena, internal::ScratchPool<T>& pool,
+                      std::size_t n) {
+  bool reused = false;
+  std::vector<T> buf = pool.Acquire(n, &reused);
+  CountAcquire(reused);
+  return ScratchLease<T>(arena, std::move(buf));
+}
+
+}  // namespace
+
+ScratchLease<double> ScratchArena::Doubles(std::size_t n) {
+  return Lease(this, doubles_, n);
+}
+
+ScratchLease<std::uint32_t> ScratchArena::U32(std::size_t n) {
+  return Lease(this, u32_, n);
+}
+
+ScratchLease<std::uint64_t> ScratchArena::U64(std::size_t n) {
+  return Lease(this, u64_, n);
+}
+
+}  // namespace m2td::parallel

@@ -8,6 +8,7 @@
 #include "parallel/thread_pool.h"
 #include "tensor/matricize.h"
 #include "tensor/ttm.h"
+#include "tensor/ttm_chain.h"
 
 namespace m2td::tensor {
 
@@ -28,36 +29,6 @@ Status CheckHooiInputs(std::size_t num_modes,
   return Status::OK();
 }
 
-/// Projects a sparse tensor onto every factor except `skip` (transposed),
-/// leaving mode `skip` at full length.
-Result<DenseTensor> ProjectAllExceptSparse(
-    const SparseTensor& x, const std::vector<linalg::Matrix>& factors,
-    std::size_t skip) {
-  // First hop leaves the sparse domain on the first non-skip mode.
-  std::size_t first = (skip == 0) ? 1 : 0;
-  M2TD_ASSIGN_OR_RETURN(
-      DenseTensor y, SparseModeProduct(x, factors[first], first,
-                                       /*transpose_u=*/true));
-  for (std::size_t m = 0; m < factors.size(); ++m) {
-    if (m == skip || m == first) continue;
-    M2TD_ASSIGN_OR_RETURN(y,
-                          ModeProduct(y, factors[m], m, /*transpose_u=*/true));
-  }
-  return y;
-}
-
-Result<DenseTensor> ProjectAllExceptDense(
-    const DenseTensor& x, const std::vector<linalg::Matrix>& factors,
-    std::size_t skip) {
-  DenseTensor y = x;
-  for (std::size_t m = 0; m < factors.size(); ++m) {
-    if (m == skip) continue;
-    M2TD_ASSIGN_OR_RETURN(y,
-                          ModeProduct(y, factors[m], m, /*transpose_u=*/true));
-  }
-  return y;
-}
-
 /// Fit from the core norm under orthonormal factors:
 /// ||X - X~||^2 = ||X||^2 - ||G||^2.
 double FitFromCore(const DenseTensor& core, double input_norm) {
@@ -67,19 +38,19 @@ double FitFromCore(const DenseTensor& core, double input_norm) {
   return input_norm > 0.0 ? 1.0 - std::sqrt(err_sq) / input_norm : 1.0;
 }
 
-/// Shared ALS loop; `project` computes the all-but-one projection of the
-/// original tensor against the current factors. Starts from the full
-/// HOSVD `init` (factors *and* core) so an interruption at any point —
-/// even before the first sweep completes — still has a valid
-/// decomposition to return as best-so-far.
-template <typename ProjectFn, typename CoreFn>
+/// Shared ALS loop; `chain` computes the all-but-one projections and the
+/// core, memoizing the shared TTM-chain prefix across consecutive modes
+/// when HooiOptions::memoize_ttm_chains is set (bit-identical either
+/// way; see tensor/ttm_chain.h). Starts from the full HOSVD `init`
+/// (factors *and* core) so an interruption at any point — even before
+/// the first sweep completes — still has a valid decomposition to return
+/// as best-so-far.
 Result<TuckerDecomposition> RunHooi(TuckerDecomposition init,
                                     const std::vector<std::uint64_t>& shape,
                                     const std::vector<std::uint64_t>& ranks,
                                     double input_norm,
                                     const HooiOptions& options,
-                                    HooiInfo* info, ProjectFn project,
-                                    CoreFn compute_core) {
+                                    HooiInfo* info, TtmChainCache& chain) {
   // The sweep itself is Gauss-Seidel (mode n + 1 consumes the factor just
   // produced for mode n) and must stay sequential; parallelism comes from
   // the pooled inner kernels (TTM, matricize, Gram, matmul) each sweep
@@ -112,15 +83,17 @@ Result<TuckerDecomposition> RunHooi(TuckerDecomposition init,
       sweep_status = [&]() -> Status {
         M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
         for (std::size_t n = 0; n < factors.size(); ++n) {
-          M2TD_ASSIGN_OR_RETURN(DenseTensor projected, project(factors, n));
+          M2TD_ASSIGN_OR_RETURN(DenseTensor projected,
+                                chain.ProjectAllExcept(factors, n));
           M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram,
                                 ModeGramDense(projected, n));
           const std::size_t rank = static_cast<std::size_t>(
               std::min<std::uint64_t>(ranks[n], shape[n]));
           M2TD_ASSIGN_OR_RETURN(factors[n],
                                 linalg::LeadingEigenvectors(gram, rank));
+          chain.OnFactorUpdated(n);
         }
-        M2TD_ASSIGN_OR_RETURN(core, compute_core(factors));
+        M2TD_ASSIGN_OR_RETURN(core, chain.Core(factors));
         return Status::OK();
       }();
     } catch (const robust::CancelledError& error) {
@@ -184,14 +157,15 @@ Result<TuckerDecomposition> HooiSparse(const SparseTensor& x,
   } catch (const robust::CancelledError& error) {
     return error.ToStatus();
   }
-  return RunHooi(
-      std::move(init), x.shape(), ranks, x.FrobeniusNorm(), options, info,
-      [&x](const std::vector<linalg::Matrix>& factors, std::size_t skip) {
-        return ProjectAllExceptSparse(x, factors, skip);
-      },
-      [&x](const std::vector<linalg::Matrix>& factors) {
-        return CoreFromSparse(x, factors);
+  // First hop leaves the sparse domain; subsequent chain products are
+  // dense (applied by the cache in ascending mode order).
+  TtmChainCache chain(
+      x.num_modes(), options.memoize_ttm_chains,
+      [&x](const linalg::Matrix& u, std::size_t mode) {
+        return SparseModeProduct(x, u, mode, /*transpose_u=*/true);
       });
+  return RunHooi(std::move(init), x.shape(), ranks, x.FrobeniusNorm(),
+                 options, info, chain);
 }
 
 Result<TuckerDecomposition> HooiDense(const DenseTensor& x,
@@ -208,14 +182,13 @@ Result<TuckerDecomposition> HooiDense(const DenseTensor& x,
   } catch (const robust::CancelledError& error) {
     return error.ToStatus();
   }
-  return RunHooi(
-      std::move(init), x.shape(), ranks, x.FrobeniusNorm(), options, info,
-      [&x](const std::vector<linalg::Matrix>& factors, std::size_t skip) {
-        return ProjectAllExceptDense(x, factors, skip);
-      },
-      [&x](const std::vector<linalg::Matrix>& factors) {
-        return CoreFromDense(x, factors);
+  TtmChainCache chain(
+      x.num_modes(), options.memoize_ttm_chains,
+      [&x](const linalg::Matrix& u, std::size_t mode) {
+        return ModeProduct(x, u, mode, /*transpose_u=*/true);
       });
+  return RunHooi(std::move(init), x.shape(), ranks, x.FrobeniusNorm(),
+                 options, info, chain);
 }
 
 }  // namespace m2td::tensor

@@ -16,6 +16,11 @@ struct HooiOptions {
   int max_iterations = 10;
   /// Stop once the relative fit improves by less than this between sweeps.
   double tolerance = 1e-6;
+  /// Reuse the shared prefix of consecutive per-mode TTM chains within a
+  /// sweep (tensor/ttm_chain.h). Results are bit-identical either way —
+  /// the cache only skips recomputing identical mode products — so this
+  /// is purely a speed knob; off replicates the naive per-mode chains.
+  bool memoize_ttm_chains = true;
 };
 
 /// Convergence report for a HOOI run.

@@ -6,10 +6,80 @@
 
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "tensor/csf.h"
 
 namespace m2td::tensor {
 
-Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
+namespace {
+
+// Shared group-wise Gram accumulation for both the CSF and COO paths.
+// `group_offsets` delimits column groups (ascending column order);
+// row_of(e)/value_of(e) address the e-th entry of the group-ordered entry
+// sequence. Coalescing guarantees each Gram cell receives at most one
+// contribution per group (rows are unique within a column), so the result
+// does not depend on within-group entry permutation — only the ascending
+// group order and the chunking, which are identical for both paths.
+//
+// Large inputs accumulate per-chunk partial Grams (chunks split at group
+// boundaries, never inside a group), merged in ascending chunk order.
+// The chunking is a pure function of the group count, so the result is
+// bit-identical across thread counts. The partial matrices cost
+// O(chunks * n^2) memory; for wide modes or few groups the serial
+// single-matrix path is used instead. The choice must NOT depend on the
+// pool size: chunked merge reassociates the sums, so gating it on the
+// thread count would break bit-identity across --threads values.
+template <typename RowFn, typename ValueFn>
+void AccumulateGram(linalg::Matrix* gram, std::size_t n,
+                    const std::vector<std::uint64_t>& group_offsets,
+                    const RowFn& row_of, const ValueFn& value_of) {
+  const std::uint64_t num_groups = group_offsets.size() - 1;
+  auto accumulate_groups = [&](linalg::Matrix& acc, std::uint64_t gb,
+                               std::uint64_t ge) {
+    for (std::uint64_t g = gb; g < ge; ++g) {
+      const std::uint64_t group_begin = group_offsets[g];
+      const std::uint64_t group_end = group_offsets[g + 1];
+      for (std::uint64_t i = group_begin; i < group_end; ++i) {
+        for (std::uint64_t j = i; j < group_end; ++j) {
+          const std::uint32_t ri = row_of(i);
+          const std::uint32_t rj = row_of(j);
+          const double contrib = value_of(i) * value_of(j);
+          if (ri <= rj) {
+            acc(ri, rj) += contrib;
+          } else {
+            acc(rj, ri) += contrib;
+          }
+        }
+      }
+    }
+  };
+  const bool use_partials = num_groups >= 64 && n <= 512;
+  if (use_partials) {
+    *gram = parallel::ParallelReduce<linalg::Matrix>(
+        0, num_groups, 0, std::move(*gram),
+        [&](std::uint64_t gb, std::uint64_t ge) {
+          linalg::Matrix partial(n, n);
+          accumulate_groups(partial, gb, ge);
+          return partial;
+        },
+        [n](linalg::Matrix& acc, linalg::Matrix&& partial) {
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i; j < n; ++j) {
+              acc(i, j) += partial(i, j);
+            }
+          }
+        },
+        "mode_gram_partials");
+  } else {
+    accumulate_groups(*gram, 0, num_groups);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      (*gram)(j, i) = (*gram)(i, j);
+    }
+  }
+}
+
+Status CheckModeGramInputs(const SparseTensor& x, std::size_t mode) {
   if (mode >= x.num_modes()) {
     return Status::InvalidArgument("ModeGram: mode out of range");
   }
@@ -17,8 +87,40 @@ Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
     return Status::InvalidArgument(
         "ModeGram requires a coalesced tensor (call SortAndCoalesce)");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
+  M2TD_RETURN_IF_ERROR(CheckModeGramInputs(x, mode));
   const std::size_t n = static_cast<std::size_t>(x.dim(mode));
   obs::ObsSpan span("mode_gram");
+  span.Annotate("mode", static_cast<std::uint64_t>(mode));
+  span.Annotate("dim", static_cast<std::uint64_t>(n));
+  span.Annotate("nnz", x.NumNonZeros());
+  linalg::Matrix gram(n, n);
+  if (x.NumNonZeros() == 0) return gram;
+
+  // A CSF fiber *is* a column group, already in ascending column order:
+  // no per-call sort, and the index is shared with every other kernel
+  // call on this tensor's contents.
+  const CsfModeIndex& csf = x.Csf(mode);
+  const std::vector<std::uint32_t>& rows = csf.leaf_coords();
+  const std::vector<double>& values = csf.values();
+  AccumulateGram(
+      &gram, n, csf.fiber_offsets(),
+      [&rows](std::uint64_t e) { return rows[static_cast<std::size_t>(e)]; },
+      [&values](std::uint64_t e) {
+        return values[static_cast<std::size_t>(e)];
+      });
+  return gram;
+}
+
+Result<linalg::Matrix> ModeGramCoo(const SparseTensor& x, std::size_t mode) {
+  M2TD_RETURN_IF_ERROR(CheckModeGramInputs(x, mode));
+  const std::size_t n = static_cast<std::size_t>(x.dim(mode));
+  obs::ObsSpan span("mode_gram_coo");
   span.Annotate("mode", static_cast<std::uint64_t>(mode));
   span.Annotate("dim", static_cast<std::uint64_t>(n));
   span.Annotate("nnz", x.NumNonZeros());
@@ -41,8 +143,7 @@ Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.column < b.column; });
 
-  // Group boundaries: one group per distinct matricization column. Each
-  // group contributes an outer product of its (row, value) pairs.
+  // Group boundaries: one group per distinct matricization column.
   std::vector<std::uint64_t> group_offsets;
   for (std::uint64_t e = 0; e < entries.size(); ++e) {
     if (e == 0 || entries[e].column != entries[e - 1].column) {
@@ -50,61 +151,15 @@ Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
     }
   }
   group_offsets.push_back(entries.size());
-  const std::uint64_t num_groups = group_offsets.size() - 1;
 
-  // Accumulate the upper triangle into per-chunk partial Gram matrices
-  // (chunks split at group boundaries, never inside a group), merged in
-  // ascending chunk order. The chunking is a pure function of the group
-  // count, so the result is bit-identical across thread counts. The
-  // partial matrices cost O(chunks * n^2) memory; for wide modes or few
-  // groups the serial single-matrix path is used instead. The choice must
-  // NOT depend on the pool size: chunked merge reassociates the sums, so
-  // gating it on the thread count would break bit-identity across
-  // --threads values.
-  const bool use_partials = num_groups >= 64 && n <= 512;
-  auto accumulate_groups = [&](linalg::Matrix& acc, std::uint64_t gb,
-                               std::uint64_t ge) {
-    for (std::uint64_t g = gb; g < ge; ++g) {
-      const std::uint64_t group_begin = group_offsets[g];
-      const std::uint64_t group_end = group_offsets[g + 1];
-      for (std::uint64_t i = group_begin; i < group_end; ++i) {
-        for (std::uint64_t j = i; j < group_end; ++j) {
-          const std::uint32_t ri = entries[i].row;
-          const std::uint32_t rj = entries[j].row;
-          const double contrib = entries[i].value * entries[j].value;
-          if (ri <= rj) {
-            acc(ri, rj) += contrib;
-          } else {
-            acc(rj, ri) += contrib;
-          }
-        }
-      }
-    }
-  };
-  if (use_partials) {
-    gram = parallel::ParallelReduce<linalg::Matrix>(
-        0, num_groups, 0, std::move(gram),
-        [&](std::uint64_t gb, std::uint64_t ge) {
-          linalg::Matrix partial(n, n);
-          accumulate_groups(partial, gb, ge);
-          return partial;
-        },
-        [n](linalg::Matrix& acc, linalg::Matrix&& partial) {
-          for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = i; j < n; ++j) {
-              acc(i, j) += partial(i, j);
-            }
-          }
-        },
-        "mode_gram_partials");
-  } else {
-    accumulate_groups(gram, 0, num_groups);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      gram(j, i) = gram(i, j);
-    }
-  }
+  AccumulateGram(
+      &gram, n, group_offsets,
+      [&entries](std::uint64_t e) {
+        return entries[static_cast<std::size_t>(e)].row;
+      },
+      [&entries](std::uint64_t e) {
+        return entries[static_cast<std::size_t>(e)].value;
+      });
   return gram;
 }
 
@@ -118,10 +173,13 @@ Result<linalg::Matrix> Matricize(const DenseTensor& x, std::size_t mode) {
 
   // Pure assignment kernel: every linear index maps to a distinct
   // (row, column) cell, so chunks write disjoint data and the result is
-  // bit-identical at any thread count.
+  // bit-identical at any thread count. The per-element body is a few ns,
+  // so an explicit large grain keeps pool fan-out from dominating small
+  // unfoldings (the default grain still applies its own floor, but this
+  // kernel warrants a bigger one).
   const std::size_t modes = x.num_modes();
   parallel::ParallelFor(
-      0, x.NumElements(), 0,
+      0, x.NumElements(), 8192,
       [&](std::uint64_t lb, std::uint64_t le) {
         std::vector<std::uint32_t> idx(modes);
         for (std::uint64_t linear = lb; linear < le; ++linear) {

@@ -9,19 +9,24 @@
 namespace m2td::tensor {
 
 /// \brief Gram matrix G = X_(n) X_(n)^T of the mode-n matricization of a
-/// sparse tensor, computed directly from COO data.
+/// sparse tensor.
 ///
-/// The matricization itself (I_n rows, prod-of-other-dims columns) is never
-/// materialized: entries are bucketed by their matricization column, and
-/// each column's entries contribute an outer product to the I_n x I_n Gram.
-/// This is what makes HOSVD of extremely sparse, high-modal ensemble
-/// tensors cheap — the paper's key computational primitive. Requires a
-/// coalesced tensor (duplicate coordinates would double-count; aborts if
-/// unsorted).
+/// The matricization itself (I_n rows, prod-of-other-dims columns) is
+/// never materialized: each matricization column's entries contribute an
+/// outer product to the I_n x I_n Gram. This is what makes HOSVD of
+/// extremely sparse, high-modal ensemble tensors cheap — the paper's key
+/// computational primitive. Requires a coalesced tensor (duplicate
+/// coordinates would double-count; InvalidArgument if unsorted).
 ///
-/// Complexity: O(nnz log nnz) for the column sort plus O(sum_c g_c^2)
-/// for the outer products (g_c = entries sharing column c); memory is the
-/// I_n x I_n Gram plus an nnz-sized entry buffer.
+/// Column groups come from the tensor's cached CSF index (tensor/csf.h):
+/// a fiber *is* a column group, so the per-call O(nnz log nnz) column
+/// sort the COO path pays is replaced by one lazily built, shared index
+/// per (tensor contents, mode) — repeated Gram calls (HOSVD's per-mode
+/// loop, M2TD's sub-factor solves, every HOOI sweep) reuse it for free.
+///
+/// Complexity: O(sum_c g_c^2) outer-product work per call (g_c = entries
+/// sharing column c) after the one-off index build; memory is the
+/// I_n x I_n Gram plus the shared index.
 ///
 /// Thread-safety/parallelism: safe to call concurrently. Large inputs
 /// accumulate per-chunk partial Grams on parallel::GlobalPool() (span
@@ -29,8 +34,19 @@ namespace m2td::tensor {
 /// ascending chunk order. The chunking is a pure function of the group
 /// count — never the pool size — so results are bit-identical across
 /// `--threads` values (the chunked merge does reassociate the sums
-/// relative to a single serial accumulator, deterministically).
+/// relative to a single serial accumulator, deterministically) and
+/// bit-identical to ModeGramCoo (each Gram cell receives at most one
+/// contribution per column group, and both paths visit groups in
+/// ascending column order).
 Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode);
+
+/// \brief COO reference implementation of ModeGram: buckets entries by
+/// matricization column with a per-call O(nnz log nnz) sort, then runs
+/// the identical group-wise outer-product accumulation.
+///
+/// Kept as the equivalence oracle for the CSF path (tests/csf_test.cc);
+/// same contract and the same bit-exact result as ModeGram.
+Result<linalg::Matrix> ModeGramCoo(const SparseTensor& x, std::size_t mode);
 
 /// Dense-tensor Gram of the mode-n matricization (test oracle for
 /// ModeGram and used on small dense tensors). Implemented as

@@ -5,16 +5,34 @@
 #include <numeric>
 #include <string>
 
+#include "tensor/csf.h"
 #include "util/string_util.h"
 
 namespace m2td::tensor {
 
 SparseTensor::SparseTensor(std::vector<std::uint64_t> shape)
-    : shape_(std::move(shape)), indices_(shape_.size()) {
+    : shape_(std::move(shape)),
+      indices_(shape_.size()),
+      csf_cache_(std::make_shared<CsfCache>(shape_.size())) {
   for (std::size_t m = 0; m < shape_.size(); ++m) {
     M2TD_CHECK(shape_[m] > 0) << "zero-length mode " << m;
     M2TD_CHECK(shape_[m] <= (1ULL << 32)) << "mode too long for uint32 index";
   }
+}
+
+double& SparseTensor::MutableValue(std::uint64_t entry) {
+  // Detach (don't clear) the shared cache: copies made before this write
+  // legitimately keep the old indexes for the old contents.
+  if (csf_cache_ != nullptr) {
+    csf_cache_ = std::make_shared<CsfCache>(shape_.size());
+  }
+  return values_[entry];
+}
+
+const CsfModeIndex& SparseTensor::Csf(std::size_t mode) const {
+  M2TD_CHECK(sorted_) << "Csf requires SortAndCoalesce first";
+  M2TD_CHECK(csf_cache_ != nullptr) << "Csf on a default-constructed tensor";
+  return csf_cache_->Get(*this, mode);
 }
 
 std::uint64_t SparseTensor::LogicalSize() const {
@@ -102,6 +120,9 @@ Status SparseTensor::CheckFinite() const {
 }
 
 void SparseTensor::SortAndCoalesce(CoalescePolicy policy) {
+  // Contents are (potentially) about to change: detach from the shared
+  // CSF cache so stale fiber indexes can never be served afterwards.
+  csf_cache_ = std::make_shared<CsfCache>(shape_.size());
   const std::uint64_t n = values_.size();
   if (n == 0) {
     sorted_ = true;

@@ -2,6 +2,7 @@
 #define M2TD_TENSOR_SPARSE_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -10,6 +11,9 @@
 #include "util/result.h"
 
 namespace m2td::tensor {
+
+class CsfCache;
+class CsfModeIndex;
 
 /// How SortAndCoalesce merges duplicate coordinates.
 enum class CoalescePolicy {
@@ -75,7 +79,11 @@ class SparseTensor {
     return indices_[mode][entry];
   }
   double Value(std::uint64_t entry) const { return values_[entry]; }
-  double& MutableValue(std::uint64_t entry) { return values_[entry]; }
+
+  /// Mutable reference to a stored value. Invalidates any cached CSF
+  /// indexes (the reference must not be written after a later Csf()
+  /// call, which would snapshot the pre-write value).
+  double& MutableValue(std::uint64_t entry);
 
   const std::vector<std::uint32_t>& IndexArray(std::size_t mode) const {
     return indices_[mode];
@@ -115,11 +123,27 @@ class SparseTensor {
   Result<SparseTensor> SliceMode(std::size_t mode,
                                  std::uint32_t index) const;
 
+  /// \brief The compressed-sparse-fiber index for `mode` (see
+  /// tensor/csf.h), built lazily on first use and cached for the life of
+  /// this tensor's current contents.
+  ///
+  /// Requires a sorted, coalesced tensor (aborts otherwise). The cache is
+  /// shared between copies and thread-safe: concurrent calls — including
+  /// HOSVD's mode-parallel factor loop — build each mode's index at most
+  /// once. Mutation (SortAndCoalesce, MutableValue) detaches this
+  /// tensor's cache; AppendEntry clears the sorted flag, which blocks
+  /// access until the next SortAndCoalesce swaps in a fresh cache.
+  const CsfModeIndex& Csf(std::size_t mode) const;
+
  private:
   std::vector<std::uint64_t> shape_;
   std::vector<std::vector<std::uint32_t>> indices_;
   std::vector<double> values_;
   bool sorted_ = true;  // trivially true while empty
+  // Shared with copies; swapped (never cleared in place) on mutation so
+  // copies holding the old pointer stay consistent. Null only for the
+  // default-constructed 0-mode tensor.
+  std::shared_ptr<CsfCache> csf_cache_;
 };
 
 }  // namespace m2td::tensor

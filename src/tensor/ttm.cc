@@ -2,6 +2,8 @@
 
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scratch.h"
+#include "tensor/csf.h"
 #include "util/string_util.h"
 
 namespace m2td::tensor {
@@ -84,8 +86,81 @@ Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
                                       std::size_t mode, bool transpose_u) {
   M2TD_RETURN_IF_ERROR(CheckModeProductShapes(x.shape(), u, mode,
                                               transpose_u));
+  if (!x.IsSorted()) return SparseModeProductCoo(x, u, mode, transpose_u);
   obs::ObsSpan span("sparse_mode_product");
   span.Annotate("nnz", x.NumNonZeros());
+  span.Annotate("csf", std::uint64_t{1});
+  const std::uint64_t new_dim = transpose_u ? u.cols() : u.rows();
+
+  std::vector<std::uint64_t> out_shape = x.shape();
+  out_shape[mode] = new_dim;
+  DenseTensor y(out_shape);
+
+  const CsfModeIndex& csf = x.Csf(mode);
+  const std::uint64_t out_stride = y.Stride(mode);
+  const std::size_t modes = x.num_modes();
+  const std::vector<std::uint64_t>& offsets = csf.fiber_offsets();
+  const std::vector<std::uint64_t>& columns = csf.fiber_columns();
+  const std::vector<std::uint32_t>& leafs = csf.leaf_coords();
+  const std::vector<double>& vals = csf.values();
+
+  // One fused pass per fiber: the fiber's entries accumulate into a
+  // new_dim-sized scratch buffer (L1-resident), written once to the
+  // output fiber. Distinct fibers own distinct output fibers, so chunks
+  // write disjoint data; within a fiber the entry order is ascending
+  // target coordinate — the same per-output-element addition sequence the
+  // COO slice kernel performs — so the result is bit-identical to
+  // SparseModeProductCoo at any thread count.
+  parallel::ParallelFor(
+      0, csf.num_fibers(), 0,
+      [&](std::uint64_t fb, std::uint64_t fe) {
+        auto acc = parallel::ScratchArena::Get().Doubles(
+            static_cast<std::size_t>(new_dim));
+        auto coords = parallel::ScratchArena::Get().U32(modes);
+        std::vector<std::uint32_t> idx(modes);
+        for (std::uint64_t f = fb; f < fe; ++f) {
+          csf.DecodeColumn(columns[static_cast<std::size_t>(f)],
+                           coords.data());
+          std::size_t cursor = 0;
+          for (std::size_t m = 0; m < modes; ++m) {
+            idx[m] = (m == mode) ? 0 : coords[cursor++];
+          }
+          const std::uint64_t base = y.LinearIndex(idx);
+          for (std::uint64_t j = 0; j < new_dim; ++j) acc[j] = 0.0;
+          const std::uint64_t entry_end =
+              offsets[static_cast<std::size_t>(f) + 1];
+          for (std::uint64_t e = offsets[static_cast<std::size_t>(f)];
+               e < entry_end; ++e) {
+            const double v = vals[static_cast<std::size_t>(e)];
+            const std::uint32_t c = leafs[static_cast<std::size_t>(e)];
+            if (transpose_u) {
+              const double* urow = u.RowPtr(c);
+              for (std::uint64_t j = 0; j < new_dim; ++j) {
+                acc[j] += urow[static_cast<std::size_t>(j)] * v;
+              }
+            } else {
+              for (std::uint64_t j = 0; j < new_dim; ++j) {
+                acc[j] += u(static_cast<std::size_t>(j), c) * v;
+              }
+            }
+          }
+          for (std::uint64_t j = 0; j < new_dim; ++j) {
+            y.flat(base + j * out_stride) = acc[j];
+          }
+        }
+      },
+      "sparse_mode_product_fibers");
+  return y;
+}
+
+Result<DenseTensor> SparseModeProductCoo(const SparseTensor& x,
+                                         const linalg::Matrix& u,
+                                         std::size_t mode, bool transpose_u) {
+  M2TD_RETURN_IF_ERROR(CheckModeProductShapes(x.shape(), u, mode,
+                                              transpose_u));
+  obs::ObsSpan span("sparse_mode_product");
+  span.Annotate("nnz", x.NumNonZeros());
+  span.Annotate("csf", std::uint64_t{0});
   const std::uint64_t new_dim = transpose_u ? u.cols() : u.rows();
 
   std::vector<std::uint64_t> out_shape = x.shape();

@@ -33,18 +33,36 @@ Result<DenseTensor> ModeProduct(const DenseTensor& x, const linalg::Matrix& u,
 /// shape (.., new_dim, ..).
 ///
 /// This is the first hop of every core computation: the cost is
-/// O(nnz * new_dim) flops regardless of the logical size of X, plus an
-/// O(nnz) indexing pass. Memory: the dense output plus two nnz-sized
-/// scratch arrays (per-entry output base and mode coordinate).
+/// O(nnz * new_dim) flops regardless of the logical size of X.
 ///
-/// Thread-safety/parallelism: safe to call concurrently. Parallel over
-/// j-slices of the output (spans "sparse_mode_product_index" /
-/// "sparse_mode_product_slices"); each slice scans the entries in their
-/// stored order, so per-element addition order — and therefore the result
-/// — is bit-identical across thread counts.
+/// Sorted (coalesced) tensors run on the tensor's cached CSF index
+/// (tensor/csf.h): one fused pass walks each fiber once, accumulating the
+/// output fiber in an L1-resident scratch buffer — no per-call sort and
+/// no re-scan of the entry list per output slice. The index is built
+/// lazily on first use and amortized across every later kernel call on
+/// the same tensor contents (ModeGram shares it). Unsorted tensors fall
+/// back to SparseModeProductCoo.
+///
+/// Thread-safety/parallelism: safe to call concurrently. Fiber-parallel
+/// (span "sparse_mode_product_fibers", disjoint output fibers); within a
+/// fiber entries accumulate in ascending target-mode coordinate — exactly
+/// the stored-order sequence the COO kernel performs — so results are
+/// bit-identical to SparseModeProductCoo and across thread counts.
 Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
                                       const linalg::Matrix& u,
                                       std::size_t mode, bool transpose_u);
+
+/// \brief COO reference implementation of SparseModeProduct (two-pass:
+/// per-entry output-base indexing, then per-output-slice accumulation in
+/// stored entry order).
+///
+/// Works on unsorted tensors (it is the fallback SparseModeProduct uses
+/// for them) and serves as the equivalence oracle for the CSF kernel in
+/// tests/csf_test.cc. Spans "sparse_mode_product_index" /
+/// "sparse_mode_product_slices"; bit-identical across thread counts.
+Result<DenseTensor> SparseModeProductCoo(const SparseTensor& x,
+                                         const linalg::Matrix& u,
+                                         std::size_t mode, bool transpose_u);
 
 /// \brief Tucker core G = X ×_1 U^(1)T ×_2 ... ×_N U^(N)T for a sparse X.
 ///

@@ -1,0 +1,107 @@
+#include "tensor/ttm_chain.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "tensor/ttm.h"
+#include "util/logging.h"
+
+namespace m2td::tensor {
+
+namespace {
+
+obs::Counter& ChainHits() {
+  static obs::Counter& c = obs::GetCounter("tensor.ttm_chain.cache_hits");
+  return c;
+}
+
+obs::Counter& ChainMisses() {
+  static obs::Counter& c = obs::GetCounter("tensor.ttm_chain.cache_misses");
+  return c;
+}
+
+}  // namespace
+
+TtmChainCache::TtmChainCache(std::size_t num_modes, bool enabled,
+                             FirstHopFn first_hop)
+    : num_modes_(num_modes),
+      enabled_(enabled),
+      first_hop_(std::move(first_hop)) {}
+
+Status TtmChainCache::Advance(const std::vector<linalg::Matrix>& factors,
+                              std::size_t target_len) {
+  M2TD_CHECK(target_len <= num_modes_);
+  while (prefix_len_ < target_len) {
+    const std::size_t m = prefix_len_;
+    if (m == 0) {
+      M2TD_ASSIGN_OR_RETURN(prefix_, first_hop_(factors[0], 0));
+    } else {
+      M2TD_ASSIGN_OR_RETURN(
+          prefix_, ModeProduct(prefix_, factors[m], m, /*transpose_u=*/true));
+    }
+    ++prefix_len_;
+    ChainMisses().Increment();
+  }
+  return Status::OK();
+}
+
+Result<DenseTensor> TtmChainCache::ProjectAllExcept(
+    const std::vector<linalg::Matrix>& factors, std::size_t skip) {
+  M2TD_CHECK(factors.size() == num_modes_ && skip < num_modes_);
+  if (!enabled_) {
+    // Reference chain: first hop on the first non-skip mode, then dense
+    // hops ascending — the exact sequence the memoized path performs.
+    const std::size_t first = (skip == 0) ? 1 : 0;
+    M2TD_ASSIGN_OR_RETURN(DenseTensor y, first_hop_(factors[first], first));
+    for (std::size_t m = 0; m < num_modes_; ++m) {
+      if (m == skip || m == first) continue;
+      M2TD_ASSIGN_OR_RETURN(
+          y, ModeProduct(y, factors[m], m, /*transpose_u=*/true));
+    }
+    return y;
+  }
+  // Products 0..skip-1 come from the cached prefix; every one already
+  // applied is a product the naive chain would recompute.
+  ChainHits().Add(std::min(prefix_len_, skip));
+  M2TD_RETURN_IF_ERROR(Advance(factors, skip));
+  if (skip == 0) {
+    M2TD_ASSIGN_OR_RETURN(DenseTensor y, first_hop_(factors[1], 1));
+    for (std::size_t m = 2; m < num_modes_; ++m) {
+      M2TD_ASSIGN_OR_RETURN(
+          y, ModeProduct(y, factors[m], m, /*transpose_u=*/true));
+    }
+    return y;
+  }
+  DenseTensor y = prefix_;  // keep the cached prefix for the next mode
+  for (std::size_t m = skip + 1; m < num_modes_; ++m) {
+    M2TD_ASSIGN_OR_RETURN(y,
+                          ModeProduct(y, factors[m], m, /*transpose_u=*/true));
+  }
+  return y;
+}
+
+Result<DenseTensor> TtmChainCache::Core(
+    const std::vector<linalg::Matrix>& factors) {
+  M2TD_CHECK(factors.size() == num_modes_);
+  if (!enabled_) {
+    M2TD_ASSIGN_OR_RETURN(DenseTensor y, first_hop_(factors[0], 0));
+    for (std::size_t m = 1; m < num_modes_; ++m) {
+      M2TD_ASSIGN_OR_RETURN(
+          y, ModeProduct(y, factors[m], m, /*transpose_u=*/true));
+    }
+    return y;
+  }
+  ChainHits().Add(prefix_len_);
+  M2TD_RETURN_IF_ERROR(Advance(factors, num_modes_));
+  return prefix_;
+}
+
+void TtmChainCache::OnFactorUpdated(std::size_t n) {
+  if (prefix_len_ > n) {
+    prefix_ = DenseTensor();
+    prefix_len_ = 0;
+  }
+}
+
+}  // namespace m2td::tensor

@@ -1,0 +1,78 @@
+#ifndef M2TD_TENSOR_TTM_CHAIN_H_
+#define M2TD_TENSOR_TTM_CHAIN_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "util/result.h"
+
+namespace m2td::tensor {
+
+/// \brief Memoizes the shared prefix of HOOI's per-mode TTM chains.
+///
+/// A HOOI sweep computes, for every mode n, the projection
+/// X ×₀ U⁽⁰⁾ᵀ … ×ₙ₋₁ U⁽ⁿ⁻¹⁾ᵀ ×ₙ₊₁ U⁽ⁿ⁺¹⁾ᵀ … — and consecutive modes
+/// share the all-but-one-factor *prefix* X ×₀ … ×ₙ₋₁. Because the sweep
+/// is Gauss–Seidel (factor n is refreshed right after mode n's
+/// projection), a cached prefix of length p stays valid until a factor
+/// with index < p changes. This cache advances one cached prefix across
+/// the sweep, cutting the ~N·(N-1) mode products per sweep (plus N for
+/// the core) down to ~(N-1) + N·(N-1)/2 + 1.
+///
+/// Determinism: the memoized path applies exactly the same mode products
+/// in exactly the same ascending order as the naive chain — reuse only
+/// skips recomputing identical operands — so results are bit-identical
+/// with the cache enabled or disabled (asserted in tests/csf_test.cc)
+/// and across thread counts (the underlying kernels guarantee that).
+///
+/// Memory: holds one projection intermediate (the largest is the
+/// first-hop result, the same peak the naive chain reaches transiently).
+///
+/// Not thread-safe: one instance per HOOI run, driven sequentially by
+/// the sweep (which is sequential by construction).
+///
+/// Metrics: `tensor.ttm_chain.cache_hits` counts mode products skipped
+/// through prefix reuse; `tensor.ttm_chain.cache_misses` counts prefix
+/// products actually computed.
+class TtmChainCache {
+ public:
+  /// First hop out of the source tensor: applies `uᵀ` on `mode` to the
+  /// (sparse or dense) source, returning a dense intermediate.
+  using FirstHopFn = std::function<Result<DenseTensor>(
+      const linalg::Matrix& u, std::size_t mode)>;
+
+  /// `num_modes` is the source tensor's mode count; with `enabled` false
+  /// every call recomputes the full chain (the reference behavior).
+  TtmChainCache(std::size_t num_modes, bool enabled, FirstHopFn first_hop);
+
+  /// Projection of the source tensor onto every factor except `skip`
+  /// (all transposed), reusing the cached prefix where valid.
+  Result<DenseTensor> ProjectAllExcept(
+      const std::vector<linalg::Matrix>& factors, std::size_t skip);
+
+  /// Full core G = X ×₀ U⁽⁰⁾ᵀ … ×ₙ₋₁ U⁽ᴺ⁻¹⁾ᵀ, advancing the cached
+  /// prefix through every mode.
+  Result<DenseTensor> Core(const std::vector<linalg::Matrix>& factors);
+
+  /// Must be called after factor `n` changes: drops the cached prefix if
+  /// it consumed the old factor (prefix length > n).
+  void OnFactorUpdated(std::size_t n);
+
+ private:
+  /// Extends the cached prefix to `target_len` applied modes.
+  Status Advance(const std::vector<linalg::Matrix>& factors,
+                 std::size_t target_len);
+
+  std::size_t num_modes_;
+  bool enabled_;
+  FirstHopFn first_hop_;
+  DenseTensor prefix_;
+  std::size_t prefix_len_ = 0;  // modes applied; 0 = raw source tensor
+};
+
+}  // namespace m2td::tensor
+
+#endif  // M2TD_TENSOR_TTM_CHAIN_H_

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fails if hot-kernel phase timings regressed vs a committed baseline.
+
+Compares the per-call mean (total_seconds / count) of selected phases in a
+freshly produced BENCH_*.json against the baseline JSON committed at the
+repo root. Per-call means are the right unit: google-benchmark adapts its
+iteration counts to --benchmark_min_time, so raw phase totals (and call
+counts) differ run to run even at identical speed.
+
+Usage (what the `bench-smoke` CMake target runs):
+  check_bench_regression.py --baseline BENCH_micro_kernels.json \
+      --current build/BENCH_micro_kernels.json \
+      --phases sparse_mode_product mode_gram --tolerance 0.20
+
+Exit status 1 if any selected phase's per-call mean is more than
+`tolerance` slower than the baseline (missing phases also fail: a phase
+disappearing from the trace usually means its span was dropped, which
+would silently blind this check).
+"""
+
+import argparse
+import json
+import sys
+
+
+def smoke_seconds(bench_json, phase):
+    value = bench_json.get("results", {}).get(f"smoke_{phase}_us_per_call")
+    if value is not None and value > 0:
+        return value * 1e-6
+    return None
+
+
+def phase_seconds(bench_json, phase):
+    entry = bench_json.get("phases", {}).get(phase)
+    if entry is None or entry.get("count", 0) <= 0:
+        return None
+    return entry["total_seconds"] / entry["count"]
+
+
+def per_call_seconds(baseline, current, phase):
+    """Returns (baseline_sec, current_sec) from a single comparable source.
+
+    Prefers the fixed-iteration smoke measurement when BOTH runs emit it:
+    its call sequence is identical every run, so the per-call mean is
+    directly comparable. The aggregate phase totals are the fallback
+    (valid only when baseline and current used the same benchmark
+    min_time, since adaptive iteration counts shift the call mix). Never
+    mixes one source's baseline with the other's current.
+    """
+    base, cur = smoke_seconds(baseline, phase), smoke_seconds(current, phase)
+    if base is not None and cur is not None:
+        return base, cur
+    return phase_seconds(baseline, phase), phase_seconds(current, phase)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--phases", nargs="+", required=True,
+                        help="phase (span) names to compare")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional slowdown (0.20 = +20%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    for phase in args.phases:
+        base, cur = per_call_seconds(baseline, current, phase)
+        if base is None:
+            print(f"[bench-smoke] {phase}: absent from baseline, skipping")
+            continue
+        if cur is None:
+            failures.append(f"{phase}: missing from current run")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = "OK" if ratio <= 1.0 + args.tolerance else "REGRESSED"
+        print(f"[bench-smoke] {phase}: baseline {base * 1e6:.2f} us/call, "
+              f"current {cur * 1e6:.2f} us/call ({ratio:.2f}x) {status}")
+        if ratio > 1.0 + args.tolerance:
+            failures.append(
+                f"{phase}: {ratio:.2f}x baseline per-call time "
+                f"(tolerance {1.0 + args.tolerance:.2f}x)")
+
+    if failures:
+        print("[bench-smoke] FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("[bench-smoke] all phases within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
