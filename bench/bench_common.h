@@ -16,6 +16,8 @@
 #include "core/pf_partition.h"
 #include "ensemble/simulation_model.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "tensor/dense_tensor.h"
 #include "util/logging.h"
@@ -95,17 +97,23 @@ class BenchJson {
   /// reports the true core count regardless of what thread counts the
   /// bench itself sweeps (previously each bench Add()ed it ad hoc, after
   /// pool manipulation, and most forgot entirely).
+  /// Also starts the background resource sampler, so every bench gets a
+  /// peak-RSS / fault profile in its RUN_REPORT without per-bench wiring.
   explicit BenchJson(std::string name)
       : name_(std::move(name)),
-        hardware_threads_(std::max(1u, std::thread::hardware_concurrency())) {}
+        hardware_threads_(std::max(1u, std::thread::hardware_concurrency())) {
+    sampler_.Start({});
+  }
 
   void Add(const std::string& key, double value) {
     results_.emplace_back(key, value);
   }
 
-  /// Writes BENCH_<name>.json; logs and returns on I/O failure (benches
-  /// should not abort over reporting).
-  void Write() const {
+  /// Writes BENCH_<name>.json and RUN_REPORT_<name>.json; logs and
+  /// returns on I/O failure (benches should not abort over reporting).
+  void Write() {
+    sampler_.Stop();
+    WriteRunReport();
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
     if (!out) {
@@ -124,6 +132,8 @@ class BenchJson {
     for (std::size_t i = 0; i < totals.size(); ++i) {
       out << (i ? "," : "") << "\n    \"" << totals[i].name
           << "\": {\"total_seconds\": " << totals[i].total_seconds
+          << ", \"cpu_seconds\": " << totals[i].cpu_seconds
+          << ", \"alloc_bytes\": " << totals[i].alloc_bytes
           << ", \"count\": " << totals[i].count << "}";
     }
     out << (totals.empty() ? "" : "\n  ") << "},\n  \"fault\": {";
@@ -146,9 +156,33 @@ class BenchJson {
   }
 
  private:
+  /// RUN_REPORT_<name>.json: the same schema-versioned report the CLI
+  /// writes, so tools/compare_runs.py gates bench runs on wall time AND
+  /// peak RSS / allocation volume with one code path. The caller-level
+  /// scalar results ride along as flags ("result.<key>").
+  void WriteRunReport() {
+    obs::RunReport report("bench_" + name_);
+    report.set_command(name_);
+    for (const auto& [key, value] : results_) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      report.AddFlag("result." + key, buffer);
+    }
+    report.SetResourceSamples(sampler_.Samples());
+    report.SetExit(0, "ok");
+    const std::string path = "RUN_REPORT_" + name_ + ".json";
+    const Status written = report.WriteFile(path);
+    if (!written.ok()) {
+      M2TD_LOG_WARNING() << "cannot write " << path << ": " << written;
+    } else {
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+
   std::string name_;
   unsigned hardware_threads_;
   std::vector<std::pair<std::string, double>> results_;
+  obs::ResourceSampler sampler_;
 };
 
 }  // namespace m2td::bench

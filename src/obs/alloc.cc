@@ -1,0 +1,187 @@
+#include "obs/alloc.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace m2td::obs {
+
+namespace {
+
+/// One thread's counters. Heap-allocated so it can outlive fast thread
+/// exit ordering issues; reads from other threads (GlobalAllocStats) use
+/// relaxed atomics, the owning thread is the only writer.
+struct Tally {
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> count{0};
+};
+
+struct TallyRegistry {
+  std::mutex mu;
+  std::vector<Tally*> live;
+  /// Totals folded in from threads that already exited.
+  AllocStats retired;
+};
+
+TallyRegistry& Registry() {
+  static TallyRegistry* registry = new TallyRegistry();
+  return *registry;
+}
+
+/// Guards against re-entry while the thread's tally is being constructed:
+/// registering the tally allocates (vector push), which would recurse
+/// into RecordAlloc under the operator-new shim.
+thread_local bool t_tally_constructing = false;
+
+/// RAII registration: folds the thread's totals into `retired` at thread
+/// exit so GlobalAllocStats stays exact across short-lived pool threads.
+struct ThreadTally {
+  Tally* tally = nullptr;
+
+  ThreadTally() {
+    tally = new Tally();
+    TallyRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.live.push_back(tally);
+  }
+
+  ~ThreadTally() {
+    TallyRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.retired.bytes += tally->bytes.load(std::memory_order_relaxed);
+    registry.retired.count += tally->count.load(std::memory_order_relaxed);
+    registry.live.erase(
+        std::remove(registry.live.begin(), registry.live.end(), tally),
+        registry.live.end());
+    delete tally;
+    tally = nullptr;
+  }
+};
+
+Tally* CurrentTally() {
+  if (t_tally_constructing) return nullptr;
+  t_tally_constructing = true;
+  thread_local ThreadTally thread_tally;
+  t_tally_constructing = false;
+  return thread_tally.tally;
+}
+
+}  // namespace
+
+bool AllocTrackingCompiledIn() {
+#if defined(M2TD_ALLOC_TRACKING)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void RecordAlloc(std::uint64_t bytes) {
+  Tally* tally = CurrentTally();
+  if (tally == nullptr) return;  // re-entrant during setup or after exit
+  tally->bytes.fetch_add(bytes, std::memory_order_relaxed);
+  tally->count.fetch_add(1, std::memory_order_relaxed);
+}
+
+AllocStats ThreadAllocStats() {
+  Tally* tally = CurrentTally();
+  if (tally == nullptr) return {};
+  return {tally->bytes.load(std::memory_order_relaxed),
+          tally->count.load(std::memory_order_relaxed)};
+}
+
+AllocStats GlobalAllocStats() {
+  TallyRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  AllocStats total = registry.retired;
+  for (const Tally* tally : registry.live) {
+    total.bytes += tally->bytes.load(std::memory_order_relaxed);
+    total.count += tally->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace m2td::obs
+
+#if defined(M2TD_ALLOC_TRACKING)
+
+// Global operator new/delete counting shim (M2TD_ENABLE_ALLOC_TRACKING).
+// Lives in this translation unit so referencing any obs::alloc symbol
+// pulls the replacement operators out of the static archive. Counting is
+// allocation-side only: the tally is a monotonic volume, so deletes just
+// free. Sanitizer interceptors still see the malloc/free underneath.
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p != nullptr) m2td::obs::RecordAlloc(size);
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(alignment, sizeof(void*)), size) != 0) {
+    return nullptr;
+  }
+  m2td::obs::RecordAlloc(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // M2TD_ALLOC_TRACKING

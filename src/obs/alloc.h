@@ -1,0 +1,44 @@
+#ifndef M2TD_OBS_ALLOC_H_
+#define M2TD_OBS_ALLOC_H_
+
+#include <cstdint>
+
+namespace m2td::obs {
+
+/// \brief Monotonic allocation totals (volume, not live bytes).
+///
+/// `bytes`/`count` only ever grow: they measure how much allocation
+/// traffic a thread (or the process) generated, which is the quantity a
+/// per-phase attribution can difference. Live-memory peaks are the
+/// resource sampler's job (`obs/resource.h`, peak RSS).
+struct AllocStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;
+};
+
+/// True when this build carries the global operator-new counting shim
+/// (CMake option M2TD_ENABLE_ALLOC_TRACKING). Without the shim the tally
+/// still exists but is fed only by coarse instrumentation (the
+/// parallel/scratch arena reports its fresh buffer allocations), so
+/// span/phase alloc numbers are lower bounds.
+bool AllocTrackingCompiledIn();
+
+/// Adds one allocation of `bytes` to the calling thread's tally. Called
+/// by the operator-new shim on every allocation; safe to call from any
+/// thread, including inside a global allocation hook (re-entrant calls
+/// during tally setup are dropped). Costs two thread-local relaxed
+/// atomic adds.
+void RecordAlloc(std::uint64_t bytes);
+
+/// The calling thread's tally since thread start. ObsSpan differences
+/// this around a span to attribute allocation volume to a phase; the
+/// delta only sees allocations made *by the span's own thread*.
+AllocStats ThreadAllocStats();
+
+/// Sum over all live threads plus threads that already exited. Used by
+/// run reports for the process-wide allocation total.
+AllocStats GlobalAllocStats();
+
+}  // namespace m2td::obs
+
+#endif  // M2TD_OBS_ALLOC_H_

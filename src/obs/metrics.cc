@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -53,7 +54,58 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
+/// OpenMetrics metric names allow [a-zA-Z0-9_:]; dotted registry names
+/// ("parallel.scratch.acquires") become underscored, everything gets the
+/// m2td_ namespace prefix.
+std::string OpenMetricsName(std::string_view name) {
+  std::string out = "m2td_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
 }  // namespace
+
+double Histogram::Percentile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets first: concurrent Observe() calls may land
+  // between the count_ read and the bucket reads, so walk against the
+  // snapshot's own total rather than Count().
+  std::array<std::uint64_t, kNumBuckets> counts;
+  std::uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Fractional rank in [0, total]: q=0 maps to the lower edge of the
+  // first populated bucket, q=1 to the upper edge of the last.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (rank <= next) {
+      if (b == 0) return 0.0;  // exact-zero bucket
+      // Fraction of the way through this bucket's population, then
+      // log-linear: the bucket spans [lb, 2*lb), so value = lb * 2^f.
+      const double f = (rank - cumulative) / static_cast<double>(counts[b]);
+      return static_cast<double>(BucketLowerBound(b)) * std::exp2(f);
+    }
+    cumulative = next;
+  }
+  // Rounding slop on the last bucket: return its upper edge.
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (counts[b] != 0) {
+      return static_cast<double>(BucketLowerBound(b)) * 2.0;
+    }
+  }
+  return 0.0;
+}
 
 bool MetricsEnabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
@@ -121,7 +173,11 @@ void WriteMetricsJson(std::ostream& os) {
     first = false;
     write_key(name);
     os << "{\"count\":" << histogram->Count()
-       << ",\"sum\":" << histogram->Sum() << ",\"buckets\":[";
+       << ",\"sum\":" << histogram->Sum()
+       << ",\"p50\":" << FormatDouble(histogram->Percentile(0.50))
+       << ",\"p95\":" << FormatDouble(histogram->Percentile(0.95))
+       << ",\"p99\":" << FormatDouble(histogram->Percentile(0.99))
+       << ",\"buckets\":[";
     bool first_bucket = true;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       const std::uint64_t count = histogram->BucketCount(b);
@@ -133,6 +189,50 @@ void WriteMetricsJson(std::ostream& os) {
     os << "]}";
   }
   os << "}}";
+}
+
+void WriteOpenMetrics(std::ostream& os) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& [name, counter] : registry.counters) {
+    const std::string om = OpenMetricsName(name);
+    os << "# TYPE " << om << " counter\n";
+    os << om << "_total " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges) {
+    const std::string om = OpenMetricsName(name);
+    os << "# TYPE " << om << " gauge\n";
+    os << om << " " << FormatDouble(gauge->value()) << "\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms) {
+    const std::string om = OpenMetricsName(name);
+    os << "# TYPE " << om << " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      os << om << "{quantile=\"" << FormatDouble(q) << "\"} "
+         << FormatDouble(histogram->Percentile(q)) << "\n";
+    }
+    os << om << "_count " << histogram->Count() << "\n";
+    os << om << "_sum " << histogram->Sum() << "\n";
+  }
+  os << "# EOF\n";
+}
+
+void WriteHistogramSummary(std::ostream& os) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t populated = 0;
+  for (const auto& [name, histogram] : registry.histograms) {
+    if (histogram->Count() != 0) ++populated;
+  }
+  os << "-- histograms (" << populated << " with observations) --\n";
+  for (const auto& [name, histogram] : registry.histograms) {
+    if (histogram->Count() == 0) continue;
+    os << name << "  count=" << histogram->Count()
+       << "  sum=" << histogram->Sum()
+       << "  p50=" << FormatDouble(histogram->Percentile(0.50))
+       << "  p95=" << FormatDouble(histogram->Percentile(0.95))
+       << "  p99=" << FormatDouble(histogram->Percentile(0.99)) << "\n";
+  }
 }
 
 }  // namespace m2td::obs

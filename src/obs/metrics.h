@@ -95,6 +95,14 @@ class Histogram {
     return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
   }
 
+  /// Estimated value at quantile `q` (clamped to [0, 1]), reconstructed
+  /// from the log2 buckets with log-linear interpolation inside the
+  /// owning bucket: a rank landing a fraction f into bucket b >= 1 maps
+  /// to BucketLowerBound(b) * 2^f, which is exact for uniform-in-log
+  /// data and never leaves the bucket's range. Returns 0 for an empty
+  /// histogram and for ranks landing in the zero bucket.
+  double Percentile(double q) const;
+
   std::uint64_t Count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -133,8 +141,21 @@ void ResetMetrics();
 
 /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}};
 /// histograms list only their non-empty buckets as [lower_bound, count]
-/// pairs.
+/// pairs plus interpolated p50/p95/p99 estimates.
 void WriteMetricsJson(std::ostream& os);
+
+/// OpenMetrics text exposition of every registered metric: counters as
+/// `m2td_<name>_total`, gauges as `m2td_<name>`, histograms as summaries
+/// with `quantile` labels (p50/p95/p99) plus `_count`/`_sum` series.
+/// Names are sanitized to [a-zA-Z0-9_] and the output ends with the
+/// mandatory `# EOF` terminator, so the text parses with any
+/// OpenMetrics-compatible scraper.
+void WriteOpenMetrics(std::ostream& os);
+
+/// Human-readable one-line-per-histogram digest (count, sum, p50/p95/p99)
+/// of every histogram that has observations. Companion to
+/// Tracer::WriteTextSummary for `--trace_summary`-style console output.
+void WriteHistogramSummary(std::ostream& os);
 
 }  // namespace m2td::obs
 

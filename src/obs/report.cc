@@ -1,0 +1,245 @@
+#include "obs/report.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/alloc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/atomic_file.h"
+
+namespace m2td::obs {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+void WriteQuoted(std::ostream& os, std::string_view text) {
+  std::string escaped;
+  internal::JsonEscape(text, &escaped);
+  os << "\"" << escaped << "\"";
+}
+
+}  // namespace
+
+void EnsureFaultCountersRegistered() {
+  // Names must match the Add()/Increment() sites in src/robust; a typo
+  // here silently forks a second counter, so keep the list in sync.
+  static const char* const kNames[] = {
+      "robust.watchdog.stalls",   "robust.watchdog.hard_fires",
+      "robust.failpoint_fires",   "robust.cancel.fired",
+      "robust.retry_attempts",    "robust.retry_success",
+      "robust.retry_exhausted",   "robust.checkpoint_marks",
+  };
+  for (const char* name : kNames) GetCounter(name);
+}
+
+void RunReport::WriteJson(std::ostream& os) const {
+  os << "{\"schema_version\":" << kRunReportSchemaVersion
+     << ",\"kind\":\"m2td_run_report\",\"tool\":";
+  WriteQuoted(os, tool_);
+  os << ",\"command\":";
+  WriteQuoted(os, command_);
+  os << ",\"generated_unix_time\":" << static_cast<long long>(
+      std::time(nullptr));
+
+  os << ",\"build\":{\"build_type\":";
+#if defined(M2TD_BUILD_TYPE)
+  WriteQuoted(os, M2TD_BUILD_TYPE);
+#else
+  WriteQuoted(os, "unknown");
+#endif
+  os << ",\"compiler\":";
+#if defined(__VERSION__)
+  WriteQuoted(os, __VERSION__);
+#else
+  WriteQuoted(os, "unknown");
+#endif
+  os << ",\"alloc_tracking\":"
+     << (AllocTrackingCompiledIn() ? "true" : "false") << "}";
+
+  os << ",\"hardware\":{\"hardware_threads\":"
+     << std::thread::hardware_concurrency()
+     << ",\"page_size_bytes\":" << sysconf(_SC_PAGESIZE) << "}";
+
+  os << ",\"flags\":{";
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    if (i) os << ",";
+    WriteQuoted(os, flags_[i].first);
+    os << ":";
+    WriteQuoted(os, flags_[i].second);
+  }
+  os << "}";
+
+  if (has_seed_) os << ",\"seed\":" << seed_;
+
+  os << ",\"datasets\":[";
+  for (std::size_t i = 0; i < datasets_.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"path\":";
+    WriteQuoted(os, datasets_[i].path);
+    os << ",\"crc32\":" << datasets_[i].crc32
+       << ",\"bytes\":" << datasets_[i].bytes << "}";
+  }
+  os << "]";
+
+  // Per-phase attribution straight from the tracer: wall clock, on-CPU
+  // time, and allocation volume per span name, in first-seen order.
+  os << ",\"phases\":[";
+  const std::vector<SpanTotal> totals = Tracer::Get().AggregateTotals();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    if (i) os << ",";
+    const SpanTotal& total = totals[i];
+    os << "{\"name\":";
+    WriteQuoted(os, total.name);
+    os << ",\"count\":" << total.count
+       << ",\"wall_seconds\":" << FormatDouble(total.total_seconds)
+       << ",\"cpu_seconds\":" << FormatDouble(total.cpu_seconds)
+       << ",\"alloc_bytes\":" << total.alloc_bytes
+       << ",\"alloc_count\":" << total.alloc_count << "}";
+  }
+  os << "]";
+
+  // Resource profile: scalar peaks plus the RSS time series (timestamps
+  // in tracer-epoch microseconds, values in bytes).
+  os << ",\"resources\":{";
+  ResourceUsage last = samples_.empty() ? ReadResourceUsage() : samples_.back();
+  std::uint64_t peak_rss = last.peak_rss_bytes;
+  std::uint32_t max_threads = 0;
+  for (const ResourceUsage& s : samples_) {
+    peak_rss = std::max(peak_rss, s.peak_rss_bytes);
+    peak_rss = std::max(peak_rss, s.rss_bytes);
+    max_threads = std::max(max_threads, s.num_threads);
+  }
+  os << "\"peak_rss_bytes\":" << peak_rss
+     << ",\"minor_faults\":" << last.minor_faults
+     << ",\"major_faults\":" << last.major_faults
+     << ",\"utime_seconds\":" << FormatDouble(last.utime_seconds)
+     << ",\"stime_seconds\":" << FormatDouble(last.stime_seconds)
+     << ",\"read_bytes\":" << last.read_bytes
+     << ",\"write_bytes\":" << last.write_bytes
+     << ",\"max_threads\":" << max_threads;
+  const AllocStats alloc = GlobalAllocStats();
+  os << ",\"alloc_bytes_total\":" << alloc.bytes
+     << ",\"alloc_count_total\":" << alloc.count;
+  os << ",\"rss_samples\":[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (i) os << ",";
+    os << "[" << FormatDouble(samples_[i].ts_us * 1e-6) << ","
+       << samples_[i].rss_bytes << "]";
+  }
+  os << "]}";
+
+  os << ",\"metrics\":";
+  EnsureFaultCountersRegistered();
+  WriteMetricsJson(os);
+
+  os << ",\"exit\":{\"status\":" << exit_status_ << ",\"outcome\":";
+  WriteQuoted(os, exit_outcome_);
+  os << ",\"message\":";
+  WriteQuoted(os, exit_message_);
+  os << "}}";
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  return util::AtomicWriteFile(path, [this](const std::string& tmp) {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::IOError("cannot open run report '" + tmp + "'");
+    }
+    WriteJson(out);
+    out << "\n";
+    out.flush();
+    if (!out) {
+      return Status::IOError("run report write failed for '" + tmp + "'");
+    }
+    return Status::OK();
+  });
+}
+
+MetricsSnapshotter::~MetricsSnapshotter() { Stop(); }
+
+namespace {
+
+Status WriteOpenMetricsFile(const std::string& path) {
+  return util::AtomicWriteFile(path, [](const std::string& tmp) {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::IOError("cannot open metrics snapshot '" + tmp + "'");
+    }
+    WriteOpenMetrics(out);
+    out.flush();
+    if (!out) {
+      return Status::IOError("metrics snapshot write failed for '" + tmp +
+                             "'");
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace
+
+void MetricsSnapshotter::Start(MetricsSnapshotterOptions options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (started_ || options.path.empty()) return;
+  started_ = true;
+  stop_requested_ = false;
+  thread_exited_ = false;
+  path_ = options.path;
+  lock.unlock();
+  thread_ = std::thread([this, options = std::move(options)]() mutable {
+    Loop(std::move(options));
+  });
+}
+
+void MetricsSnapshotter::Stop() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    stop_requested_ = true;
+    path = path_;
+  }
+  cv_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+  (void)WriteOpenMetricsFile(path);  // final snapshot; best-effort
+}
+
+bool MetricsSnapshotter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !thread_exited_;
+}
+
+void MetricsSnapshotter::Loop(MetricsSnapshotterOptions options) {
+  const int interval_ms = std::max(options.interval_ms, 10);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stop_requested_; })) {
+        thread_exited_ = true;
+        return;
+      }
+    }
+    if (options.cancelled && options.cancelled()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      thread_exited_ = true;
+      return;
+    }
+    (void)WriteOpenMetricsFile(options.path);  // best-effort each tick
+  }
+}
+
+}  // namespace m2td::obs

@@ -1,0 +1,142 @@
+#ifndef M2TD_OBS_REPORT_H_
+#define M2TD_OBS_REPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/resource.h"
+#include "util/result.h"
+
+namespace m2td::obs {
+
+/// Version of the run_report.json layout. Bump on any breaking change to
+/// field names/types; additive fields do not bump it. Consumers
+/// (tools/compare_runs.py) refuse reports with a newer major version.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// \brief Builder for the structured run report every CLI / bench
+/// invocation writes next to its outputs.
+///
+/// The report is self-describing ("kind": "m2td_run_report",
+/// "schema_version": N) and bundles: build + hardware info, the parsed
+/// flags, dataset digests, per-phase wall/CPU/allocation totals (from
+/// the tracer), the resource-sampler series (peak RSS + RSS time
+/// series), a full metrics snapshot, and the exit status. Typical use:
+/// construct early, feed it as the run progresses, WriteFile() in every
+/// exit path (including the SIGTERM drain).
+class RunReport {
+ public:
+  explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void set_command(std::string command) { command_ = std::move(command); }
+  void set_seed(std::uint64_t seed) {
+    seed_ = seed;
+    has_seed_ = true;
+  }
+
+  /// Records one parsed flag (stored in insertion order).
+  void AddFlag(std::string key, std::string value) {
+    flags_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Records an input dataset with its content digest, so two reports
+  /// are comparable only when they processed identical bytes.
+  void AddDataset(std::string path, std::uint32_t crc32,
+                  std::uint64_t bytes) {
+    datasets_.push_back(Dataset{std::move(path), crc32, bytes});
+  }
+
+  /// Attaches the resource-sampler series (the report keeps its own
+  /// copy; call after ResourceSampler::Stop()).
+  void SetResourceSamples(std::vector<ResourceUsage> samples) {
+    samples_ = std::move(samples);
+  }
+
+  /// Final exit status: `outcome` is "ok", "cancelled", or "error".
+  void SetExit(int status, std::string outcome, std::string message = {}) {
+    exit_status_ = status;
+    exit_outcome_ = std::move(outcome);
+    exit_message_ = std::move(message);
+  }
+
+  /// Serializes the report; phase totals and the metrics snapshot are
+  /// gathered at write time from the live tracer/registry.
+  void WriteJson(std::ostream& os) const;
+
+  /// WriteJson through util::AtomicWriteFile (temp + rename): a crash
+  /// mid-write never leaves a truncated report at `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Dataset {
+    std::string path;
+    std::uint32_t crc32 = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::string tool_;
+  std::string command_;
+  std::uint64_t seed_ = 0;
+  bool has_seed_ = false;
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<Dataset> datasets_;
+  std::vector<ResourceUsage> samples_;
+  int exit_status_ = 0;
+  std::string exit_outcome_ = "ok";
+  std::string exit_message_;
+};
+
+/// Force-registers the robustness counters (watchdog stalls, failpoint
+/// fires, cancellation, retries) so a report's metrics section always
+/// carries them — a clean run reports explicit zeros instead of omitting
+/// the series, which keeps run-diffs well-defined.
+void EnsureFaultCountersRegistered();
+
+struct MetricsSnapshotterOptions {
+  /// Destination for the OpenMetrics text exposition, rewritten
+  /// atomically every period (scrape it with `cat` or a file-based
+  /// collector).
+  std::string path;
+  int interval_ms = 1000;
+  /// Optional cooperative-cancellation probe (see
+  /// ResourceSamplerOptions::cancelled).
+  std::function<bool()> cancelled;
+};
+
+/// \brief Background thread rewriting an OpenMetrics snapshot file
+/// periodically, so long runs expose live metrics without a server.
+class MetricsSnapshotter {
+ public:
+  MetricsSnapshotter() = default;
+  ~MetricsSnapshotter();
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  void Start(MetricsSnapshotterOptions options);
+  /// Stops the thread and writes one final snapshot. Idempotent.
+  void Stop();
+  bool running() const;
+
+ private:
+  void Loop(MetricsSnapshotterOptions options);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stop_requested_ = false;
+  bool thread_exited_ = false;
+  std::string path_;
+  std::thread thread_;
+};
+
+}  // namespace m2td::obs
+
+#endif  // M2TD_OBS_REPORT_H_

@@ -1,0 +1,257 @@
+#include "obs/resource.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace m2td::obs {
+
+namespace {
+
+/// getrusage covers peak RSS, faults, and CPU split everywhere POSIX;
+/// /proc refines it with current RSS, thread count, and I/O volume.
+void FillFromRusage(ResourceUsage* usage) {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return;
+  usage->peak_rss_bytes =
+      static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB on Linux
+  usage->minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+  usage->major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+  usage->utime_seconds = ru.ru_utime.tv_sec + ru.ru_utime.tv_usec * 1e-6;
+  usage->stime_seconds = ru.ru_stime.tv_sec + ru.ru_stime.tv_usec * 1e-6;
+}
+
+void FillFromProc(ResourceUsage* usage) {
+  // /proc/self/statm: size resident shared ... (in pages).
+  {
+    std::ifstream statm("/proc/self/statm");
+    std::uint64_t size_pages = 0, resident_pages = 0;
+    if (statm >> size_pages >> resident_pages) {
+      static const long page = sysconf(_SC_PAGESIZE);
+      usage->rss_bytes = resident_pages * static_cast<std::uint64_t>(page);
+    }
+  }
+  // /proc/self/stat: pid (comm) state ppid ... — the comm field may
+  // contain spaces, so parse from the last ')'. After it, fields are
+  // space-separated starting at field 3 ("state").
+  {
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    if (std::getline(stat, line)) {
+      const std::size_t close = line.rfind(')');
+      if (close != std::string::npos) {
+        std::istringstream rest(line.substr(close + 1));
+        std::string field;
+        // Fields after comm, 1-indexed from "state"=1: minflt=8,
+        // majflt=10, utime=12, stime=13, num_threads=18.
+        static const long ticks = sysconf(_SC_CLK_TCK);
+        for (int i = 1; i <= 18 && (rest >> field); ++i) {
+          switch (i) {
+            case 8:
+              usage->minor_faults = std::strtoull(field.c_str(), nullptr, 10);
+              break;
+            case 10:
+              usage->major_faults = std::strtoull(field.c_str(), nullptr, 10);
+              break;
+            case 12:
+              usage->utime_seconds =
+                  std::strtod(field.c_str(), nullptr) / ticks;
+              break;
+            case 13:
+              usage->stime_seconds =
+                  std::strtod(field.c_str(), nullptr) / ticks;
+              break;
+            case 18:
+              usage->num_threads = static_cast<std::uint32_t>(
+                  std::strtoul(field.c_str(), nullptr, 10));
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+  }
+  // /proc/self/status: VmHWM is the peak RSS in kB.
+  {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmHWM:", 0) == 0) {
+        usage->peak_rss_bytes =
+            std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+        break;
+      }
+    }
+  }
+  // /proc/self/io: storage-layer bytes (may be absent in containers).
+  {
+    std::ifstream io("/proc/self/io");
+    std::string line;
+    while (std::getline(io, line)) {
+      if (line.rfind("read_bytes:", 0) == 0) {
+        usage->read_bytes = std::strtoull(line.c_str() + 11, nullptr, 10);
+      } else if (line.rfind("write_bytes:", 0) == 0) {
+        usage->write_bytes = std::strtoull(line.c_str() + 12, nullptr, 10);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ResourceUsage ReadResourceUsage() {
+  ResourceUsage usage;
+  usage.ts_us = Tracer::NowMicros();
+  FillFromRusage(&usage);
+  FillFromProc(&usage);
+  return usage;
+}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start(ResourceSamplerOptions options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_requested_ = false;
+  thread_exited_ = false;
+  samples_.clear();
+  max_samples_ = std::max<std::size_t>(options.max_samples, 8);
+  interval_ms_ = std::max(options.interval_ms, 1);
+  lock.unlock();
+  Sample();  // immediate first point: even sub-interval runs get a series
+  thread_ = std::thread([this, options = std::move(options)]() mutable {
+    Loop(std::move(options));
+  });
+}
+
+void ResourceSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+  Sample();  // closing point so the series covers the full window
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !thread_exited_;
+}
+
+std::vector<ResourceUsage> ResourceSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+ResourceUsage ResourceSampler::Peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResourceUsage peak;
+  for (const ResourceUsage& s : samples_) {
+    peak.ts_us = std::max(peak.ts_us, s.ts_us);
+    peak.rss_bytes = std::max(peak.rss_bytes, s.rss_bytes);
+    peak.peak_rss_bytes = std::max(peak.peak_rss_bytes, s.peak_rss_bytes);
+    peak.minor_faults = std::max(peak.minor_faults, s.minor_faults);
+    peak.major_faults = std::max(peak.major_faults, s.major_faults);
+    peak.utime_seconds = std::max(peak.utime_seconds, s.utime_seconds);
+    peak.stime_seconds = std::max(peak.stime_seconds, s.stime_seconds);
+    peak.read_bytes = std::max(peak.read_bytes, s.read_bytes);
+    peak.write_bytes = std::max(peak.write_bytes, s.write_bytes);
+    peak.num_threads = std::max(peak.num_threads, s.num_threads);
+  }
+  return peak;
+}
+
+void ResourceSampler::Sample() {
+  const ResourceUsage usage = ReadResourceUsage();
+
+  // Gauges are always refreshed (cheap relaxed stores, and only when
+  // metrics are enabled), so a metrics snapshot taken at any moment
+  // carries the live resource picture.
+  static Gauge& rss = GetGauge("proc.rss_bytes");
+  static Gauge& peak_rss = GetGauge("proc.peak_rss_bytes");
+  static Gauge& minor = GetGauge("proc.minor_faults");
+  static Gauge& major = GetGauge("proc.major_faults");
+  static Gauge& utime = GetGauge("proc.utime_seconds");
+  static Gauge& stime = GetGauge("proc.stime_seconds");
+  static Gauge& threads = GetGauge("proc.num_threads");
+  rss.Set(static_cast<double>(usage.rss_bytes));
+  peak_rss.Set(static_cast<double>(usage.peak_rss_bytes));
+  minor.Set(static_cast<double>(usage.minor_faults));
+  major.Set(static_cast<double>(usage.major_faults));
+  utime.Set(usage.utime_seconds);
+  stime.Set(usage.stime_seconds);
+  threads.Set(static_cast<double>(usage.num_threads));
+
+  if (TracingEnabled()) {
+    Tracer& tracer = Tracer::Get();
+    tracer.RecordCounter(
+        "proc.memory",
+        {{"rss_mb", usage.rss_bytes / 1048576.0},
+         {"peak_rss_mb", usage.peak_rss_bytes / 1048576.0}});
+    tracer.RecordCounter(
+        "proc.faults",
+        {{"minor", static_cast<double>(usage.minor_faults)},
+         {"major", static_cast<double>(usage.major_faults)}});
+    tracer.RecordCounter(
+        "proc.threads",
+        {{"threads", static_cast<double>(usage.num_threads)}});
+    if (usage.read_bytes != 0 || usage.write_bytes != 0) {
+      tracer.RecordCounter(
+          "proc.io",
+          {{"read_mb", usage.read_bytes / 1048576.0},
+           {"write_mb", usage.write_bytes / 1048576.0}});
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(usage);
+  if (samples_.size() >= max_samples_) {
+    // Halve resolution instead of growing: keep every other sample and
+    // double the tick so long runs stay bounded in memory.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) {
+      samples_[kept++] = samples_[i];
+    }
+    samples_.resize(kept);
+    interval_ms_ *= 2;
+  }
+}
+
+void ResourceSampler::Loop(ResourceSamplerOptions options) {
+  for (;;) {
+    int interval_ms;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      interval_ms = interval_ms_;
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stop_requested_; })) {
+        thread_exited_ = true;
+        return;
+      }
+    }
+    if (options.cancelled && options.cancelled()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      thread_exited_ = true;
+      return;
+    }
+    Sample();
+  }
+}
+
+}  // namespace m2td::obs

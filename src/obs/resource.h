@@ -1,0 +1,105 @@
+#ifndef M2TD_OBS_RESOURCE_H_
+#define M2TD_OBS_RESOURCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m2td::obs {
+
+/// One point-in-time reading of the process's resource usage, stamped
+/// against the tracer epoch so samples align with span timestamps.
+struct ResourceUsage {
+  double ts_us = 0.0;
+  /// Current resident set size; 0 when unreadable.
+  std::uint64_t rss_bytes = 0;
+  /// High-water-mark RSS (VmHWM / ru_maxrss).
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  /// Process CPU split since start (user / kernel).
+  double utime_seconds = 0.0;
+  double stime_seconds = 0.0;
+  /// Bytes actually fetched from / sent to the storage layer
+  /// (/proc/self/io; 0 where unavailable).
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint32_t num_threads = 0;
+};
+
+/// Reads the current process usage from /proc/self (statm, stat, status,
+/// io), falling back to getrusage() for the subset it covers when /proc
+/// is unavailable. Cheap enough to call at tens-of-Hz.
+ResourceUsage ReadResourceUsage();
+
+struct ResourceSamplerOptions {
+  /// Sampling period. The effective period doubles every time the
+  /// in-memory series would exceed `max_samples` (see below), so long
+  /// runs degrade resolution instead of growing without bound.
+  int interval_ms = 20;
+  /// Optional cooperative-cancellation probe, polled once per tick; when
+  /// it returns true the sampler thread exits on its own. Injected as a
+  /// plain callable (not a CancelToken) to keep obs below robust in the
+  /// dependency order — pass `[token]{ return token.IsCancelled(); }`.
+  std::function<bool()> cancelled;
+  /// Series cap: reaching it halves the series (every other sample
+  /// dropped) and doubles the interval, preserving full-run coverage.
+  std::size_t max_samples = 4096;
+};
+
+/// \brief Background thread recording the process resource profile.
+///
+/// Each tick reads ReadResourceUsage(), appends it to an in-memory
+/// series, refreshes the `proc.*` gauges, and (when tracing is on) emits
+/// Chrome counter tracks ("proc.memory", "proc.faults", "proc.threads",
+/// "proc.io") so the trace viewer draws RSS and fault time series under
+/// the span timeline. Start/Stop are idempotent; the destructor stops.
+class ResourceSampler {
+ public:
+  ResourceSampler() = default;
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Launches the sampling thread (no-op when already running). Takes an
+  /// immediate first sample before returning so even a short-lived run
+  /// has a nonempty series.
+  void Start(ResourceSamplerOptions options = {});
+
+  /// Signals the thread, joins it, and takes one final sample so the
+  /// series always covers the full Start..Stop window. Idempotent.
+  void Stop();
+
+  /// True between Start() and Stop() while the thread is alive (a
+  /// cancelled() probe firing makes this false before Stop is called).
+  bool running() const;
+
+  /// Snapshot of the (possibly decimated) series, oldest first.
+  std::vector<ResourceUsage> Samples() const;
+
+  /// Element-wise maximum over the series (peak RSS, final fault
+  /// counts); all-zero when no sample was taken.
+  ResourceUsage Peak() const;
+
+ private:
+  void Loop(ResourceSamplerOptions options);
+  void Sample();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stop_requested_ = false;
+  bool thread_exited_ = false;
+  std::vector<ResourceUsage> samples_;
+  std::size_t max_samples_ = 4096;
+  int interval_ms_ = 20;
+  std::thread thread_;
+};
+
+}  // namespace m2td::obs
+
+#endif  // M2TD_OBS_RESOURCE_H_

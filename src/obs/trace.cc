@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -9,6 +11,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/alloc.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace m2td::obs {
@@ -25,6 +29,7 @@ struct TracerState {
   mutable std::mutex mutex;
   std::vector<SpanRecord> spans;
   std::vector<InstantRecord> instants;
+  std::vector<CounterRecord> counters;
   std::uint64_t sequence = 0;
   std::unordered_map<std::thread::id, std::uint32_t> thread_ids;
 };
@@ -69,6 +74,36 @@ void WriteArgsJson(const std::vector<TraceArg>& args, std::ostream& os) {
     }
   }
   os << "}";
+}
+
+/// Scaled human units for allocation volume in the text summary.
+std::string FormatBytes(std::uint64_t bytes) {
+  char buffer[64];
+  if (bytes >= 1024ull * 1024ull * 1024ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB", bytes / 1073741824.0);
+  } else if (bytes >= 1024ull * 1024ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MiB", bytes / 1048576.0);
+  } else if (bytes >= 1024ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+const char* LogLevelLabel(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -120,10 +155,33 @@ void SetTracingEnabled(bool enabled) {
   g_tracing_enabled.store(enabled, std::memory_order_relaxed);
   if (enabled) {
     // Mirror WARN+ log messages into the trace as instant markers so a
-    // trace shows *why* a phase stalled, not just that it did.
+    // trace shows *why* a phase stalled, not just that it did. The
+    // formatted "[LEVEL file:line] " prefix is lifted into structured
+    // args (severity, source) and the instant keeps the message text as
+    // its name, so trace viewers can filter by severity instead of
+    // substring-matching a flattened line.
     SetLogMirror([](LogLevel level, std::string_view line) {
       if (level < LogLevel::kWarning || !TracingEnabled()) return;
-      Tracer::Get().RecordInstant(std::string(line));
+      std::string_view message = line;
+      std::string source;
+      if (!line.empty() && line.front() == '[') {
+        const std::size_t close = line.find("] ");
+        if (close != std::string_view::npos) {
+          const std::string_view header = line.substr(1, close - 1);
+          const std::size_t space = header.find(' ');
+          if (space != std::string_view::npos) {
+            source = std::string(header.substr(space + 1));
+          }
+          message = line.substr(close + 2);
+        }
+      }
+      std::vector<TraceArg> args;
+      args.push_back(
+          TraceArg{"severity", LogLevelLabel(level), /*quoted=*/true});
+      if (!source.empty()) {
+        args.push_back(TraceArg{"source", std::move(source), /*quoted=*/true});
+      }
+      Tracer::Get().RecordInstant(std::string(message), std::move(args));
     });
   } else {
     SetLogMirror(nullptr);
@@ -139,6 +197,16 @@ double Tracer::NowMicros() {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - Epoch())
       .count();
+}
+
+double Tracer::ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return ts.tv_sec * 1e6 + ts.tv_nsec * 1e-3;
+#else
+  return 0.0;
+#endif
 }
 
 std::uint32_t Tracer::CurrentThreadId() {
@@ -158,13 +226,29 @@ void Tracer::Record(SpanRecord record) {
 }
 
 void Tracer::RecordInstant(std::string name) {
+  RecordInstant(std::move(name), {});
+}
+
+void Tracer::RecordInstant(std::string name, std::vector<TraceArg> args) {
   InstantRecord record;
   record.name = std::move(name);
   record.ts_us = NowMicros();
   record.thread_id = CurrentThreadId();
+  record.args = std::move(args);
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.instants.push_back(std::move(record));
+}
+
+void Tracer::RecordCounter(
+    std::string name, std::vector<std::pair<std::string, double>> values) {
+  CounterRecord record;
+  record.name = std::move(name);
+  record.ts_us = NowMicros();
+  record.values = std::move(values);
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.counters.push_back(std::move(record));
 }
 
 std::vector<SpanRecord> Tracer::Spans() const {
@@ -179,6 +263,12 @@ std::vector<InstantRecord> Tracer::Instants() const {
   return state.instants;
 }
 
+std::vector<CounterRecord> Tracer::Counters() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.counters;
+}
+
 std::uint64_t Tracer::NumSpans() const {
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
@@ -190,6 +280,7 @@ void Tracer::Reset() {
   std::lock_guard<std::mutex> lock(state.mutex);
   state.spans.clear();
   state.instants.clear();
+  state.counters.clear();
 }
 
 double Tracer::SpanTotalSeconds(std::string_view name) const {
@@ -218,6 +309,9 @@ std::vector<SpanTotal> Tracer::AggregateTotals() const {
     }
     SpanTotal& total = totals[it->second];
     total.total_seconds += span.duration_us * 1e-6;
+    total.cpu_seconds += span.cpu_us * 1e-6;
+    total.alloc_bytes += span.alloc_bytes;
+    total.alloc_count += span.alloc_count;
     ++total.count;
     total.min_depth = std::min(total.min_depth, span.depth);
   }
@@ -227,6 +321,7 @@ std::vector<SpanTotal> Tracer::AggregateTotals() const {
 void Tracer::WriteChromeTrace(std::ostream& os) const {
   const std::vector<SpanRecord> spans = Spans();
   const std::vector<InstantRecord> instants = Instants();
+  const std::vector<CounterRecord> counters = Counters();
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const SpanRecord& span : spans) {
@@ -238,7 +333,19 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
        << ",\"pid\":1,\"tid\":" << span.thread_id
        << ",\"ts\":" << FormatMicros(span.start_us)
        << ",\"dur\":" << FormatMicros(span.duration_us) << ",\"args\":";
-    WriteArgsJson(span.args, os);
+    // Per-phase CPU/allocation attribution rides along as args so the
+    // Chrome/Perfetto aggregation panes can sum them per span name.
+    std::vector<TraceArg> args = span.args;
+    if (span.cpu_us > 0.0) {
+      args.push_back(TraceArg{"cpu_us", FormatMicros(span.cpu_us), false});
+    }
+    if (span.alloc_count > 0) {
+      args.push_back(TraceArg{"alloc_bytes", std::to_string(span.alloc_bytes),
+                              false});
+      args.push_back(TraceArg{"alloc_count", std::to_string(span.alloc_count),
+                              false});
+    }
+    WriteArgsJson(args, os);
     os << "}";
   }
   for (const InstantRecord& instant : instants) {
@@ -248,20 +355,43 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     internal::JsonEscape(instant.name, &name);
     os << "{\"ph\":\"i\",\"name\":\"" << name << "\",\"cat\":\"m2td\""
        << ",\"s\":\"t\",\"pid\":1,\"tid\":" << instant.thread_id
-       << ",\"ts\":" << FormatMicros(instant.ts_us) << "}";
+       << ",\"ts\":" << FormatMicros(instant.ts_us);
+    if (!instant.args.empty()) {
+      os << ",\"args\":";
+      WriteArgsJson(instant.args, os);
+    }
+    os << "}";
+  }
+  for (const CounterRecord& counter : counters) {
+    if (!first) os << ",";
+    first = false;
+    std::string name;
+    internal::JsonEscape(counter.name, &name);
+    os << "{\"ph\":\"C\",\"name\":\"" << name << "\",\"cat\":\"m2td\""
+       << ",\"pid\":1,\"ts\":" << FormatMicros(counter.ts_us) << ",\"args\":{";
+    for (std::size_t i = 0; i < counter.values.size(); ++i) {
+      if (i) os << ",";
+      std::string key;
+      internal::JsonEscape(counter.values[i].first, &key);
+      os << "\"" << key << "\":" << FormatDouble(counter.values[i].second);
+    }
+    os << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
 }
 
 Status Tracer::ExportChromeTrace(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IOError("cannot open trace output '" + path + "'");
-  }
-  WriteChromeTrace(out);
-  out << "\n";
-  if (!out) return Status::IOError("trace write failed for '" + path + "'");
-  return Status::OK();
+  return util::AtomicWriteFile(path, [this](const std::string& tmp) {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::IOError("cannot open trace output '" + tmp + "'");
+    }
+    WriteChromeTrace(out);
+    out << "\n";
+    out.flush();
+    if (!out) return Status::IOError("trace write failed for '" + tmp + "'");
+    return Status::OK();
+  });
 }
 
 void Tracer::WriteTextSummary(std::ostream& os) const {
@@ -274,7 +404,16 @@ void Tracer::WriteTextSummary(std::ostream& os) const {
   for (const SpanTotal& total : totals) {
     for (std::uint32_t d = 0; d < total.min_depth; ++d) os << "  ";
     os << total.name << "  " << FormatDouble(total.total_seconds * 1e3)
-       << " ms  (x" << total.count << ")\n";
+       << " ms";
+    if (total.cpu_seconds > 0.0) {
+      os << "  cpu " << FormatDouble(total.cpu_seconds * 1e3) << " ms";
+    }
+    os << "  (x" << total.count;
+    if (total.alloc_count > 0) {
+      os << ", alloc " << FormatBytes(total.alloc_bytes) << " in "
+         << total.alloc_count;
+    }
+    os << ")\n";
   }
 }
 
@@ -289,7 +428,13 @@ ObsSpan::ObsSpan(std::string_view name, Mode mode) {
   if (!timing_ && !notified_) return;
   name_.assign(name);
   if (!timing_) return;
-  if (recording_) depth_ = t_span_depth++;
+  if (recording_) {
+    depth_ = t_span_depth++;
+    start_cpu_us_ = Tracer::ThreadCpuMicros();
+    const AllocStats alloc = ThreadAllocStats();
+    start_alloc_bytes_ = alloc.bytes;
+    start_alloc_count_ = alloc.count;
+  }
   start_us_ = Tracer::NowMicros();
 }
 
@@ -333,6 +478,11 @@ double ObsSpan::End() {
     record.name = std::move(name_);
     record.start_us = start_us_;
     record.duration_us = end_us - start_us_;
+    record.cpu_us =
+        std::max(0.0, Tracer::ThreadCpuMicros() - start_cpu_us_);
+    const AllocStats alloc = ThreadAllocStats();
+    record.alloc_bytes = alloc.bytes - start_alloc_bytes_;
+    record.alloc_count = alloc.count - start_alloc_count_;
     record.thread_id = Tracer::CurrentThreadId();
     record.depth = depth_;
     record.args = std::move(args_);

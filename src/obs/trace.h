@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/result.h"
@@ -50,6 +51,14 @@ struct SpanRecord {
   /// Microseconds since the tracer epoch (process start).
   double start_us = 0.0;
   double duration_us = 0.0;
+  /// Thread CPU time consumed between open and close (utime+stime of the
+  /// opening thread, via CLOCK_THREAD_CPUTIME_ID; 0 where unsupported).
+  double cpu_us = 0.0;
+  /// Allocation volume of the opening thread during the span (see
+  /// obs/alloc.h: exact under the operator-new shim, scratch-arena
+  /// granularity otherwise). Nested spans overlap by design.
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
   /// Small sequential id assigned per OS thread (0 = first seen).
   std::uint32_t thread_id = 0;
   /// Nesting depth within its thread at the time the span opened.
@@ -57,19 +66,34 @@ struct SpanRecord {
   std::vector<TraceArg> args;
 };
 
-/// A zero-duration marker (mirrored WARN/ERROR logs, user events).
+/// A zero-duration marker (mirrored WARN/ERROR logs, user events) with
+/// optional structured args (severity, source location, ...).
 struct InstantRecord {
   std::string name;
   double ts_us = 0.0;
   std::uint32_t thread_id = 0;
+  std::vector<TraceArg> args;
 };
 
-/// Aggregated view of every span sharing a name: total wall-clock,
-/// invocation count, and the minimum nesting depth observed (used for
-/// indentation in the text summary).
+/// One sample of a named Chrome counter track ("ph":"C"): a set of
+/// series values at a timestamp. The resource sampler emits these so the
+/// trace viewer shows RSS / faults / thread count as stacked counters
+/// under the process timeline.
+struct CounterRecord {
+  std::string name;
+  double ts_us = 0.0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Aggregated view of every span sharing a name: total wall-clock and
+/// CPU, allocation volume, invocation count, and the minimum nesting
+/// depth observed (used for indentation in the text summary).
 struct SpanTotal {
   std::string name;
   double total_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
   std::uint64_t count = 0;
   std::uint32_t min_depth = 0;
   /// Order of first appearance, so summaries read chronologically.
@@ -92,10 +116,16 @@ class Tracer {
   void Record(SpanRecord record);
   /// Records a zero-duration instant event at "now".
   void RecordInstant(std::string name);
+  /// Instant with structured args (severity, source location, ...).
+  void RecordInstant(std::string name, std::vector<TraceArg> args);
+  /// Records one sample of the counter track `name` at "now".
+  void RecordCounter(std::string name,
+                     std::vector<std::pair<std::string, double>> values);
 
   /// Snapshot of all completed spans, in completion order.
   std::vector<SpanRecord> Spans() const;
   std::vector<InstantRecord> Instants() const;
+  std::vector<CounterRecord> Counters() const;
   std::uint64_t NumSpans() const;
 
   /// Drops all recorded events (spans still open keep their start times).
@@ -113,13 +143,20 @@ class Tracer {
   /// Chrome trace-event JSON ({"traceEvents": [...]}) — open with
   /// chrome://tracing or https://ui.perfetto.dev.
   void WriteChromeTrace(std::ostream& os) const;
+  /// Writes the Chrome trace crash-consistently (temp file + rename via
+  /// util::AtomicWriteFile): a SIGKILL mid-export never leaves a
+  /// truncated trace at `path`.
   Status ExportChromeTrace(const std::string& path) const;
 
-  /// Human-readable indented per-name summary (total ms, count).
+  /// Human-readable indented per-name summary (total ms, CPU ms when
+  /// recorded, count, alloc volume when nonzero).
   void WriteTextSummary(std::ostream& os) const;
 
   /// Microseconds elapsed since the tracer epoch.
   static double NowMicros();
+  /// CPU time consumed by the calling thread, in microseconds (0 where
+  /// CLOCK_THREAD_CPUTIME_ID is unsupported).
+  static double ThreadCpuMicros();
   /// Small sequential id of the calling thread.
   static std::uint32_t CurrentThreadId();
 
@@ -132,7 +169,9 @@ class Tracer {
 /// In the default mode the span is inert unless tracing was enabled at
 /// construction. kAlwaysTime spans measure wall-clock unconditionally (so
 /// callers can derive timings like M2tdTimings from them) but still only
-/// record into the tracer when tracing is on.
+/// record into the tracer when tracing is on. A recording span also
+/// samples its thread's CPU clock and allocation tally at open/close, so
+/// every trace carries per-phase CPU and allocation attribution.
 class ObsSpan {
  public:
   enum Mode {
@@ -169,6 +208,9 @@ class ObsSpan {
   bool ended_ = false;
   std::uint32_t depth_ = 0;
   double start_us_ = 0.0;
+  double start_cpu_us_ = 0.0;
+  std::uint64_t start_alloc_bytes_ = 0;
+  std::uint64_t start_alloc_count_ = 0;
   double elapsed_seconds_ = 0.0;
   std::string name_;
   std::vector<TraceArg> args_;

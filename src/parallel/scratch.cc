@@ -1,5 +1,6 @@
 #include "parallel/scratch.h"
 
+#include "obs/alloc.h"
 #include "obs/metrics.h"
 
 namespace m2td::parallel {
@@ -11,6 +12,20 @@ void CountAcquire(bool reused) {
   static obs::Counter& reuses = obs::GetCounter("parallel.scratch.reuses");
   acquires.Increment();
   if (reused) reuses.Increment();
+}
+
+/// Feeds fresh (non-free-list) buffer allocations into the per-thread
+/// alloc tally in builds without the operator-new shim, so span/phase
+/// alloc attribution has at least kernel-scratch granularity. With the
+/// shim compiled in the underlying vector allocation is already counted,
+/// so this would double-count and compiles out.
+void CountFreshBytes(std::size_t bytes, bool reused) {
+#if !defined(M2TD_ALLOC_TRACKING)
+  if (!reused) obs::RecordAlloc(bytes);
+#else
+  (void)bytes;
+  (void)reused;
+#endif
 }
 
 }  // namespace
@@ -41,6 +56,7 @@ ScratchLease<T> Lease(ScratchArena* arena, internal::ScratchPool<T>& pool,
   bool reused = false;
   std::vector<T> buf = pool.Acquire(n, &reused);
   CountAcquire(reused);
+  CountFreshBytes(n * sizeof(T), reused);
   return ScratchLease<T>(arena, std::move(buf));
 }
 

@@ -1,29 +1,21 @@
 #include "robust/durable.h"
 
-#include <filesystem>
+#include "util/atomic_file.h"
 
 namespace m2td::robust {
 
-std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+// The implementation moved to util/atomic_file so layers below robust
+// (obs trace/report/snapshot writers) can share the crash-consistent
+// write pattern; these wrappers keep the original robust:: entry points.
+
+std::string TempPathFor(const std::string& path) {
+  return util::TempPathFor(path);
+}
 
 Status AtomicWriteFile(const std::string& path,
                        const std::function<Status(const std::string&)>&
                            writer) {
-  const std::string tmp = TempPathFor(path);
-  Status written = writer(tmp);
-  std::error_code ec;
-  if (!written.ok()) {
-    std::filesystem::remove(tmp, ec);
-    return written;
-  }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    return Status::IOError("cannot rename '" + tmp + "' over '" + path +
-                           "': " + ec.message());
-  }
-  return Status::OK();
+  return util::AtomicWriteFile(path, writer);
 }
 
 }  // namespace m2td::robust

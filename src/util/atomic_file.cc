@@ -1,0 +1,29 @@
+#include "util/atomic_file.h"
+
+#include <filesystem>
+
+namespace m2td::util {
+
+std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(const std::string&)>&
+                           writer) {
+  const std::string tmp = TempPathFor(path);
+  Status written = writer(tmp);
+  std::error_code ec;
+  if (!written.ok()) {
+    std::filesystem::remove(tmp, ec);
+    return written;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return Status::IOError("cannot rename '" + tmp + "' over '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace m2td::util

@@ -1,15 +1,29 @@
 // Tests for the observability subsystem (src/obs/): span tracer, Chrome
-// trace export, and the metrics registry.
+// trace export, the metrics registry, histogram percentiles, the alloc
+// tally, the resource sampler, and the run-report builder.
+
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/alloc.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "robust/cancel.h"
 #include "util/logging.h"
 
 namespace m2td::obs {
@@ -358,6 +372,431 @@ TEST_F(ObsTest, ResetMetricsZeroesEverything) {
   ResetMetrics();
   EXPECT_EQ(GetCounter("test.reset_counter").value(), 0u);
   EXPECT_EQ(GetHistogram("test.reset_hist").Count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles.
+
+TEST_F(ObsTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram& hist = GetHistogram("test.pct_empty");
+  EXPECT_EQ(hist.Percentile(0.0), 0.0);
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_EQ(hist.Percentile(1.0), 0.0);
+}
+
+TEST_F(ObsTest, PercentileOfAllZerosIsZero) {
+  Histogram& hist = GetHistogram("test.pct_zeros");
+  for (int i = 0; i < 100; ++i) hist.Observe(0);
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_EQ(hist.Percentile(0.99), 0.0);
+}
+
+TEST_F(ObsTest, PercentileSingleBucketInterpolatesWithinRange) {
+  // 1000 lands in bucket [512, 1024); every estimate must stay inside
+  // that bucket's range and the quantiles must be monotone.
+  Histogram& hist = GetHistogram("test.pct_single");
+  for (int i = 0; i < 100; ++i) hist.Observe(1000);
+  const double p50 = hist.Percentile(0.50);
+  const double p95 = hist.Percentile(0.95);
+  const double p99 = hist.Percentile(0.99);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_GE(hist.Percentile(-1.0), 512.0);
+  EXPECT_LE(hist.Percentile(2.0), 1024.0);
+}
+
+TEST_F(ObsTest, PercentilesAreMonotoneOverASpread) {
+  Histogram& hist = GetHistogram("test.pct_spread");
+  for (std::uint64_t v = 1; v <= 1024; ++v) hist.Observe(v);
+  const double p50 = hist.Percentile(0.50);
+  const double p95 = hist.Percentile(0.95);
+  const double p99 = hist.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Half the samples lie in [512, 1024], so p50 lands in that top bucket.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p99, 2048.0);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exposition.
+
+TEST_F(ObsTest, OpenMetricsExpositionIsWellFormed) {
+  GetCounter("test.om_counter").Add(3);
+  GetGauge("test.om_gauge").Set(2.5);
+  Histogram& hist = GetHistogram("test.om_hist");
+  for (int i = 0; i < 10; ++i) hist.Observe(64);
+  std::ostringstream os;
+  WriteOpenMetrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE m2td_test_om_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("m2td_test_om_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE m2td_test_om_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("m2td_test_om_gauge 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE m2td_test_om_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("m2td_test_om_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("m2td_test_om_hist_count 10"), std::string::npos);
+  EXPECT_NE(text.find("m2td_test_om_hist_sum 640"), std::string::npos);
+  // The mandatory terminator, at the very end.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST_F(ObsTest, HistogramSummaryListsPercentiles) {
+  GetHistogram("test.summary_hist").Observe(100);
+  std::ostringstream os;
+  WriteHistogramSummary(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("test.summary_hist"), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesPercentiles) {
+  GetHistogram("test.json_pct").Observe(8);
+  std::ostringstream os;
+  WriteMetricsJson(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-span CPU and allocation attribution.
+
+TEST_F(ObsTest, SpanAttributesCpuAndAllocation) {
+  {
+    ObsSpan span("attributed");
+    RecordAlloc(1000);
+    RecordAlloc(24);
+    // Burn a little CPU so the thread clock visibly advances.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 200000; ++i) sink = sink + i * 0.5;
+    (void)sink;
+  }
+  const std::vector<SpanRecord> spans = Tracer::Get().Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].alloc_bytes, 1024u);
+  EXPECT_GE(spans[0].alloc_count, 2u);
+  EXPECT_GT(spans[0].cpu_us, 0.0);
+  EXPECT_LE(spans[0].cpu_us, spans[0].duration_us * 16.0 + 1e4);
+}
+
+TEST_F(ObsTest, AllocTallyAggregatesAcrossParallelWorkers) {
+  const AllocStats before = GlobalAllocStats();
+  parallel::ParallelFor(0, 64, 1, [](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) RecordAlloc(10);
+  });
+  const AllocStats after = GlobalAllocStats();
+  // Worker-thread tallies (live or retired) must all fold into the global
+  // view: 64 recorded allocations of 10 bytes each.
+  EXPECT_GE(after.bytes - before.bytes, 640u);
+  EXPECT_GE(after.count - before.count, 64u);
+}
+
+TEST_F(ObsTest, AllocTrackingModeIsReported) {
+  // Whichever way the build was configured, the flag must be callable and
+  // ThreadAllocStats monotone.
+  (void)AllocTrackingCompiledIn();
+  const AllocStats a = ThreadAllocStats();
+  RecordAlloc(1);
+  const AllocStats b = ThreadAllocStats();
+  EXPECT_GE(b.bytes, a.bytes + 1);
+  EXPECT_GE(b.count, a.count + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Resource sampler.
+
+TEST_F(ObsTest, ReadResourceUsageReportsSaneValues) {
+  const ResourceUsage usage = ReadResourceUsage();
+  EXPECT_GT(usage.rss_bytes, 0u);
+  EXPECT_GT(usage.peak_rss_bytes, 0u);
+  EXPECT_GE(usage.peak_rss_bytes, usage.rss_bytes / 2);  // same ballpark
+  EXPECT_GE(usage.num_threads, 1u);
+  EXPECT_GE(usage.utime_seconds + usage.stime_seconds, 0.0);
+}
+
+TEST_F(ObsTest, ResourceSamplerCollectsSeriesAndCounterTracks) {
+  ResourceSampler sampler;
+  ResourceSamplerOptions options;
+  options.interval_ms = 1;
+  sampler.Start(std::move(options));
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  const std::vector<ResourceUsage> samples = sampler.Samples();
+  ASSERT_GE(samples.size(), 2u);  // immediate first + closing sample
+  EXPECT_GT(sampler.Peak().rss_bytes, 0u);
+  EXPECT_GT(GetGauge("proc.rss_bytes").value(), 0.0);
+  // With tracing on, the sampler emits Chrome counter tracks.
+  const std::vector<CounterRecord> counters = Tracer::Get().Counters();
+  const bool has_memory_track =
+      std::any_of(counters.begin(), counters.end(),
+                  [](const CounterRecord& c) { return c.name == "proc.memory"; });
+  EXPECT_TRUE(has_memory_track);
+}
+
+TEST_F(ObsTest, ResourceSamplerStopsOnCancellation) {
+  std::atomic<bool> cancelled{false};
+  ResourceSampler sampler;
+  ResourceSamplerOptions options;
+  options.interval_ms = 1;
+  options.cancelled = [&cancelled] { return cancelled.load(); };
+  sampler.Start(std::move(options));
+  EXPECT_TRUE(sampler.running());
+  cancelled.store(true);
+  // The sampler thread polls the probe once per tick; give it time.
+  for (int i = 0; i < 2000 && sampler.running(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(sampler.running());
+  sampler.Stop();  // join after self-exit must be clean and idempotent
+  sampler.Stop();
+  EXPECT_FALSE(sampler.Samples().empty());
+}
+
+TEST_F(ObsTest, ResourceSamplerDecimatesInsteadOfGrowing) {
+  ResourceSampler sampler;
+  ResourceSamplerOptions options;
+  options.interval_ms = 1;
+  options.max_samples = 8;  // tiny cap to force decimation quickly
+  sampler.Start(std::move(options));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  sampler.Stop();
+  EXPECT_LE(sampler.Samples().size(), 8u);
+  EXPECT_GE(sampler.Samples().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic export & structured instants.
+
+TEST_F(ObsTest, ChromeTraceExportIsAtomicAndLeavesNoTemp) {
+  { ObsSpan span("atomic_export"); }
+  const std::string path =
+      ::testing::TempDir() + "obs_test_trace_atomic.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(Tracer::Get().ExportChromeTrace(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(JsonIsBalanced(buffer.str()));
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsTest, CounterRecordsExportAsChromeCounterEvents) {
+  Tracer::Get().RecordCounter("test.track", {{"depth", 3.0}, {"load", 0.5}});
+  const std::vector<CounterRecord> counters = Tracer::Get().Counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].name, "test.track");
+  ASSERT_EQ(counters[0].values.size(), 2u);
+  std::ostringstream os;
+  Tracer::Get().WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"C\""), 1u);
+  EXPECT_NE(json.find("\"depth\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"load\":0.5"), std::string::npos);
+}
+
+TEST_F(ObsTest, WarningInstantsCarrySeverityAndSourceArgs) {
+  M2TD_LOG_WARNING() << "structured mirror";
+  const std::vector<InstantRecord> instants = Tracer::Get().Instants();
+  ASSERT_EQ(instants.size(), 1u);
+  // The name is the bare message — the "[WARN file:line]" header moved
+  // into structured args.
+  EXPECT_EQ(instants[0].name, "structured mirror");
+  bool saw_severity = false, saw_source = false;
+  for (const TraceArg& arg : instants[0].args) {
+    if (arg.key == "severity") {
+      saw_severity = true;
+      EXPECT_EQ(arg.value, "WARN");
+      EXPECT_TRUE(arg.quoted);
+    }
+    if (arg.key == "source") {
+      saw_source = true;
+      EXPECT_NE(arg.value.find("obs_test.cc:"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_severity);
+  EXPECT_TRUE(saw_source);
+}
+
+TEST_F(ObsTest, TextSummaryIncludesCpuAndAllocColumns) {
+  {
+    ObsSpan span("cpu_alloc_summary");
+    RecordAlloc(4096);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+    (void)sink;
+  }
+  std::ostringstream os;
+  Tracer::Get().WriteTextSummary(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cpu_alloc_summary"), std::string::npos);
+  EXPECT_NE(text.find("cpu "), std::string::npos);
+  EXPECT_NE(text.find("alloc "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Run report.
+
+TEST_F(ObsTest, RunReportGoldenSchema) {
+  {
+    ObsSpan span("report_phase");
+    RecordAlloc(128);
+  }
+  ResourceSampler sampler;
+  ResourceSamplerOptions sampler_options;
+  sampler_options.interval_ms = 1;
+  sampler.Start(std::move(sampler_options));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.Stop();
+
+  RunReport report("obs_test");
+  report.set_command("golden");
+  report.set_seed(42);
+  report.AddFlag("rank", "5");
+  report.AddDataset("input.txt", 0xDEADBEEF, 1234);
+  report.SetResourceSamples(sampler.Samples());
+  report.SetExit(0, "ok");
+
+  std::ostringstream os;
+  report.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  // Golden key set: every schema-v1 section must be present. Additive
+  // changes extend this list; renames/removals must bump
+  // kRunReportSchemaVersion and update tools/compare_runs.py.
+  for (const char* key :
+       {"\"schema_version\":1", "\"kind\":\"m2td_run_report\"",
+        "\"tool\":\"obs_test\"", "\"command\":\"golden\"",
+        "\"generated_unix_time\":", "\"build\":", "\"build_type\":",
+        "\"compiler\":", "\"alloc_tracking\":", "\"hardware\":",
+        "\"hardware_threads\":", "\"page_size_bytes\":", "\"flags\":",
+        "\"rank\":\"5\"", "\"seed\":42", "\"datasets\":",
+        "\"crc32\":3735928559", "\"phases\":", "\"name\":\"report_phase\"",
+        "\"wall_seconds\":", "\"cpu_seconds\":", "\"alloc_bytes\":",
+        "\"resources\":", "\"peak_rss_bytes\":", "\"rss_samples\":",
+        "\"minor_faults\":", "\"max_threads\":", "\"alloc_bytes_total\":",
+        "\"metrics\":", "\"counters\":", "\"exit\":", "\"status\":0",
+        "\"outcome\":\"ok\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Fault counters are force-registered so clean runs report zeros.
+  EXPECT_NE(json.find("\"robust.watchdog.stalls\""), std::string::npos);
+  // The phase totals must be live. Without the operator-new shim the
+  // span's allocation delta is exactly the RecordAlloc(128) call; with
+  // it, incidental allocations add on top, so only check exactness in
+  // the default build.
+  if (!AllocTrackingCompiledIn()) {
+    EXPECT_NE(json.find("\"alloc_bytes\":128"), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, RunReportWriteFileIsAtomic) {
+  RunReport report("obs_test");
+  report.set_command("atomic");
+  report.SetExit(0, "ok");
+  const std::string path = ::testing::TempDir() + "obs_test_report.json";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(JsonIsBalanced(buffer.str()));
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsTest, MetricsSnapshotterRewritesFile) {
+  GetCounter("test.snapshot_counter").Add(7);
+  const std::string path = ::testing::TempDir() + "obs_test_snapshot.prom";
+  std::filesystem::remove(path);
+  MetricsSnapshotter snapshotter;
+  MetricsSnapshotterOptions options;
+  options.path = path;
+  options.interval_ms = 10;
+  snapshotter.Start(std::move(options));
+  EXPECT_TRUE(snapshotter.running());
+  snapshotter.Stop();  // writes a final snapshot even if no tick fired
+  EXPECT_FALSE(snapshotter.running());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("m2td_test_snapshot_counter_total 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM drain: a signalled process must still emit a complete report.
+
+void RunSigtermDrainReportChild(const std::string& path) {
+  robust::CancelSource source;
+  if (!robust::InstallCancelOnSignal(source)) _exit(3);
+  SetTracingEnabled(true);
+  SetMetricsEnabled(true);
+  ResourceSampler sampler;
+  ResourceSamplerOptions sampler_options;
+  sampler_options.interval_ms = 1;
+  const robust::CancelToken token = source.token();
+  sampler_options.cancelled = [token] { return token.IsCancelled(); };
+  sampler.Start(std::move(sampler_options));
+  {
+    ObsSpan span("pre_signal_phase");
+    RecordAlloc(64);
+  }
+  raise(SIGTERM);
+  for (int i = 0; i < 2000 && !source.token().IsCancelled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (!source.token().IsCancelled()) _exit(4);
+  sampler.Stop();
+  RunReport report("obs_test");
+  report.set_command("sigterm_drain");
+  report.SetResourceSamples(sampler.Samples());
+  report.SetExit(1, "cancelled", "sigterm");
+  if (!report.WriteFile(path).ok()) _exit(5);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.find("\"outcome\":\"cancelled\"") == std::string::npos) _exit(6);
+  if (text.find("\"name\":\"pre_signal_phase\"") == std::string::npos) {
+    _exit(7);
+  }
+  if (!JsonIsBalanced(text)) _exit(8);
+  _exit(42);
+}
+
+TEST_F(ObsTest, SigtermDrainEmitsCompleteReport) {
+  // EXPECT_EXIT forks; a 1-thread pool keeps the parent effectively
+  // single-threaded at the fork (the child starts its own sampler).
+  const int previous_threads = parallel::GlobalThreads();
+  parallel::SetGlobalThreads(1);
+  const std::string path =
+      ::testing::TempDir() + "obs_test_sigterm_report.json";
+  std::filesystem::remove(path);
+  EXPECT_EXIT(RunSigtermDrainReportChild(path),
+              ::testing::ExitedWithCode(42), "");
+  std::filesystem::remove(path);
+  parallel::SetGlobalThreads(previous_threads);
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Run-diff gate: fails when a run regressed vs a committed baseline.
+
+Compares two run artifacts — either schema-versioned run reports
+(run_report.json / RUN_REPORT_*.json, "kind": "m2td_run_report") or
+legacy BENCH_*.json files — and exits nonzero when the current run is
+slower or hungrier than the baseline beyond the configured tolerances.
+
+Gates (each independently fatal):
+  * wall time   per-call mean of each --phases span (prefers the
+                fixed-iteration smoke_<phase>_us_per_call measurement
+                when both runs carry it; falls back to aggregate phase
+                totals). --tolerance, default +20%.
+  * peak RSS    resources.peak_rss_bytes (run reports only).
+                --rss_tolerance, default +20%.
+  * allocation  resources.alloc_bytes_total (run reports only; skipped
+                when either run counted zero bytes, e.g. a build
+                without scratch instrumentation). --alloc_tolerance,
+                default +30% — allocation volume is exact under
+                M2TD_ENABLE_ALLOC_TRACKING but scratch-granular
+                otherwise, so it gets more headroom than wall time.
+
+Per-call means are the right wall-time unit: google-benchmark adapts its
+iteration counts to --benchmark_min_time, so raw phase totals (and call
+counts) differ run to run even at identical speed.
+
+Usage (what the `bench-smoke` CMake target runs):
+  compare_runs.py RUN_REPORT_micro_kernels.json \
+      build/bench/RUN_REPORT_micro_kernels.json \
+      --phases sparse_mode_product mode_gram --tolerance 0.20
+
+A phase present in the baseline but missing from the current run fails:
+a span disappearing from the trace usually means its instrumentation was
+dropped, which would silently blind this gate. Reports with a newer
+schema_version than this tool understands are refused.
+"""
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA_VERSION = 1
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("kind") == "m2td_run_report":
+        version = data.get("schema_version", 0)
+        if version > SUPPORTED_SCHEMA_VERSION:
+            raise SystemExit(
+                f"[run-diff] {path}: schema_version {version} is newer than "
+                f"this tool supports ({SUPPORTED_SCHEMA_VERSION}); update "
+                "tools/compare_runs.py")
+    return data
+
+
+def is_run_report(data):
+    return data.get("kind") == "m2td_run_report"
+
+
+def smoke_seconds(data, phase):
+    """Fixed-iteration per-call seconds, or None when the run lacks it."""
+    key = f"smoke_{phase}_us_per_call"
+    if is_run_report(data):
+        value = data.get("flags", {}).get(f"result.{key}")
+        value = float(value) if value is not None else None
+    else:
+        value = data.get("results", {}).get(key)
+    if value is not None and value > 0:
+        return value * 1e-6
+    return None
+
+
+def phase_seconds(data, phase):
+    """Aggregate per-call seconds from the phase/span totals, or None."""
+    if is_run_report(data):
+        entry = next(
+            (p for p in data.get("phases", []) if p.get("name") == phase),
+            None)
+        if entry is None or entry.get("count", 0) <= 0:
+            return None
+        return entry["wall_seconds"] / entry["count"]
+    entry = data.get("phases", {}).get(phase)
+    if entry is None or entry.get("count", 0) <= 0:
+        return None
+    return entry["total_seconds"] / entry["count"]
+
+
+def per_call_seconds(baseline, current, phase):
+    """Returns (baseline_sec, current_sec) from a single comparable source.
+
+    Prefers the smoke measurement when BOTH runs emit it (its call
+    sequence is identical every run); never mixes one source's baseline
+    with the other's current.
+    """
+    base, cur = smoke_seconds(baseline, phase), smoke_seconds(current, phase)
+    if base is not None and cur is not None:
+        return base, cur
+    return phase_seconds(baseline, phase), phase_seconds(current, phase)
+
+
+def resource(data, key):
+    if not is_run_report(data):
+        return None
+    value = data.get("resources", {}).get(key)
+    return value if value else None  # 0 = not measured, not "used nothing"
+
+
+def check_ratio(label, base, cur, tolerance, unit, failures):
+    ratio = cur / base if base > 0 else float("inf")
+    status = "OK" if ratio <= 1.0 + tolerance else "REGRESSED"
+    print(f"[run-diff] {label}: baseline {base:.2f} {unit}, "
+          f"current {cur:.2f} {unit} ({ratio:.2f}x) {status}")
+    if ratio > 1.0 + tolerance:
+        failures.append(f"{label}: {ratio:.2f}x baseline "
+                        f"(tolerance {1.0 + tolerance:.2f}x)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument("--phases", nargs="*", default=[],
+                        help="phase (span) names to gate on wall time")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional wall-time slowdown "
+                             "(0.20 = +20%%)")
+    parser.add_argument("--rss_tolerance", type=float, default=0.20,
+                        help="allowed fractional peak-RSS growth")
+    parser.add_argument("--alloc_tolerance", type=float, default=0.30,
+                        help="allowed fractional allocation-volume growth")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for phase in args.phases:
+        base, cur = per_call_seconds(baseline, current, phase)
+        if base is None:
+            print(f"[run-diff] {phase}: absent from baseline, skipping")
+            continue
+        if cur is None:
+            failures.append(f"{phase}: missing from current run")
+            continue
+        check_ratio(phase, base * 1e6, cur * 1e6, args.tolerance, "us/call",
+                    failures)
+
+    base_rss = resource(baseline, "peak_rss_bytes")
+    cur_rss = resource(current, "peak_rss_bytes")
+    if base_rss is not None and cur_rss is not None:
+        check_ratio("peak_rss", base_rss / 1048576.0, cur_rss / 1048576.0,
+                    args.rss_tolerance, "MiB", failures)
+    elif is_run_report(baseline) and is_run_report(current):
+        print("[run-diff] peak_rss: not measured in both runs, skipping")
+
+    base_alloc = resource(baseline, "alloc_bytes_total")
+    cur_alloc = resource(current, "alloc_bytes_total")
+    if base_alloc is not None and cur_alloc is not None:
+        check_ratio("alloc_bytes", base_alloc / 1048576.0,
+                    cur_alloc / 1048576.0, args.alloc_tolerance, "MiB",
+                    failures)
+    elif is_run_report(baseline) and is_run_report(current):
+        print("[run-diff] alloc_bytes: not counted in both runs, skipping")
+
+    if failures:
+        print("[run-diff] FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("[run-diff] within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,9 +33,12 @@
 #include "io/tensor_io.h"
 #include "io/tucker_io.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "robust/cancel.h"
+#include "robust/crc32.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
 #include "robust/watchdog.h"
@@ -43,6 +46,7 @@
 #include "tensor/hooi.h"
 #include "tensor/tucker.h"
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "util/flags.h"
@@ -75,6 +79,27 @@ struct RobustFlags {
 };
 
 RobustFlags g_robust_flags;
+
+/// The run report under construction, when --report_out is active.
+/// Subcommands feed dataset digests and seeds through the Note* helpers
+/// below; main() writes the file on every exit path after dispatch.
+m2td::obs::RunReport* g_report = nullptr;
+
+/// Digests an input file into the run report (content CRC32 + size), so
+/// two reports are comparable only when they read identical bytes.
+void NoteDataset(const std::string& path) {
+  if (g_report == nullptr) return;
+  std::error_code ec;
+  const std::uint64_t bytes = std::filesystem::file_size(path, ec);
+  auto crc = m2td::robust::Crc32OfFile(path);
+  g_report->AddDataset(path, crc.ok() ? *crc : 0, ec ? 0 : bytes);
+}
+
+void NoteSeed(std::int64_t seed) {
+  if (g_report != nullptr) {
+    g_report->set_seed(static_cast<std::uint64_t>(seed));
+  }
+}
 
 Result<std::unique_ptr<m2td::ensemble::DynamicalSystemModel>> BuildModel(
     const std::string& system, std::int64_t resolution) {
@@ -124,6 +149,7 @@ int RunExperiment(int argc, const char* const* argv) {
   parser.AddBool("zero_join", "use zero-join stitching", &zero_join);
   auto positional = parser.Parse(argc, argv);
   if (!positional.ok()) return Fail(positional.status());
+  NoteSeed(seed);
 
   auto model = BuildModel(system, resolution);
   if (!model.ok()) return Fail(model.status());
@@ -202,6 +228,7 @@ int RunSimulate(int argc, const char* const* argv) {
   parser.AddInt64("seed", "sampling seed", &seed);
   auto positional = parser.Parse(argc, argv);
   if (!positional.ok()) return Fail(positional.status());
+  NoteSeed(seed);
 
   auto model = BuildModel(system, resolution);
   if (!model.ok()) return Fail(model.status());
@@ -250,6 +277,7 @@ int RunSimulate(int argc, const char* const* argv) {
 }
 
 Result<m2td::tensor::SparseTensor> LoadTensorAuto(const std::string& path) {
+  NoteDataset(path);
   auto binary = m2td::io::LoadSparseBinary(path);
   if (binary.ok()) return binary;
   return m2td::io::LoadSparseText(path);
@@ -417,6 +445,7 @@ int RunQuery(int argc, const char* const* argv) {
   if (input.empty()) {
     return Fail(Status::InvalidArgument("--input is required"));
   }
+  NoteDataset(input);
   auto tucker = m2td::io::LoadTucker(input);
   if (!tucker.ok()) return Fail(tucker.status());
   std::cout << "decomposition: " << tucker->factors.size()
@@ -534,8 +563,20 @@ void PrintTopLevelUsage() {
       "global flags (any command):\n"
       "  --trace_out=<file>    write a Chrome trace (chrome://tracing,\n"
       "                        Perfetto) of the run\n"
-      "  --trace_summary       print an indented per-span wall-time summary\n"
+      "  --trace_summary       print an indented per-span wall/CPU/alloc\n"
+      "                        summary plus per-histogram p50/p95/p99\n"
       "  --metrics_out=<file>  write counters/gauges/histograms as JSON\n"
+      "  --report_out=<file>   write a structured run report (schema-\n"
+      "                        versioned JSON: build info, flags, dataset\n"
+      "                        digests, per-phase wall/CPU/alloc totals,\n"
+      "                        RSS time series, metrics, exit status);\n"
+      "                        default run_report.json, empty disables\n"
+      "  --resource_sample_ms=<n>  resource sampler period (RSS, faults,\n"
+      "                        CPU split, thread count; default 20, 0 off)\n"
+      "  --metrics_snapshot_ms=<n>  rewrite an OpenMetrics snapshot file\n"
+      "                        every n ms while running (default 0 = off)\n"
+      "  --metrics_snapshot_out=<file>  snapshot destination (default\n"
+      "                        metrics.prom)\n"
       "  --max_retries=<n>     retry transient IO/task failures up to n\n"
       "                        times (capped exponential backoff)\n"
       "  --fail_point=<spec>   arm a fault-injection point, e.g.\n"
@@ -565,9 +606,19 @@ void PrintTopLevelUsage() {
 struct ObsFlags {
   std::string trace_out;
   std::string metrics_out;
+  /// Structured run report destination; empty disables. Defaults on:
+  /// every CLI run leaves a run_report.json beside it (tracing and
+  /// metrics are force-enabled so the report has per-phase data).
+  std::string report_out = "run_report.json";
+  /// OpenMetrics snapshot file, rewritten every --metrics_snapshot_ms.
+  std::string metrics_snapshot_out = "metrics.prom";
   bool trace_summary = false;
   /// 0 = not set; pool defaults to hardware concurrency.
   long threads = 0;
+  /// Resource sampler period; 0 disables the sampler thread.
+  long resource_sample_ms = 20;
+  /// 0 = periodic OpenMetrics snapshots off.
+  long metrics_snapshot_ms = 0;
 };
 
 ObsFlags ExtractObsFlags(int argc, char** argv,
@@ -575,6 +626,10 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
   ObsFlags flags;
   const std::string_view trace_prefix = "--trace_out=";
   const std::string_view metrics_prefix = "--metrics_out=";
+  const std::string_view report_prefix = "--report_out=";
+  const std::string_view sample_prefix = "--resource_sample_ms=";
+  const std::string_view snapshot_ms_prefix = "--metrics_snapshot_ms=";
+  const std::string_view snapshot_out_prefix = "--metrics_snapshot_out=";
   const std::string_view retries_prefix = "--max_retries=";
   const std::string_view failpoint_prefix = "--fail_point=";
   const std::string_view checkpoint_prefix = "--checkpoint_dir=";
@@ -587,6 +642,20 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
       flags.trace_out = std::string(arg.substr(trace_prefix.size()));
     } else if (arg.substr(0, metrics_prefix.size()) == metrics_prefix) {
       flags.metrics_out = std::string(arg.substr(metrics_prefix.size()));
+    } else if (arg.substr(0, report_prefix.size()) == report_prefix) {
+      flags.report_out = std::string(arg.substr(report_prefix.size()));
+    } else if (arg.substr(0, sample_prefix.size()) == sample_prefix) {
+      flags.resource_sample_ms = std::strtol(
+          std::string(arg.substr(sample_prefix.size())).c_str(), nullptr, 10);
+    } else if (arg.substr(0, snapshot_ms_prefix.size()) ==
+               snapshot_ms_prefix) {
+      flags.metrics_snapshot_ms = std::strtol(
+          std::string(arg.substr(snapshot_ms_prefix.size())).c_str(), nullptr,
+          10);
+    } else if (arg.substr(0, snapshot_out_prefix.size()) ==
+               snapshot_out_prefix) {
+      flags.metrics_snapshot_out =
+          std::string(arg.substr(snapshot_out_prefix.size()));
     } else if (arg == "--trace_summary" || arg == "--trace_summary=true") {
       flags.trace_summary = true;
     } else if (arg == "--trace_summary=false") {
@@ -641,6 +710,7 @@ int ExportObservability(const ObsFlags& flags) {
   }
   if (flags.trace_summary) {
     m2td::obs::Tracer::Get().WriteTextSummary(std::cerr);
+    m2td::obs::WriteHistogramSummary(std::cerr);
   }
   if (!flags.metrics_out.empty()) {
     std::ofstream out(flags.metrics_out);
@@ -665,8 +735,32 @@ int main(int argc, char** argv) {
   if (!obs_flags.trace_out.empty() || obs_flags.trace_summary) {
     m2td::obs::SetTracingEnabled(true);
   }
-  if (!obs_flags.metrics_out.empty()) {
+  if (!obs_flags.metrics_out.empty() || obs_flags.metrics_snapshot_ms > 0) {
     m2td::obs::SetMetricsEnabled(true);
+  }
+  if (obs_flags.resource_sample_ms < 0 || obs_flags.metrics_snapshot_ms < 0) {
+    return Fail(Status::InvalidArgument(
+        "--resource_sample_ms / --metrics_snapshot_ms must be >= 0"));
+  }
+  // The run report needs per-phase spans and a metrics snapshot, so an
+  // active --report_out force-enables both collectors (they stay cheap:
+  // the CLI is a batch tool, not a latency-critical server).
+  m2td::obs::RunReport report("m2td_cli");
+  if (!obs_flags.report_out.empty()) {
+    m2td::obs::SetTracingEnabled(true);
+    m2td::obs::SetMetricsEnabled(true);
+    g_report = &report;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        report.AddFlag(std::string(arg.substr(2)), "true");
+      } else {
+        report.AddFlag(std::string(arg.substr(2, eq - 2)),
+                       std::string(arg.substr(eq + 1)));
+      }
+    }
   }
   if (obs_flags.threads < 0) {
     return Fail(Status::InvalidArgument("--threads must be >= 1"));
@@ -702,6 +796,7 @@ int main(int argc, char** argv) {
   const std::string command = args[1];
   const int sub_argc = static_cast<int>(args.size()) - 2;
   const char* const* sub_argv = args.data() + 2;
+  report.set_command(command);
 
   // Root cancellation: --deadline_ms bounds the whole run, and a first
   // SIGINT/SIGTERM trips the same source for graceful drain (checkpoints
@@ -724,6 +819,35 @@ int main(int argc, char** argv) {
     return options;
   }());
   if (g_robust_flags.soft_deadline_ms > 0) watchdog.Start();
+
+  // Background resource profile: RSS / fault / CPU-split / thread-count
+  // series for the trace's counter tracks and the run report. Tied into
+  // the root cancel source so a drain stops the thread cooperatively.
+  m2td::obs::ResourceSampler sampler;
+  if (obs_flags.resource_sample_ms > 0 &&
+      (g_report != nullptr || m2td::obs::TracingEnabled() ||
+       m2td::obs::MetricsEnabled())) {
+    m2td::obs::ResourceSamplerOptions sampler_options;
+    sampler_options.interval_ms =
+        static_cast<int>(obs_flags.resource_sample_ms);
+    const m2td::robust::CancelToken sampler_token = root_source.token();
+    sampler_options.cancelled = [sampler_token] {
+      return sampler_token.IsCancelled();
+    };
+    sampler.Start(std::move(sampler_options));
+  }
+  m2td::obs::MetricsSnapshotter snapshotter;
+  if (obs_flags.metrics_snapshot_ms > 0) {
+    m2td::obs::MetricsSnapshotterOptions snapshot_options;
+    snapshot_options.path = obs_flags.metrics_snapshot_out;
+    snapshot_options.interval_ms =
+        static_cast<int>(obs_flags.metrics_snapshot_ms);
+    const m2td::robust::CancelToken snapshot_token = root_source.token();
+    snapshot_options.cancelled = [snapshot_token] {
+      return snapshot_token.IsCancelled();
+    };
+    snapshotter.Start(std::move(snapshot_options));
+  }
 
   int code = 0;
   {
@@ -759,6 +883,27 @@ int main(int argc, char** argv) {
     }
   }
   watchdog.Stop();
+  sampler.Stop();
+  snapshotter.Stop();
   const int obs_code = ExportObservability(obs_flags);
-  return code != 0 ? code : obs_code;
+  int report_code = 0;
+  if (g_report != nullptr) {
+    report.SetResourceSamples(sampler.Samples());
+    const bool cancelled = root_source.token().IsCancelled();
+    report.SetExit(code,
+                   code == 0 ? "ok" : (cancelled ? "cancelled" : "error"),
+                   cancelled
+                       ? m2td::robust::CancelCauseName(
+                             root_source.token().cause())
+                       : "");
+    const Status written = report.WriteFile(obs_flags.report_out);
+    if (!written.ok()) {
+      std::cerr << "error: " << written << "\n";
+      report_code = 1;
+    } else {
+      std::cerr << "run report written to " << obs_flags.report_out << "\n";
+    }
+  }
+  if (code != 0) return code;
+  return obs_code != 0 ? obs_code : report_code;
 }
