@@ -2,123 +2,44 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
-#include "linalg/svd.h"
+#include "core/dm2td_dist.h"
+#include "core/dm2td_internal.h"
 #include "obs/trace.h"
-#include "tensor/matricize.h"
 #include "util/logging.h"
 
 namespace m2td::core {
 
 namespace {
 
-/// One stored cell of a (sub-)tensor shipped through MapReduce.
-struct TensorCell {
-  int kappa = 0;  // 1 or 2: owning sub-tensor
-  std::vector<std::uint32_t> idx;
-  double value = 0.0;
-};
+using dm2td_internal::GramPiece;
+using dm2td_internal::JobGeometry;
+using dm2td_internal::JoinCell;
+using dm2td_internal::TensorCell;
 
-/// Phase-1 reducer output: the Gram matrix of one sub-tensor mode.
-struct GramPiece {
-  int kappa = 0;
-  std::size_t sub_mode = 0;
-  linalg::Matrix gram;
-};
-
-/// A cell of the join tensor (and of the phase-3 intermediates), in
-/// original mode order.
-struct JoinCell {
-  std::vector<std::uint32_t> idx;
-  double value = 0.0;
-};
-
-std::vector<TensorCell> CollectCells(const tensor::SparseTensor& sub,
-                                     int kappa) {
-  std::vector<TensorCell> cells;
-  cells.reserve(sub.NumNonZeros());
-  const std::size_t modes = sub.num_modes();
-  for (std::uint64_t e = 0; e < sub.NumNonZeros(); ++e) {
-    TensorCell cell;
-    cell.kappa = kappa;
-    cell.idx.resize(modes);
-    for (std::size_t m = 0; m < modes; ++m) cell.idx[m] = sub.Index(m, e);
-    cell.value = sub.Value(e);
-    cells.push_back(std::move(cell));
-  }
-  return cells;
-}
-
-std::uint64_t PivotKey(const std::vector<std::uint32_t>& idx,
-                       const std::vector<std::uint64_t>& pivot_dims) {
-  std::uint64_t key = 0;
-  for (std::size_t i = 0; i < pivot_dims.size(); ++i) {
-    key = key * pivot_dims[i] + idx[i];
-  }
-  return key;
-}
-
-std::uint64_t SideKey(const std::vector<std::uint32_t>& idx, std::size_t k,
-                      const std::vector<std::uint64_t>& side_dims) {
-  std::uint64_t key = 0;
-  for (std::size_t i = 0; i < side_dims.size(); ++i) {
-    key = key * side_dims[i] + idx[k + i];
-  }
-  return key;
-}
-
-void ScatterKey(std::uint64_t key, const std::vector<std::uint64_t>& dims,
-                const std::vector<std::size_t>& modes,
-                std::vector<std::uint32_t>* out) {
-  for (std::size_t i = dims.size(); i-- > 0;) {
-    (*out)[modes[i]] = static_cast<std::uint32_t>(key % dims[i]);
-    key /= dims[i];
-  }
-}
-
-std::vector<std::uint64_t> ModeDims(
+/// Thread-backend implementation: the three phases on the in-process
+/// MapReduce engine. Inter-phase record streams are canonically sorted
+/// (see dm2td_internal::SortJoinCells) so results are bit-identical at
+/// any num_workers — and to the process backend.
+Result<DM2tdResult> DecomposeThreadBackend(
+    const SubEnsembles& subs, const PfPartition& partition,
     const std::vector<std::uint64_t>& full_shape,
-    const std::vector<std::size_t>& modes) {
-  std::vector<std::uint64_t> dims;
-  dims.reserve(modes.size());
-  for (std::size_t m : modes) dims.push_back(full_shape[m]);
-  return dims;
-}
-
-}  // namespace
-
-Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
-                                   const PfPartition& partition,
-                                   const std::vector<std::uint64_t>&
-                                       full_shape,
-                                   const DM2tdOptions& options) {
+    const DM2tdOptions& options) {
   const std::size_t num_modes = full_shape.size();
-  if (partition.NumModes() != num_modes) {
-    return Status::InvalidArgument("partition does not match full shape");
-  }
-  if (options.ranks.size() != num_modes) {
-    return Status::InvalidArgument("one rank per original mode required");
-  }
-  if (!subs.x1.IsSorted() || !subs.x2.IsSorted()) {
-    return Status::InvalidArgument("DM2TD requires coalesced sub-tensors");
-  }
-  const std::size_t k = partition.pivot_modes.size();
-  const std::vector<std::uint64_t> pivot_dims =
-      ModeDims(full_shape, partition.pivot_modes);
-  const std::vector<std::uint64_t> side1_dims =
-      ModeDims(full_shape, partition.side1_modes);
-  const std::vector<std::uint64_t> side2_dims =
-      ModeDims(full_shape, partition.side2_modes);
+  const JobGeometry geometry =
+      dm2td_internal::MakeGeometry(partition, full_shape);
 
   DM2tdResult result;
   obs::ObsSpan total_span("dm2td_decompose");
   total_span.Annotate("num_workers",
                       static_cast<std::int64_t>(options.num_workers));
+  total_span.Annotate("backend", "thread");
 
-  std::vector<TensorCell> all_cells = CollectCells(subs.x1, 1);
+  std::vector<TensorCell> all_cells =
+      dm2td_internal::CollectCells(subs.x1, 1);
   {
-    std::vector<TensorCell> cells2 = CollectCells(subs.x2, 2);
+    std::vector<TensorCell> cells2 = dm2td_internal::CollectCells(subs.x2, 2);
     all_cells.insert(all_cells.end(),
                      std::make_move_iterator(cells2.begin()),
                      std::make_move_iterator(cells2.end()));
@@ -138,17 +59,9 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
   phase1.reducer = [&shape1, &shape2](const int& kappa,
                                       std::vector<TensorCell>& cells,
                                       std::vector<GramPiece>* out) {
-    tensor::SparseTensor sub(kappa == 1 ? shape1 : shape2);
-    sub.Reserve(cells.size());
-    for (const TensorCell& cell : cells) {
-      sub.AppendEntry(cell.idx, cell.value);
-    }
-    sub.SortAndCoalesce();
-    for (std::size_t m = 0; m < sub.num_modes(); ++m) {
-      Result<linalg::Matrix> gram = tensor::ModeGram(sub, m);
-      M2TD_CHECK(gram.ok()) << gram.status();
-      out->push_back(GramPiece{kappa, m, std::move(gram).ValueOrDie()});
-    }
+    const Status built = dm2td_internal::BuildGramsForSub(
+        kappa, kappa == 1 ? shape1 : shape2, cells, out);
+    M2TD_CHECK(built.ok()) << built;
   };
   M2TD_ASSIGN_OR_RETURN(std::vector<GramPiece> gram_pieces,
                         mapreduce::RunJob(phase1, all_cells, &result.phase1));
@@ -160,53 +73,9 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
     grams[static_cast<std::uint64_t>(piece.kappa) * 64 + piece.sub_mode] =
         std::move(piece.gram);
   }
-  auto gram_of = [&grams](int kappa,
-                          std::size_t sub_mode) -> Result<linalg::Matrix*> {
-    auto it = grams.find(static_cast<std::uint64_t>(kappa) * 64 + sub_mode);
-    if (it == grams.end()) {
-      return Status::Internal("missing Gram piece from phase 1");
-    }
-    return &it->second;
-  };
-
-  std::vector<linalg::Matrix> factors(num_modes);
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t mode = partition.pivot_modes[i];
-    const std::size_t rank = static_cast<std::size_t>(
-        std::min<std::uint64_t>(options.ranks[mode], full_shape[mode]));
-    M2TD_ASSIGN_OR_RETURN(linalg::Matrix * g1, gram_of(1, i));
-    M2TD_ASSIGN_OR_RETURN(linalg::Matrix * g2, gram_of(2, i));
-    if (options.method == M2tdMethod::kConcat) {
-      const linalg::Matrix sum = linalg::LinearCombination(1.0, *g1, 1.0, *g2);
-      M2TD_ASSIGN_OR_RETURN(factors[mode],
-                            linalg::LeftSingularVectorsFromGram(sum, rank));
-    } else {
-      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u1,
-                            linalg::LeftSingularVectorsFromGram(*g1, rank));
-      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u2,
-                            linalg::LeftSingularVectorsFromGram(*g2, rank));
-      if (options.method == M2tdMethod::kAvg) {
-        factors[mode] = linalg::LinearCombination(0.5, u1, 0.5, u2);
-      } else if (options.method == M2tdMethod::kWeighted) {
-        M2TD_ASSIGN_OR_RETURN(factors[mode], RowWeightedBlend(u1, u2));
-      } else {
-        M2TD_ASSIGN_OR_RETURN(factors[mode], RowSelect(u1, u2));
-      }
-    }
-  }
-  for (int side = 1; side <= 2; ++side) {
-    const std::vector<std::size_t>& side_modes =
-        (side == 1) ? partition.side1_modes : partition.side2_modes;
-    for (std::size_t i = 0; i < side_modes.size(); ++i) {
-      const std::size_t mode = side_modes[i];
-      const std::size_t rank = static_cast<std::size_t>(
-          std::min<std::uint64_t>(options.ranks[mode], full_shape[mode]));
-      M2TD_ASSIGN_OR_RETURN(linalg::Matrix * gram, gram_of(side, k + i));
-      M2TD_ASSIGN_OR_RETURN(factors[mode],
-                            linalg::LeftSingularVectorsFromGram(*gram, rank));
-    }
-  }
-
+  M2TD_ASSIGN_OR_RETURN(std::vector<linalg::Matrix> factors,
+                        dm2td_internal::AssembleFactors(grams, partition,
+                                                        full_shape, options));
   sub_span.End();
 
   // ---------- Phase 2: parallel JE-stitching. ----------
@@ -214,66 +83,31 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
   // Zero-join candidate sets are global; gather them driver-side.
   std::vector<std::uint64_t> cand1, cand2;
   if (options.stitch.zero_join) {
-    std::unordered_set<std::uint64_t> set1, set2;
-    for (const TensorCell& cell : all_cells) {
-      if (cell.kappa == 1) {
-        set1.insert(SideKey(cell.idx, k, side1_dims));
-      } else {
-        set2.insert(SideKey(cell.idx, k, side2_dims));
-      }
-    }
-    cand1.assign(set1.begin(), set1.end());
-    cand2.assign(set2.begin(), set2.end());
-    std::sort(cand1.begin(), cand1.end());
-    std::sort(cand2.begin(), cand2.end());
+    dm2td_internal::GatherZeroJoinCandidates(all_cells, geometry, &cand1,
+                                             &cand2);
   }
 
   mapreduce::JobSpec<TensorCell, std::uint64_t, TensorCell, JoinCell> phase2;
   phase2.num_workers = options.num_workers;
   phase2.retry = options.retry;
-  phase2.mapper = [&pivot_dims](
+  phase2.mapper = [&geometry](
                       const TensorCell& cell,
                       mapreduce::Emitter<std::uint64_t, TensorCell>* emitter) {
-    emitter->Emit(PivotKey(cell.idx, pivot_dims), cell);
+    emitter->Emit(dm2td_internal::PivotKey(cell.idx, geometry.pivot_dims),
+                  cell);
   };
   const bool zero_join = options.stitch.zero_join;
   phase2.reducer = [&, zero_join](const std::uint64_t& pivot_key,
                                   std::vector<TensorCell>& cells,
                                   std::vector<JoinCell>* out) {
-    std::unordered_map<std::uint64_t, double> lookup1, lookup2;
-    for (const TensorCell& cell : cells) {
-      if (cell.kappa == 1) {
-        lookup1[SideKey(cell.idx, k, side1_dims)] = cell.value;
-      } else {
-        lookup2[SideKey(cell.idx, k, side2_dims)] = cell.value;
-      }
-    }
-    std::vector<std::uint32_t> indices(num_modes);
-    ScatterKey(pivot_key, pivot_dims, partition.pivot_modes, &indices);
-    auto emit_pair = [&](std::uint64_t key1, double v1, std::uint64_t key2,
-                         double v2) {
-      ScatterKey(key1, side1_dims, partition.side1_modes, &indices);
-      ScatterKey(key2, side2_dims, partition.side2_modes, &indices);
-      out->push_back(JoinCell{indices, 0.5 * (v1 + v2)});
-    };
-    if (!zero_join) {
-      for (const auto& [key1, v1] : lookup1) {
-        for (const auto& [key2, v2] : lookup2) emit_pair(key1, v1, key2, v2);
-      }
-      return;
-    }
-    for (std::uint64_t key1 : cand1) {
-      const auto v1 = lookup1.find(key1);
-      for (std::uint64_t key2 : cand2) {
-        const auto v2 = lookup2.find(key2);
-        if (v1 == lookup1.end() && v2 == lookup2.end()) continue;
-        emit_pair(key1, v1 != lookup1.end() ? v1->second : 0.0, key2,
-                  v2 != lookup2.end() ? v2->second : 0.0);
-      }
-    }
+    dm2td_internal::JoinPivotGroup(pivot_key, cells, geometry, zero_join,
+                                   cand1, cand2, out);
   };
   M2TD_ASSIGN_OR_RETURN(std::vector<JoinCell> join_cells,
                         mapreduce::RunJob(phase2, all_cells, &result.phase2));
+  // Canonical inter-phase order: reducer output order depends on worker
+  // count (hash bucketing), the downstream fp accumulation must not.
+  dm2td_internal::SortJoinCells(&join_cells);
   result.join_nnz = join_cells.size();
   stitch_span.Annotate("join_nnz", result.join_nnz);
   stitch_span.End();
@@ -306,34 +140,21 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
         [&, n](const JoinCell& cell,
                mapreduce::Emitter<std::uint64_t,
                                   std::pair<std::uint32_t, double>>* emitter) {
-          std::uint64_t key = 0;
-          for (std::size_t m = 0; m < num_modes; ++m) {
-            if (m == n) continue;
-            key = key * current_shape[m] + cell.idx[m];
-          }
-          emitter->Emit(key, {cell.idx[n], cell.value});
+          emitter->Emit(
+              dm2td_internal::Phase3FiberKey(cell, n, current_shape),
+              {cell.idx[n], cell.value});
         };
     ttm_job.reducer =
-        [&, n, rank](const std::uint64_t& key,
-                     std::vector<std::pair<std::uint32_t, double>>& fiber,
-                     std::vector<JoinCell>* out) {
-          std::vector<double> acc(rank, 0.0);
-          for (const auto& [i_n, v] : fiber) {
-            for (std::size_t j = 0; j < rank; ++j) {
-              acc[j] += factor(i_n, j) * v;
-            }
-          }
-          std::vector<std::uint32_t> indices(num_modes);
-          ScatterKey(key, other_dims, other_modes, &indices);
-          for (std::size_t j = 0; j < rank; ++j) {
-            if (acc[j] == 0.0) continue;
-            indices[n] = static_cast<std::uint32_t>(j);
-            out->push_back(JoinCell{indices, acc[j]});
-          }
+        [&, n](const std::uint64_t& key,
+               std::vector<std::pair<std::uint32_t, double>>& fiber,
+               std::vector<JoinCell>* out) {
+          dm2td_internal::ContractFiber(key, fiber, factor, n, other_dims,
+                                        other_modes, num_modes, out);
         };
     mapreduce::JobStats stats;
     M2TD_ASSIGN_OR_RETURN(join_cells,
                           mapreduce::RunJob(ttm_job, join_cells, &stats));
+    dm2td_internal::SortJoinCells(&join_cells);
     result.phase3.map_seconds += stats.map_seconds;
     result.phase3.shuffle_seconds += stats.shuffle_seconds;
     result.phase3.reduce_seconds += stats.reduce_seconds;
@@ -351,6 +172,21 @@ Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
   result.tucker.core = std::move(core);
   result.tucker.factors = std::move(factors);
   return result;
+}
+
+}  // namespace
+
+Result<DM2tdResult> DM2tdDecompose(const SubEnsembles& subs,
+                                   const PfPartition& partition,
+                                   const std::vector<std::uint64_t>&
+                                       full_shape,
+                                   const DM2tdOptions& options) {
+  M2TD_RETURN_IF_ERROR(dm2td_internal::ValidateDm2tdArgs(
+      subs, partition, full_shape, options));
+  if (options.backend == DistBackend::kProcess) {
+    return DM2tdDecomposeProcess(subs, partition, full_shape, options);
+  }
+  return DecomposeThreadBackend(subs, partition, full_shape, options);
 }
 
 }  // namespace m2td::core

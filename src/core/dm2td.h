@@ -2,6 +2,9 @@
 #define M2TD_CORE_DM2TD_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <sys/types.h>
 #include <vector>
 
 #include "core/m2td.h"
@@ -12,6 +15,57 @@
 
 namespace m2td::core {
 
+/// Execution backend for the three D-M2TD MapReduce phases.
+enum class DistBackend {
+  /// In-process thread engine (mapreduce/engine.h): tasks are pool jobs.
+  kThread,
+  /// Real worker processes (tools/m2td_worker) coordinated over pipes,
+  /// shuffling through the durable io::ShuffleStore. Survives worker
+  /// SIGKILL at any point and produces bit-identical results to kThread.
+  kProcess,
+};
+
+/// A coordinator scheduling event, surfaced to tests via
+/// DistProcessOptions::event_hook so chaos schedules ("SIGKILL the worker
+/// that just received a p2 map task") are deterministic, not timing-based.
+struct DistEvent {
+  /// One of: "spawn", "assign", "done", "fail", "death", "lease_expired",
+  /// "reassign", "map_reexec", "stage_done", "drain".
+  std::string kind;
+  /// Phase the event belongs to ("p1map", "p2red", "p3map_1", ...); empty
+  /// for lifecycle events.
+  std::string phase;
+  int task = -1;
+  int worker = -1;
+  pid_t pid = -1;
+};
+
+/// Knobs of the multi-process backend.
+struct DistProcessOptions {
+  /// Path to the m2td_worker binary. Empty = $M2TD_WORKER_BIN, then
+  /// "m2td_worker" / "../tools/m2td_worker" next to the current
+  /// executable (see DefaultWorkerBinary in dm2td_dist.h).
+  std::string worker_binary;
+  /// Scratch directory for the durable shuffle. Empty = a fresh
+  /// directory under the system temp dir, removed on success.
+  std::string job_dir;
+  /// Keep the job directory (shuffle blobs, worker obs exports) even on
+  /// success — for debugging and for the bench's artifact trail.
+  bool keep_job_dir = false;
+  /// Worker heartbeat period. Each live worker sends a heartbeat frame
+  /// at this cadence; the coordinator folds them into the span-listener
+  /// feed the stall watchdog observes.
+  double heartbeat_ms = 50.0;
+  /// Task lease: a worker whose heartbeat goes silent this long is
+  /// declared dead (SIGKILL + reap + task reassignment), and a task
+  /// running longer than this is presumed wedged and reassigned the same
+  /// way. Must comfortably exceed the longest legitimate task.
+  double task_lease_ms = 30000.0;
+  /// Test hook observing scheduling events, called inline from the
+  /// coordinator loop. Null in production.
+  std::function<void(const DistEvent&)> event_hook;
+};
+
 /// Options for the distributed decomposition.
 struct DM2tdOptions {
   M2tdMethod method = M2tdMethod::kSelect;
@@ -19,11 +73,36 @@ struct DM2tdOptions {
   std::vector<std::uint64_t> ranks;
   StitchOptions stitch;
   /// Number of map/reduce workers — the paper's "servers" axis in
-  /// Table III.
+  /// Table III. Thread backend: pool tasks; process backend: worker
+  /// processes. Never affects results.
   int num_workers = 4;
   /// Task-level retry policy applied to every MapReduce phase (see
-  /// mapreduce::JobSpec::retry). Defaults to no retries.
+  /// mapreduce::JobSpec::retry). Defaults to no retries. The process
+  /// backend additionally always replays tasks of dead workers —
+  /// worker death is recovery, not a retry, and does not consume this
+  /// budget.
   robust::RetryPolicy retry;
+  /// Execution backend for the three phases.
+  DistBackend backend = DistBackend::kThread;
+  /// Process backend only: fixed task/shard count per phase, independent
+  /// of num_workers, so the pivot-hash sharding (and therefore every
+  /// intermediate record stream) is identical at any pool size. Never
+  /// affects results.
+  int num_shards = 8;
+  DistProcessOptions process;
+};
+
+/// Process-backend scheduling statistics (all zero for kThread).
+struct DistStats {
+  int workers_spawned = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t tasks_reassigned = 0;
+  std::uint64_t lease_expirations = 0;
+  /// Map tasks re-executed because a reducer hit DataLoss on one of
+  /// their committed shuffle blobs.
+  std::uint64_t map_reexecutions = 0;
+  std::uint64_t task_retries = 0;
 };
 
 /// Per-phase wall-clock and MapReduce statistics.
@@ -37,6 +116,7 @@ struct DM2tdResult {
   /// Phase 3: parallel tensor-matrix chain recovering the core (summed
   /// over the N per-mode jobs) — the dominant cost, per the paper.
   mapreduce::JobStats phase3;
+  DistStats dist;
 
   double TotalSeconds() const {
     return phase1.TotalSeconds() + phase2.TotalSeconds() +
@@ -44,8 +124,7 @@ struct DM2tdResult {
   }
 };
 
-/// \brief D-M2TD (Section VI-D): the three-phase distributed M2TD on the
-/// in-process MapReduce engine.
+/// \brief D-M2TD (Section VI-D): the three-phase distributed M2TD.
 ///
 /// Phase 1 ships each sub-tensor's cells to a reducer that accumulates its
 /// per-mode Gram matrices; the driver turns Grams into (combined) factor
@@ -53,6 +132,12 @@ struct DM2tdResult {
 /// configuration and joins within each reduce group. Phase 3 runs one
 /// MapReduce job per mode, each contracting the current tensor's fibers
 /// with that mode's factor matrix, ending at the dense core.
+///
+/// Backends: `options.backend` selects in-process threads (default) or
+/// real worker processes (see DistBackend::kProcess). Results are
+/// bit-identical across backends, worker counts, and shard counts: every
+/// inter-phase record stream is canonically ordered and per-group
+/// arithmetic runs through the same shared code.
 ///
 /// Produces the same decomposition as M2tdDecompose (up to floating-point
 /// reassociation in the Gram sums).

@@ -1,7 +1,9 @@
 #include "io/chunk_store.h"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <unordered_map>
 
 #include "io/tensor_io.h"
@@ -371,6 +373,230 @@ Result<tensor::SparseTensor> ChunkStore::ReadRegion(
       }
     }
   }
+}
+
+// --------------------------------------------------------- ShuffleStore
+
+Result<ShuffleStore> ShuffleStore::Create(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create shuffle directory '" + directory +
+                           "': " + ec.message());
+  }
+  return ShuffleStore(directory);
+}
+
+std::string ShuffleStore::BlobName(const std::string& phase, int task,
+                                   int attempt, const std::string& leaf) {
+  return phase + "/task" + std::to_string(task) + "/a" +
+         std::to_string(attempt) + "/" + leaf;
+}
+
+std::string ShuffleStore::CommitPath(const std::string& phase,
+                                     int task) const {
+  return (std::filesystem::path(directory_) / phase /
+          ("task" + std::to_string(task) + ".commit"))
+      .string();
+}
+
+Status ShuffleStore::WriteBlob(const std::string& name,
+                               const std::string& payload) const {
+  const std::filesystem::path path = std::filesystem::path(directory_) / name;
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) {
+    return Status::IOError("cannot create blob directory for '" +
+                           path.string() + "': " + ec.message());
+  }
+  M2TD_RETURN_IF_ERROR(robust::RetryStatusCall(
+      robust::GlobalRetryPolicy(), "shuffle_store.write_blob",
+      [&]() -> Status {
+        M2TD_RETURN_IF_ERROR(
+            robust::CheckFailpoint("shuffle_store.write_blob"));
+        return robust::AtomicWriteFile(
+            path.string(), [&](const std::string& tmp) -> Status {
+              std::ofstream out(tmp, std::ios::binary);
+              if (!out) {
+                return Status::IOError("cannot write shuffle blob '" + tmp +
+                                       "'");
+              }
+              out.write(payload.data(),
+                        static_cast<std::streamsize>(payload.size()));
+              const std::uint64_t magic = kCrcFooterMagic;
+              const std::uint64_t crc64 =
+                  robust::Crc32(payload.data(), payload.size());
+              out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+              out.write(reinterpret_cast<const char*>(&crc64), sizeof(crc64));
+              out.flush();
+              if (!out) {
+                return Status::IOError("shuffle blob write failed for '" +
+                                       tmp + "'");
+              }
+              return Status::OK();
+            });
+      }));
+  obs::GetCounter("io.shuffle_blobs_written").Add(1);
+  obs::GetCounter("io.shuffle_bytes_written")
+      .Add(payload.size() + kCrcFooterBytes);
+  return Status::OK();
+}
+
+Result<std::string> ShuffleStore::ReadBlob(const std::string& name,
+                                           const std::string& context) const {
+  const std::string path =
+      (std::filesystem::path(directory_) / name).string();
+  const std::string tag = " [task " + context + "]";
+  return robust::RetryCall<std::string>(
+      robust::GlobalRetryPolicy(), "shuffle_store.read_blob",
+      [&]() -> Result<std::string> {
+        M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("shuffle_store.read_blob"));
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+          return Status::IOError("cannot open shuffle blob '" + path + "'" +
+                                 tag);
+        }
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        if (!in.good() && !in.eof()) {
+          return Status::IOError("cannot read shuffle blob '" + path + "'" +
+                                 tag);
+        }
+        if (bytes.size() < kCrcFooterBytes) {
+          obs::GetCounter("io.crc_failures").Add(1);
+          return Status::DataLoss("shuffle blob '" + path +
+                                  "' is truncated (no CRC-32 footer)" + tag);
+        }
+        std::uint64_t magic = 0, stored = 0;
+        const std::size_t payload_size = bytes.size() - kCrcFooterBytes;
+        std::memcpy(&magic, bytes.data() + payload_size, sizeof(magic));
+        std::memcpy(&stored, bytes.data() + payload_size + sizeof(magic),
+                    sizeof(stored));
+        if (magic != kCrcFooterMagic) {
+          obs::GetCounter("io.crc_failures").Add(1);
+          return Status::DataLoss("shuffle blob '" + path +
+                                  "' has a corrupt CRC-32 footer" + tag);
+        }
+        const std::uint32_t actual =
+            robust::Crc32(bytes.data(), payload_size);
+        if (actual != static_cast<std::uint32_t>(stored)) {
+          obs::GetCounter("io.crc_failures").Add(1);
+          return Status::DataLoss(
+              "shuffle blob '" + path + "' failed its CRC-32 check (" +
+              std::to_string(actual) + " vs stored " +
+              std::to_string(stored) + ")" + tag);
+        }
+        obs::GetCounter("io.shuffle_blobs_read").Add(1);
+        obs::GetCounter("io.shuffle_bytes_read").Add(bytes.size());
+        bytes.resize(payload_size);
+        return bytes;
+      });
+}
+
+bool ShuffleStore::BlobExists(const std::string& name) const {
+  return std::filesystem::exists(std::filesystem::path(directory_) / name);
+}
+
+Status ShuffleStore::CommitTask(const std::string& phase, int task,
+                                int attempt,
+                                const std::vector<std::string>& blobs) const {
+  const std::string path = CommitPath(phase, task);
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  if (ec) {
+    return Status::IOError("cannot create phase directory for '" + path +
+                           "': " + ec.message());
+  }
+  return robust::RetryStatusCall(
+      robust::GlobalRetryPolicy(), "shuffle_store.commit", [&]() -> Status {
+        M2TD_RETURN_IF_ERROR(robust::CheckFailpoint("shuffle_store.commit"));
+        return robust::AtomicWriteFile(
+            path, [&](const std::string& tmp) -> Status {
+              std::ofstream out(tmp);
+              if (!out) {
+                return Status::IOError("cannot write commit '" + tmp + "'");
+              }
+              out << "m2td-shuffle-commit 1\n";
+              out << "attempt " << attempt << "\n";
+              out << "blobs " << blobs.size() << "\n";
+              for (const std::string& blob : blobs) out << blob << "\n";
+              out.flush();
+              if (!out) return Status::IOError("commit write failed");
+              return Status::OK();
+            });
+      });
+}
+
+Result<ShuffleStore::TaskCommit> ShuffleStore::ReadCommit(
+    const std::string& phase, int task) const {
+  const std::string path = CommitPath(phase, task);
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("no commit for " + phase + " task " +
+                            std::to_string(task));
+  }
+  std::string magic, token;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "m2td-shuffle-commit" ||
+      version != 1) {
+    return Status::IOError("malformed commit '" + path + "'");
+  }
+  TaskCommit commit;
+  std::size_t count = 0;
+  if (!(in >> token >> commit.attempt) || token != "attempt" ||
+      commit.attempt < 0) {
+    return Status::IOError("malformed commit '" + path + "': attempt");
+  }
+  if (!(in >> token >> count) || token != "blobs") {
+    return Status::IOError("malformed commit '" + path + "': blobs");
+  }
+  commit.blobs.resize(count);
+  for (std::string& blob : commit.blobs) {
+    if (!(in >> blob)) {
+      return Status::IOError("malformed commit '" + path + "': blob name");
+    }
+  }
+  return commit;
+}
+
+Status ShuffleStore::ClearCommit(const std::string& phase, int task) const {
+  std::error_code ec;
+  std::filesystem::remove(CommitPath(phase, task), ec);
+  if (ec) {
+    return Status::IOError("cannot clear commit for " + phase + " task " +
+                           std::to_string(task) + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> ShuffleStore::CollectOrphans(const std::string& phase,
+                                                 int task) const {
+  int committed = -1;
+  Result<TaskCommit> commit = ReadCommit(phase, task);
+  if (commit.ok()) {
+    committed = commit->attempt;
+  } else if (commit.status().code() != StatusCode::kNotFound) {
+    return commit.status();
+  }
+  const std::filesystem::path task_dir =
+      std::filesystem::path(directory_) / phase /
+      ("task" + std::to_string(task));
+  std::error_code ec;
+  if (!std::filesystem::is_directory(task_dir, ec)) return std::size_t{0};
+  std::size_t removed = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(task_dir, ec)) {
+    if (ec) break;
+    const std::string leaf = entry.path().filename().string();
+    if (leaf.size() < 2 || leaf[0] != 'a') continue;
+    if (leaf == "a" + std::to_string(committed)) continue;
+    std::error_code remove_ec;
+    std::filesystem::remove_all(entry.path(), remove_ec);
+    if (!remove_ec) ++removed;
+  }
+  obs::GetCounter("io.shuffle_orphans_removed").Add(removed);
+  return removed;
 }
 
 }  // namespace m2td::io

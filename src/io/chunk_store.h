@@ -85,6 +85,87 @@ class ChunkStore {
   std::map<std::uint64_t, std::uint64_t> chunks_;
 };
 
+/// \brief Durable byte-blob store for the multi-process MapReduce
+/// shuffle (D-M2TD process backend).
+///
+/// Every blob is written temp-then-rename with the same CRC-32 footer as
+/// chunk blobs and verified on read; a mismatch is DataLoss (never
+/// retried) whose message names both the blob path and a caller-supplied
+/// phase/task context, so the coordinator can re-execute the producing
+/// map task instead of retrying the poisoned bytes.
+///
+/// Task outputs are attempt-scoped: attempt `a` of task `t` in phase `p`
+/// writes blobs under `p/task<t>/a<a>/` and then commits atomically via
+/// CommitTask (a renamed manifest naming the attempt and its blobs).
+/// Re-executed attempts never overwrite a committed attempt's bytes;
+/// stale attempt directories are removed by CollectOrphans. Because
+/// tasks are deterministic, racing commits of different attempts are
+/// equivalent — last rename wins and either attempt's blobs decode to
+/// the same records.
+class ShuffleStore {
+ public:
+  /// Creates (or reopens) the store rooted at `directory`.
+  static Result<ShuffleStore> Create(const std::string& directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Durably writes `payload` + CRC-32 footer at `name` (relative path;
+  /// parent directories are created). Retried per the global policy.
+  Status WriteBlob(const std::string& name, const std::string& payload)
+      const;
+
+  /// Verifies the footer and returns the payload. `context` (e.g.
+  /// "p2map:3") is embedded in error messages as `[task <context>]` so
+  /// DataLoss is attributable to the producing phase/task.
+  Result<std::string> ReadBlob(const std::string& name,
+                               const std::string& context) const;
+
+  bool BlobExists(const std::string& name) const;
+
+  /// Committed outcome of one task: the winning attempt and the blob
+  /// names (relative to the store root) it wrote.
+  struct TaskCommit {
+    int attempt = -1;
+    std::vector<std::string> blobs;
+  };
+
+  /// Atomically records attempt `attempt` as the committed outcome of
+  /// task `task` in `phase`. Blobs must already be durably written.
+  Status CommitTask(const std::string& phase, int task, int attempt,
+                    const std::vector<std::string>& blobs) const;
+
+  /// Reads the committed outcome; NotFound when the task never
+  /// committed (or its commit was cleared for re-execution).
+  Result<TaskCommit> ReadCommit(const std::string& phase, int task) const;
+
+  /// Removes the commit record (the blobs stay until CollectOrphans),
+  /// forcing the next ReadCommit to see the task as never-run. Note
+  /// the coordinator recovers corrupted outputs by re-committing a
+  /// fresh attempt over the stale commit instead (concurrent readers
+  /// must never observe a missing commit); this is for tooling that
+  /// wants to retire a task outright.
+  Status ClearCommit(const std::string& phase, int task) const;
+
+  /// Deletes attempt directories of `phase`/`task` other than the
+  /// committed attempt (every attempt when nothing is committed).
+  /// Returns the number of orphan attempt directories removed.
+  Result<std::size_t> CollectOrphans(const std::string& phase,
+                                     int task) const;
+
+  /// "<phase>/task<task>/a<attempt>/<leaf>": the canonical attempt-scoped
+  /// blob name used by the distributed tasks.
+  static std::string BlobName(const std::string& phase, int task,
+                              int attempt, const std::string& leaf);
+
+ private:
+  explicit ShuffleStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  std::string CommitPath(const std::string& phase, int task) const;
+
+  std::string directory_;
+};
+
 }  // namespace m2td::io
 
 #endif  // M2TD_IO_CHUNK_STORE_H_

@@ -16,6 +16,7 @@
 #include "robust/cancel.h"
 #include "robust/failpoint.h"
 #include "robust/retry.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/timer.h"
 
@@ -275,6 +276,22 @@ Result<std::vector<OutT>> RunJob(const JobSpec<InputT, K2, V2, OutT>& spec,
   constexpr bool kReplayableReduce = std::is_copy_constructible_v<K2> &&
                                      std::is_copy_constructible_v<V2>;
   const bool replay_reduce = kReplayableReduce && spec.retry.max_retries > 0;
+  if (!kReplayableReduce && spec.retry.max_retries > 0) {
+    // The caller asked for retries but the intermediates can't be copied,
+    // so reduce tasks silently run single-attempt. Make the downgrade
+    // observable: count every affected job, warn once per instantiation
+    // (the WARN is mirrored into the trace as an instant when tracing is
+    // on).
+    obs::GetCounter("mapreduce.reduce.replay_disabled").Add(1);
+    static const bool warned_once = [] {
+      M2TD_LOG_WARNING()
+          << "reduce replay disabled: intermediate key/value types are not "
+             "copy-constructible, so reduce tasks run single-attempt even "
+             "though retry.max_retries > 0";
+      return true;
+    }();
+    (void)warned_once;
+  }
   robust::RetryPolicy reduce_policy = spec.retry;
   if (!replay_reduce) reduce_policy.max_retries = 0;
   std::vector<std::vector<OutT>> outputs(workers);

@@ -1,0 +1,112 @@
+#include "mapreduce/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace m2td::mapreduce::wire {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame write failed: ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Blocking read of exactly `size` bytes; bytes read so far are returned
+/// through `got` so callers can distinguish clean EOF from a torn frame.
+Status ReadExact(int fd, char* data, std::size_t size, std::size_t* got) {
+  *got = 0;
+  while (*got < size) {
+    const ssize_t n = ::read(fd, data + *got, size - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame read failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::OK();  // EOF: caller inspects *got
+    *got += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  std::memcpy(header, &len, sizeof(len));
+  M2TD_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd) {
+  char header[4];
+  std::size_t got = 0;
+  M2TD_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header), &got));
+  if (got == 0) return Status::NotFound("peer closed");
+  if (got < sizeof(header)) {
+    return Status::IOError("EOF inside a frame header");
+  }
+  std::uint32_t len = 0;
+  std::memcpy(&len, header, sizeof(len));
+  if (len > kMaxFrameBytes) {
+    return Status::IOError("corrupt frame length " + std::to_string(len));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    M2TD_RETURN_IF_ERROR(ReadExact(fd, payload.data(), len, &got));
+    if (got < len) return Status::IOError("EOF inside a frame payload");
+  }
+  return payload;
+}
+
+Result<bool> FrameReader::Poll(std::vector<std::string>* frames) {
+  bool open = true;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return Status::IOError(std::string("frame poll failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      open = false;
+      break;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  // Peel off every complete frame accumulated so far.
+  while (buffer_.size() >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, buffer_.data(), sizeof(len));
+    if (len > kMaxFrameBytes) {
+      return Status::IOError("corrupt frame length " + std::to_string(len));
+    }
+    if (buffer_.size() < 4 + static_cast<std::size_t>(len)) break;
+    frames->push_back(buffer_.substr(4, len));
+    buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  }
+  if (!open && !buffer_.empty()) {
+    return Status::IOError("peer closed mid-frame (" +
+                           std::to_string(buffer_.size()) +
+                           " stray bytes)");
+  }
+  return open;
+}
+
+}  // namespace m2td::mapreduce::wire

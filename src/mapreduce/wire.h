@@ -1,0 +1,53 @@
+#ifndef M2TD_MAPREDUCE_WIRE_H_
+#define M2TD_MAPREDUCE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m2td::mapreduce::wire {
+
+/// \brief Length-prefixed frame transport over pipe file descriptors, the
+/// coordinator <-> worker control channel of the multi-process D-M2TD
+/// backend.
+///
+/// A frame is a 4-byte little-endian payload length followed by the
+/// payload bytes. Frames carry small control messages (task assignments,
+/// heartbeats, completion reports); bulk intermediate data never rides
+/// the pipe — it goes through the durable io::ShuffleStore.
+
+/// Hard upper bound on a single frame payload; a length prefix beyond
+/// this is treated as stream corruption, not an allocation request.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Writes one frame, handling EINTR and partial writes. A closed peer
+/// (EPIPE) surfaces as IOError — callers treat it as worker death.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Blocking read of exactly one frame. EOF before any byte of a frame is
+/// NotFound ("peer closed"); EOF mid-frame is IOError.
+Result<std::string> ReadFrame(int fd);
+
+/// \brief Incremental frame decoder for non-blocking descriptors: the
+/// coordinator's poll loop drains whatever bytes are available and gets
+/// back every frame completed so far.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  /// Reads until EAGAIN/EOF, appending completed frames to `frames`.
+  /// Returns false once the peer has closed the pipe (EOF); true while
+  /// the stream is still open. Corrupt length prefixes are IOError.
+  Result<bool> Poll(std::vector<std::string>* frames);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace m2td::mapreduce::wire
+
+#endif  // M2TD_MAPREDUCE_WIRE_H_

@@ -1,0 +1,73 @@
+#ifndef M2TD_ROBUST_HEARTBEAT_H_
+#define M2TD_ROBUST_HEARTBEAT_H_
+
+// Liveness bookkeeping for a pool of members (worker processes, leased
+// tasks): who beat when, who has been silent past a lease. Pure
+// steady-clock arithmetic — no threads, no signals — so a coordinator
+// loop can drive both its worker-heartbeat and its task-lease policy
+// from the same structure. Single-threaded by design: the multi-process
+// D-M2TD coordinator owns one instance per concern inside its poll loop.
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace m2td::robust {
+
+class HeartbeatMonitor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Registers `id` (or re-registers after a death), starting its silence
+  /// clock at "now". Arming an already-armed id just resets its clock.
+  void Arm(int id) { last_[id] = Clock::now(); }
+
+  /// Records a beat from `id`; ignored for ids never armed (a stale frame
+  /// from a member already declared dead must not resurrect it).
+  void Beat(int id) {
+    auto it = last_.find(id);
+    if (it == last_.end()) return;
+    it->second = Clock::now();
+    ++beats_;
+  }
+
+  /// Removes `id` from monitoring (death, graceful exit, task done).
+  void Disarm(int id) { last_.erase(id); }
+
+  bool IsArmed(int id) const { return last_.count(id) != 0; }
+
+  /// Milliseconds since the last beat (or since Arm) of `id`; 0 for
+  /// unknown ids.
+  double SilentMillis(int id) const {
+    auto it = last_.find(id);
+    if (it == last_.end()) return 0.0;
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     it->second)
+        .count();
+  }
+
+  /// Every armed id silent for more than `lease_ms` milliseconds.
+  std::vector<int> Expired(double lease_ms) const {
+    std::vector<int> expired;
+    const Clock::time_point now = Clock::now();
+    for (const auto& [id, at] : last_) {
+      if (std::chrono::duration<double, std::milli>(now - at).count() >
+          lease_ms) {
+        expired.push_back(id);
+      }
+    }
+    return expired;
+  }
+
+  /// Total beats observed across all members (Arm/re-Arm not counted).
+  std::uint64_t total_beats() const { return beats_; }
+
+ private:
+  std::unordered_map<int, Clock::time_point> last_;
+  std::uint64_t beats_ = 0;
+};
+
+}  // namespace m2td::robust
+
+#endif  // M2TD_ROBUST_HEARTBEAT_H_

@@ -14,6 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dm2td.h"
+#include "core/m2td.h"
+#include "core/pf_partition.h"
+#include "ensemble/simulation_model.h"
 #include "io/chunk_store.h"
 #include "io/out_of_core.h"
 #include "io/tensor_io.h"
@@ -128,6 +132,68 @@ TEST_F(FailureInjectionTest, ManifestWithOutOfRangeChunkIdTolerated) {
   ASSERT_TRUE(reopened.ok());
   auto empty = reopened->ReadChunk({1, 1});
   ASSERT_TRUE(empty.ok());
+}
+
+// A committed shuffle chunk that rots on disk mid-run must surface as
+// DataLoss naming the producing map task, and the coordinator must
+// re-execute that producer — not spin retrying the poisoned blob — and
+// still finish bit-identical to the thread backend.
+TEST_F(FailureInjectionTest, CorruptedShuffleChunkTriggersMapReexecution) {
+  ensemble::ModelOptions model_options;
+  model_options.parameter_resolution = 4;
+  model_options.time_resolution = 4;
+  model_options.dt = 0.01;
+  model_options.record_every = 5;
+  auto model = ensemble::MakeDoublePendulumModel(model_options);
+  ASSERT_TRUE(model.ok());
+  auto partition = core::MakePartition(5, {0});
+  ASSERT_TRUE(partition.ok());
+  auto subs = core::BuildSubEnsembles(model->get(), *partition, {});
+  ASSERT_TRUE(subs.ok());
+
+  core::DM2tdOptions options;
+  options.ranks = std::vector<std::uint64_t>(5, 2);
+  auto thread_result = core::DM2tdDecompose(
+      *subs, *partition, (*model)->space().Shape(), options);
+  ASSERT_TRUE(thread_result.ok()) << thread_result.status();
+
+  options.backend = core::DistBackend::kProcess;
+  options.num_workers = 2;
+  options.process.worker_binary = M2TD_WORKER_BIN;
+  options.process.job_dir = Path("job");
+  bool corrupted = false;
+  options.process.event_hook = [&](const core::DistEvent& event) {
+    // After every p2map task committed, rot one byte of one committed
+    // shard blob: the reducer reading it must hit a CRC mismatch.
+    if (corrupted || event.kind != "stage_done" || event.phase != "p2map") {
+      return;
+    }
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             Path("job") + "/p2map")) {
+      if (!entry.is_regular_file()) continue;
+      const std::string leaf = entry.path().filename().string();
+      if (leaf.rfind("shard", 0) != 0) continue;
+      std::fstream file(entry.path(),
+                        std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(file.is_open());
+      file.seekg(6);
+      const char byte = static_cast<char>(file.get());
+      file.seekp(6);
+      file.put(static_cast<char>(byte ^ 0xff));
+      corrupted = true;
+      return;
+    }
+  };
+  auto result = core::DM2tdDecompose(*subs, *partition,
+                                     (*model)->space().Shape(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(corrupted);
+  EXPECT_GE(result->dist.map_reexecutions, 1u);
+  EXPECT_EQ(result->dist.worker_deaths, 0u);
+
+  // Recovery must be invisible in the output.
+  EXPECT_EQ(result->join_nnz, thread_result->join_nnz);
+  EXPECT_EQ(result->tucker.core.data(), thread_result->tucker.core.data());
 }
 
 TEST(MapReduceFailureTest, ReducerEmittingNothingIsFine) {

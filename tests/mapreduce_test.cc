@@ -196,5 +196,63 @@ TEST(MapReduceTest, MoreWorkersThanInputs) {
   EXPECT_EQ(result->front(), 42);
 }
 
+// Move-only value type that keeps track of its payload.
+struct MoveOnlyValue {
+  explicit MoveOnlyValue(int v) : value(v) {}
+  MoveOnlyValue(const MoveOnlyValue&) = delete;
+  MoveOnlyValue& operator=(const MoveOnlyValue&) = delete;
+  MoveOnlyValue(MoveOnlyValue&&) = default;
+  MoveOnlyValue& operator=(MoveOnlyValue&&) = default;
+  int value;
+};
+
+// Requesting retries with move-only intermediates silently downgrades
+// reduce tasks to single-attempt; the downgrade must be visible through
+// the mapreduce.reduce.replay_disabled counter (and a one-time WARN).
+TEST(MapReduceTest, MoveOnlyIntermediatesReportReplayDisabled) {
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::Counter& disabled =
+      obs::GetCounter("mapreduce.reduce.replay_disabled");
+  const std::uint64_t before = disabled.value();
+
+  std::vector<int> inputs = {1, 2, 3, 4};
+  JobSpec<int, int, MoveOnlyValue, std::pair<int, int>> spec;
+  spec.num_workers = 2;
+  spec.retry.max_retries = 2;  // Requested, but cannot be honored.
+  spec.mapper = [](const int& v, Emitter<int, MoveOnlyValue>* emitter) {
+    emitter->Emit(v % 2, MoveOnlyValue(v));
+  };
+  spec.reducer = [](const int& key, std::vector<MoveOnlyValue>& values,
+                    std::vector<std::pair<int, int>>* out) {
+    int sum = 0;
+    for (const MoveOnlyValue& v : values) sum += v.value;
+    out->push_back({key, sum});
+  };
+  auto result = RunJob(spec, inputs);
+  ASSERT_TRUE(result.ok());
+  std::map<int, int> sums(result->begin(), result->end());
+  EXPECT_EQ(sums[0], 6);
+  EXPECT_EQ(sums[1], 4);
+  EXPECT_EQ(disabled.value(), before + 1);
+
+  // Copyable intermediates with retries must NOT trip the counter.
+  JobSpec<int, int, int, std::pair<int, int>> copyable;
+  copyable.num_workers = 2;
+  copyable.retry.max_retries = 2;
+  copyable.mapper = [](const int& v, Emitter<int, int>* emitter) {
+    emitter->Emit(0, v);
+  };
+  copyable.reducer = [](const int& key, std::vector<int>& values,
+                        std::vector<std::pair<int, int>>* out) {
+    int sum = 0;
+    for (int v : values) sum += v;
+    out->push_back({key, sum});
+  };
+  ASSERT_TRUE(RunJob(copyable, inputs).ok());
+  EXPECT_EQ(disabled.value(), before + 1);
+  obs::SetMetricsEnabled(metrics_were_enabled);
+}
+
 }  // namespace
 }  // namespace m2td::mapreduce

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/analysis.h"
+#include "core/dm2td.h"
 #include "core/experiment.h"
 #include "core/m2td.h"
 #include "core/pf_partition.h"
@@ -205,6 +206,122 @@ int RunExperiment(int argc, const char* const* argv) {
             << " ms\n"
             << "cells:       " << (*outcome).budget_cells << "\n"
             << "tensor nnz:  " << (*outcome).nnz << "\n";
+  return 0;
+}
+
+int RunDm2td(int argc, const char* const* argv) {
+  std::string system = "double_pendulum";
+  std::string backend = "thread";
+  std::string job_dir;
+  std::int64_t resolution = 10;
+  std::int64_t rank = 5;
+  std::int64_t pivot = 0;
+  std::int64_t workers = 4;
+  std::int64_t shards = 8;
+  double worker_heartbeat_ms = 50.0;
+  double task_lease_ms = 30000.0;
+  bool keep_job_dir = false;
+  bool zero_join = false;
+
+  FlagParser parser(
+      "m2td_cli dm2td: run the three-phase distributed D-M2TD pipeline");
+  parser.AddString("system", "double_pendulum | triple_pendulum | lorenz",
+                   &system);
+  parser.AddString("backend",
+                   "thread (in-process pool) | process (real worker "
+                   "processes + durable shuffle)",
+                   &backend);
+  parser.AddString("job_dir",
+                   "process backend: shuffle scratch directory (default: "
+                   "fresh temp dir, removed on success)",
+                   &job_dir);
+  parser.AddInt64("resolution", "grid values per mode", &resolution);
+  parser.AddInt64("rank", "target decomposition rank (uniform)", &rank);
+  parser.AddInt64("pivot", "pivot mode index (0 = time)", &pivot);
+  parser.AddInt64("workers",
+                  "worker count (threads or processes; never affects "
+                  "results)",
+                  &workers);
+  parser.AddInt64("shards",
+                  "process backend: fixed shard/task count per phase, "
+                  "independent of --workers (never affects results)",
+                  &shards);
+  parser.AddDouble("worker_heartbeat_ms",
+                   "process backend: worker heartbeat period",
+                   &worker_heartbeat_ms);
+  parser.AddDouble("task_lease_ms",
+                   "process backend: heartbeat silence / task runtime "
+                   "after which a worker is declared dead and its task "
+                   "reassigned",
+                   &task_lease_ms);
+  parser.AddBool("keep_job_dir",
+                 "keep the job directory (shuffle blobs, worker obs "
+                 "exports) even on success",
+                 &keep_job_dir);
+  parser.AddBool("zero_join", "use zero-join stitching", &zero_join);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) return Fail(positional.status());
+
+  auto model = BuildModel(system, resolution);
+  if (!model.ok()) return Fail(model.status());
+  auto partition = m2td::core::MakePartition(
+      (*model)->space().num_modes(), {static_cast<std::size_t>(pivot)});
+  if (!partition.ok()) return Fail(partition.status());
+  auto subs = m2td::core::BuildSubEnsembles(model->get(), *partition, {});
+  if (!subs.ok()) return Fail(subs.status());
+
+  m2td::core::DM2tdOptions options;
+  options.method = m2td::core::M2tdMethod::kSelect;
+  options.ranks = m2td::core::UniformRanks(
+      **model, static_cast<std::uint64_t>(rank));
+  options.num_workers = static_cast<int>(workers);
+  options.num_shards = static_cast<int>(shards);
+  options.stitch.zero_join = zero_join;
+  if (backend == "process") {
+    options.backend = m2td::core::DistBackend::kProcess;
+  } else if (backend != "thread") {
+    return Fail(
+        Status::InvalidArgument("--backend must be thread | process"));
+  }
+  options.process.job_dir = job_dir;
+  options.process.keep_job_dir = keep_job_dir;
+  options.process.heartbeat_ms = worker_heartbeat_ms;
+  options.process.task_lease_ms = task_lease_ms;
+  if (g_robust_flags.max_retries > 0) {
+    options.retry.max_retries = static_cast<int>(g_robust_flags.max_retries);
+  }
+
+  auto result = m2td::core::DM2tdDecompose(*subs, *partition,
+                                           (*model)->space().Shape(),
+                                           options);
+  if (!result.ok()) return Fail(result.status());
+
+  auto ground_truth = m2td::ensemble::BuildFullTensor(model->get());
+  if (!ground_truth.ok()) return Fail(ground_truth.status());
+  auto reconstructed = m2td::tensor::Reconstruct(result->tucker);
+  if (!reconstructed.ok()) return Fail(reconstructed.status());
+  const double accuracy = m2td::tensor::ReconstructionAccuracy(
+      *reconstructed, *ground_truth);
+
+  std::cout << "system:      " << system << " (res " << resolution << ")\n"
+            << "backend:     " << backend << " (" << workers << " workers";
+  if (backend == "process") std::cout << ", " << shards << " shards";
+  std::cout << ")\n"
+            << "join nnz:    " << result->join_nnz << "\n"
+            << "phase 1:     " << result->phase1.TotalSeconds() * 1e3
+            << " ms\n"
+            << "phase 2:     " << result->phase2.TotalSeconds() * 1e3
+            << " ms\n"
+            << "phase 3:     " << result->phase3.TotalSeconds() * 1e3
+            << " ms\n"
+            << "accuracy:    " << accuracy << "\n";
+  if (backend == "process") {
+    std::cout << "heartbeats:  " << result->dist.heartbeats << "\n"
+              << "deaths:      " << result->dist.worker_deaths
+              << " (tasks reassigned: " << result->dist.tasks_reassigned
+              << ", map re-executions: " << result->dist.map_reexecutions
+              << ")\n";
+  }
   return 0;
 }
 
@@ -554,6 +671,10 @@ void PrintTopLevelUsage() {
       "m2td_cli <command> [flags]\n"
       "commands:\n"
       "  experiment  score a sampling+decomposition scheme vs ground truth\n"
+      "  dm2td       three-phase distributed D-M2TD (--backend=thread |\n"
+      "              process; process spawns --workers m2td_worker\n"
+      "              processes with a durable shuffle and worker-death\n"
+      "              recovery — see --worker_heartbeat_ms, --task_lease_ms)\n"
       "  simulate    sample an ensemble into a tensor file\n"
       "  decompose   decompose a stored tensor (hosvd | hooi | cp)\n"
       "  analyze     M2TD patterns / interactions / outliers report\n"
@@ -857,6 +978,8 @@ int main(int argc, char** argv) {
         code = RunExperiment(sub_argc, sub_argv);
       } else if (command == "simulate") {
         code = RunSimulate(sub_argc, sub_argv);
+      } else if (command == "dm2td") {
+        code = RunDm2td(sub_argc, sub_argv);
       } else if (command == "decompose") {
         code = RunDecompose(sub_argc, sub_argv);
       } else if (command == "analyze") {

@@ -1,0 +1,167 @@
+// m2td_worker — one worker process of the multi-process D-M2TD backend.
+//
+// Spawned by the coordinator (core/dm2td_dist.cc) with its stdin/stdout
+// connected to the control pipes. Protocol (mapreduce/wire.h frames):
+//   coordinator -> worker:  "task ..." (see dm2td_tasks::EncodeTaskFrame)
+//                           "quit"
+//   worker -> coordinator:  "hello <id>", "hb <id>" (heartbeat thread),
+//                           "done <phase> <index> <attempt>",
+//                           "fail <phase> <index> <attempt> <code>\n<msg>"
+//
+// All intermediate data flows through the durable ShuffleStore in
+// --job_dir; the pipes carry only control frames, so a SIGKILL at any
+// instant loses at most one uncommitted task attempt. On exit the worker
+// writes its metrics (worker<id>.metrics.json) and spans
+// (worker<id>.spans.tsv, epoch-shifted by --trace_epoch_us onto the
+// coordinator's clock) for the coordinator to merge into one trace.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dm2td_tasks.h"
+#include "io/chunk_store.h"
+#include "mapreduce/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robust/failpoint.h"
+#include "util/flags.h"
+
+namespace {
+
+using m2td::Result;
+using m2td::Status;
+namespace tasks = m2td::core::dm2td_tasks;
+namespace wire = m2td::mapreduce::wire;
+
+/// Serializes every frame written to the coordinator: the task loop and
+/// the heartbeat thread share fd 1.
+std::mutex g_write_mutex;
+
+void Send(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  // A failed write means the coordinator is gone; the read loop will see
+  // EOF and exit, so errors here are intentionally dropped.
+  (void)wire::WriteFrame(1, frame);
+}
+
+void ExportObservability(const std::string& job_dir, std::int64_t worker_id,
+                         double epoch_delta_us) {
+  const std::string base =
+      job_dir + "/worker" + std::to_string(worker_id);
+  {
+    std::ofstream out(base + ".metrics.json");
+    if (out) m2td::obs::WriteMetricsJson(out);
+  }
+  std::ofstream out(base + ".spans.tsv");
+  if (!out) return;
+  for (const m2td::obs::SpanRecord& span : m2td::obs::Tracer::Get().Spans()) {
+    out << span.name << '\t' << (span.start_us + epoch_delta_us) << '\t'
+        << span.duration_us << '\t' << span.cpu_us << '\t' << span.thread_id
+        << '\t' << span.depth << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string job_dir;
+  std::int64_t worker_id = 0;
+  double heartbeat_ms = 50.0;
+  double trace_epoch_us = 0.0;
+
+  m2td::FlagParser parser(
+      "m2td_worker: D-M2TD worker process (spawned by the coordinator)");
+  parser.AddString("job_dir", "shuffle store / job config directory",
+                   &job_dir);
+  parser.AddInt64("worker_id", "index within the worker pool", &worker_id);
+  parser.AddDouble("heartbeat_ms", "heartbeat frame period", &heartbeat_ms);
+  parser.AddDouble("trace_epoch_us",
+                   "coordinator clock (µs since its tracer epoch) at spawn; "
+                   "exported spans are shifted onto it",
+                   &trace_epoch_us);
+  auto positional = parser.Parse(argc, argv);
+  if (!positional.ok()) {
+    std::cerr << positional.status() << "\n";
+    return 2;
+  }
+
+  m2td::obs::SetTracingEnabled(true);
+  m2td::obs::SetMetricsEnabled(true);
+  const double epoch_delta_us =
+      trace_epoch_us - m2td::obs::Tracer::NowMicros();
+
+  // Chaos specs ride the environment: M2TD_FAILPOINTS arms task-level
+  // failure injection, M2TD_DIST_CHAOS_SLEEP_MS widens the
+  // mid-shuffle-write kill window (see dm2td_tasks.h).
+  const Status armed = m2td::robust::ArmFailpointsFromEnv();
+  if (!armed.ok()) {
+    std::cerr << "m2td_worker: " << armed << "\n";
+    return 2;
+  }
+
+  auto store = m2td::io::ShuffleStore::Create(job_dir);
+  if (!store.ok()) {
+    std::cerr << "m2td_worker: " << store.status() << "\n";
+    return 3;
+  }
+  auto config = tasks::LoadJobConfig(job_dir + "/job.m2td");
+  if (!config.ok()) {
+    std::cerr << "m2td_worker: " << config.status() << "\n";
+    return 3;
+  }
+
+  Send("hello " + std::to_string(worker_id));
+  std::atomic<bool> running{true};
+  std::thread heartbeat([&running, worker_id, heartbeat_ms] {
+    const auto period = std::chrono::duration<double, std::milli>(
+        heartbeat_ms > 0 ? heartbeat_ms : 50.0);
+    while (running.load(std::memory_order_relaxed)) {
+      Send("hb " + std::to_string(worker_id));
+      std::this_thread::sleep_for(period);
+    }
+  });
+
+  int code = 0;
+  while (true) {
+    Result<std::string> frame = wire::ReadFrame(0);
+    if (!frame.ok()) {
+      // Clean EOF (coordinator closed our stdin) is the normal shutdown;
+      // anything else is a torn pipe.
+      code = frame.status().code() == m2td::StatusCode::kNotFound ? 0 : 1;
+      break;
+    }
+    if (*frame == "quit") break;
+    Result<tasks::TaskRequest> task = tasks::DecodeTaskFrame(*frame);
+    if (!task.ok()) {
+      std::cerr << "m2td_worker: " << task.status() << "\n";
+      code = 1;
+      break;
+    }
+    const Status outcome = tasks::RunDistTask(*store, *config, *task);
+    const std::string header = task->phase + " " +
+                               std::to_string(task->index) + " " +
+                               std::to_string(task->attempt);
+    if (outcome.ok()) {
+      Send("done " + header);
+    } else {
+      std::string message = outcome.message();
+      if (message.size() > 4096) message.resize(4096);
+      Send("fail " + header + " " +
+           std::to_string(static_cast<int>(outcome.code())) + "\n" + message);
+    }
+  }
+
+  running.store(false, std::memory_order_relaxed);
+  heartbeat.join();
+  ExportObservability(job_dir, worker_id, epoch_delta_us);
+  return code;
+}
