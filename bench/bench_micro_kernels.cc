@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "core/je_stitch.h"
 #include "core/pf_partition.h"
@@ -323,6 +325,93 @@ void RunSmokeKernels(m2td::bench::BenchJson* json) {
   }
 }
 
+/// Sketched-vs-deterministic HOSVD init, fixed-iteration like the other
+/// smoke kernels. The timing input is a mode-64 synthetic tensor where the
+/// sketch (rank 5 + oversampling 8 = 13) is far below the mode length —
+/// the regime the randomized path targets, and where `symmetric_eigen`
+/// dominated the profile before this path existed. bench-smoke gates
+/// both directions: randomized must stay faster than deterministic
+/// (--assert_faster) and the worst fit gap across the three paper systems
+/// must stay within epsilon (--max_result randomized_hosvd_fit_gap).
+void RunRandomizedHosvdSmoke(m2td::bench::BenchJson* json) {
+  constexpr int kCalls = 12;
+  std::cout << "\nrandomized vs deterministic HOSVD init (" << kCalls
+            << " calls, dim 64, nnz 20000, rank 5):\n";
+  SparseTensor x = MakeSparse(64, 3, 20000, 43);
+  const std::vector<std::uint64_t> ranks(3, 5);
+  m2td::tensor::HosvdOptions randomized;
+  randomized.factor.method = m2td::linalg::GramFactorMethod::kRandomized;
+
+  double det_us = 0.0;
+  {
+    m2td::obs::ObsSpan span("deterministic_hosvd");
+    m2td::Timer timer;
+    for (int c = 0; c < kCalls; ++c) {
+      auto tucker = m2td::tensor::HosvdSparse(x, ranks);
+      M2TD_CHECK(tucker.ok());
+      benchmark::DoNotOptimize(tucker);
+    }
+    det_us = timer.ElapsedSeconds() * 1e6 / kCalls;
+  }
+  double rand_us = 0.0;
+  {
+    m2td::obs::ObsSpan span("randomized_hosvd");
+    m2td::Timer timer;
+    for (int c = 0; c < kCalls; ++c) {
+      auto tucker = m2td::tensor::HosvdSparse(x, ranks, randomized);
+      M2TD_CHECK(tucker.ok());
+      benchmark::DoNotOptimize(tucker);
+    }
+    rand_us = timer.ElapsedSeconds() * 1e6 / kCalls;
+  }
+  const double speedup = rand_us > 0.0 ? det_us / rand_us : 0.0;
+  json->Add("smoke_deterministic_hosvd_us_per_call", det_us);
+  json->Add("smoke_randomized_hosvd_us_per_call", rand_us);
+  json->Add("randomized_hosvd_speedup", speedup);
+  std::cout << "  deterministic_hosvd " << det_us << " us/call\n"
+            << "  randomized_hosvd " << rand_us << " us/call (x" << speedup
+            << ")\n";
+
+  // Accuracy half of the gate: worst randomized-vs-deterministic fit gap
+  // across the paper's three systems (res 10, rank 4, oversampling 4, so
+  // the sketch of 8 is genuinely below the mode length of 10).
+  double max_gap = 0.0;
+  for (const char* system :
+       {"double_pendulum", "triple_pendulum", "lorenz"}) {
+    auto model = m2td::bench::MakeModel(system, m2td::bench::kSmallRes);
+    M2TD_CHECK(model.ok()) << model.status();
+    Rng rng(7);
+    auto ensemble_x = m2td::ensemble::BuildConventionalEnsemble(
+        model->get(), m2td::ensemble::ConventionalScheme::kRandom,
+        /*budget=*/60, &rng);
+    M2TD_CHECK(ensemble_x.ok()) << ensemble_x.status();
+    const m2td::tensor::DenseTensor dense = ensemble_x->ToDense();
+    const std::vector<std::uint64_t> fit_ranks(ensemble_x->num_modes(), 4);
+
+    auto deterministic = m2td::tensor::HosvdSparse(*ensemble_x, fit_ranks);
+    M2TD_CHECK(deterministic.ok());
+    m2td::tensor::HosvdOptions sketched;
+    sketched.factor.method = m2td::linalg::GramFactorMethod::kRandomized;
+    sketched.factor.sketch.oversampling = 4;
+    auto rand_tucker =
+        m2td::tensor::HosvdSparse(*ensemble_x, fit_ranks, sketched);
+    M2TD_CHECK(rand_tucker.ok());
+
+    auto det_rec = m2td::tensor::Reconstruct(*deterministic);
+    auto rand_rec = m2td::tensor::Reconstruct(*rand_tucker);
+    M2TD_CHECK(det_rec.ok() && rand_rec.ok());
+    const double det_fit =
+        m2td::tensor::ReconstructionAccuracy(*det_rec, dense);
+    const double rand_fit =
+        m2td::tensor::ReconstructionAccuracy(*rand_rec, dense);
+    const double gap = std::max(0.0, det_fit - rand_fit);
+    max_gap = std::max(max_gap, gap);
+    std::cout << "  fit gap " << system << ": " << gap << " (det " << det_fit
+              << ", rand " << rand_fit << ")\n";
+  }
+  json->Add("randomized_hosvd_fit_gap", max_gap);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,6 +420,7 @@ int main(int argc, char** argv) {
   m2td::bench::BenchJson json("micro_kernels");
   RunThreadSweep(&json);
   RunSmokeKernels(&json);
+  RunRandomizedHosvdSmoke(&json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

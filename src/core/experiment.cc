@@ -16,7 +16,8 @@ Result<SchemeOutcome> RunConventional(ensemble::SimulationModel* model,
                                       ensemble::ConventionalScheme scheme,
                                       std::uint64_t budget,
                                       std::uint64_t rank,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      const linalg::GramFactorOptions& init) {
   if (model == nullptr) {
     return Status::InvalidArgument("model must not be null");
   }
@@ -31,11 +32,14 @@ Result<SchemeOutcome> RunConventional(ensemble::SimulationModel* model,
   outcome.nnz = ensemble_x.NumNonZeros();
 
   Timer timer;
+  tensor::HosvdOptions hosvd;
+  hosvd.factor = init;
   M2TD_ASSIGN_OR_RETURN(
       tensor::TuckerDecomposition tucker,
       tensor::HosvdSparse(ensemble_x,
                           std::vector<std::uint64_t>(
-                              ensemble_x.num_modes(), rank)));
+                              ensemble_x.num_modes(), rank),
+                          hosvd));
   outcome.decompose_seconds = timer.ElapsedSeconds();
 
   M2TD_ASSIGN_OR_RETURN(tensor::DenseTensor reconstructed,
@@ -50,7 +54,8 @@ Result<SchemeOutcome> RunM2td(ensemble::SimulationModel* model,
                               const PfPartition& partition,
                               M2tdMethod method, std::uint64_t rank,
                               const SubEnsembleOptions& sub_options,
-                              const StitchOptions& stitch_options) {
+                              const StitchOptions& stitch_options,
+                              const linalg::GramFactorOptions& init) {
   if (model == nullptr) {
     return Status::InvalidArgument("model must not be null");
   }
@@ -61,6 +66,7 @@ Result<SchemeOutcome> RunM2td(ensemble::SimulationModel* model,
   options.method = method;
   options.ranks = UniformRanks(*model, rank);
   options.stitch = stitch_options;
+  options.init = init;
 
   SchemeOutcome outcome;
   outcome.scheme = M2tdMethodName(method);

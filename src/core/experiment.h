@@ -33,22 +33,27 @@ struct SchemeOutcome {
 
 /// \brief Runs a conventional baseline end to end: sample `budget`
 /// simulations by `scheme`, HOSVD the sparse ensemble tensor at uniform
-/// rank `rank`, reconstruct, and score against `ground_truth`.
+/// rank `rank` (deterministic or sketched per `init`), reconstruct, and
+/// score against `ground_truth`.
 Result<SchemeOutcome> RunConventional(ensemble::SimulationModel* model,
                                       const tensor::DenseTensor& ground_truth,
                                       ensemble::ConventionalScheme scheme,
                                       std::uint64_t budget,
                                       std::uint64_t rank,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      const linalg::GramFactorOptions& init =
+                                          {});
 
 /// \brief Runs an M2TD pipeline end to end: PF-partitioned sub-ensembles,
-/// M2TD decomposition of the join tensor, reconstruction, and scoring.
+/// M2TD decomposition of the join tensor (factor solves per `init`),
+/// reconstruction, and scoring.
 Result<SchemeOutcome> RunM2td(ensemble::SimulationModel* model,
                               const tensor::DenseTensor& ground_truth,
                               const PfPartition& partition,
                               M2tdMethod method, std::uint64_t rank,
                               const SubEnsembleOptions& sub_options,
-                              const StitchOptions& stitch_options = {});
+                              const StitchOptions& stitch_options = {},
+                              const linalg::GramFactorOptions& init = {});
 
 /// Uniform per-mode rank vector for a model's space.
 std::vector<std::uint64_t> UniformRanks(const ensemble::SimulationModel& model,

@@ -65,13 +65,15 @@ Result<linalg::Matrix> RowWeightedBlend(const linalg::Matrix& u1,
 namespace {
 
 /// Factor matrix of sub-tensor `sub` along its own mode `m`, at rank
-/// clamped to the mode length.
+/// clamped to the mode length, solved under the configured init policy
+/// (deterministic Gram + Jacobi or sketched range finder).
 Result<linalg::Matrix> SubFactor(const tensor::SparseTensor& sub,
-                                 std::size_t m, std::uint64_t rank) {
+                                 std::size_t m, std::uint64_t rank,
+                                 const linalg::GramFactorOptions& init) {
   M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, tensor::ModeGram(sub, m));
   const std::size_t k =
       static_cast<std::size_t>(std::min<std::uint64_t>(rank, sub.dim(m)));
-  return linalg::LeftSingularVectorsFromGram(gram, k);
+  return linalg::GramFactor(gram, k, init);
 }
 
 Result<M2tdResult> M2tdDecomposeImpl(
@@ -111,13 +113,18 @@ Result<M2tdResult> M2tdDecomposeImpl(
       const linalg::Matrix sum = linalg::LinearCombination(1.0, g1, 1.0, g2);
       const std::size_t rk = static_cast<std::size_t>(
           std::min<std::uint64_t>(rank, full_shape[mode]));
-      M2TD_ASSIGN_OR_RETURN(combined,
-                            linalg::LeftSingularVectorsFromGram(sum, rk));
+      M2TD_ASSIGN_OR_RETURN(
+          combined, linalg::GramFactor(sum, rk, options.init.ForMode(mode)));
     } else {
-      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u1,
-                            SubFactor(subs.x1, i, rank));
-      M2TD_ASSIGN_OR_RETURN(linalg::Matrix u2,
-                            SubFactor(subs.x2, i, rank));
+      // The two sub-tensors draw decorrelated sketches: offset x2's stream
+      // past every original mode index so no (sub, mode) pair shares a seed.
+      M2TD_ASSIGN_OR_RETURN(
+          linalg::Matrix u1,
+          SubFactor(subs.x1, i, rank, options.init.ForMode(mode)));
+      M2TD_ASSIGN_OR_RETURN(
+          linalg::Matrix u2,
+          SubFactor(subs.x2, i, rank,
+                    options.init.ForMode(mode + num_modes)));
       if (options.method == M2tdMethod::kAvg) {
         combined = linalg::LinearCombination(0.5, u1, 0.5, u2);
       } else if (options.method == M2tdMethod::kWeighted) {
@@ -130,13 +137,15 @@ Result<M2tdResult> M2tdDecomposeImpl(
   }
   for (std::size_t i = 0; i < partition.side1_modes.size(); ++i) {
     const std::size_t mode = partition.side1_modes[i];
-    M2TD_ASSIGN_OR_RETURN(factors[mode],
-                          SubFactor(subs.x1, k + i, options.ranks[mode]));
+    M2TD_ASSIGN_OR_RETURN(
+        factors[mode], SubFactor(subs.x1, k + i, options.ranks[mode],
+                                 options.init.ForMode(mode)));
   }
   for (std::size_t i = 0; i < partition.side2_modes.size(); ++i) {
     const std::size_t mode = partition.side2_modes[i];
-    M2TD_ASSIGN_OR_RETURN(factors[mode],
-                          SubFactor(subs.x2, k + i, options.ranks[mode]));
+    M2TD_ASSIGN_OR_RETURN(
+        factors[mode], SubFactor(subs.x2, k + i, options.ranks[mode],
+                                 options.init.ForMode(mode + num_modes)));
   }
   result.timings.sub_decompose_seconds = sub_span.End();
 

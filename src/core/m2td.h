@@ -7,6 +7,7 @@
 #include "core/je_stitch.h"
 #include "core/pf_partition.h"
 #include "linalg/matrix.h"
+#include "linalg/rsvd.h"
 #include "tensor/tucker.h"
 #include "util/result.h"
 
@@ -39,6 +40,11 @@ struct M2tdOptions {
   /// value replicated across modes reproduces the paper's "Rank" column.
   std::vector<std::uint64_t> ranks;
   StitchOptions stitch;
+  /// Factor-initialization policy for every sub-tensor Gram solve (pivot,
+  /// side, and concat-sum factors). Defaults to the deterministic
+  /// Gram + Jacobi oracle; the randomized method sketches each solve with
+  /// a seed decorrelated per original mode (linalg::GramFactorOptions).
+  linalg::GramFactorOptions init;
 };
 
 /// Where the time went; mirrors the phase split reported in Table III

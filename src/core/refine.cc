@@ -130,8 +130,9 @@ Result<RefinementResult> AdaptiveRefinement(
                         static_cast<std::uint64_t>(
                             result.combinations.size()));
     // Score model from what has been observed so far.
-    M2TD_ASSIGN_OR_RETURN(tensor::TuckerDecomposition tucker,
-                          tensor::HosvdSparse(result.ensemble, ranks));
+    M2TD_ASSIGN_OR_RETURN(
+        tensor::TuckerDecomposition tucker,
+        tensor::HosvdSparse(result.ensemble, ranks, options.scoring));
     RefinementRound trace;
     trace.total_simulations = result.combinations.size();
     M2TD_ASSIGN_OR_RETURN(trace.observed_fit,

@@ -28,6 +28,9 @@ struct RefinementOptions {
   /// 0 maximizes distance from already-sampled points (pure exploration).
   double exploit_weight = 0.5;
   std::uint64_t seed = 11;
+  /// Factor-solve policy for the per-round scoring HOSVD; the randomized
+  /// method sketches the (cheap but frequent) score-model decompositions.
+  tensor::HosvdOptions scoring;
 };
 
 /// Trace of one refinement run.

@@ -33,13 +33,17 @@ void WriteQuoted(std::ostream& os, std::string_view text) {
 }  // namespace
 
 void EnsureFaultCountersRegistered() {
-  // Names must match the Add()/Increment() sites in src/robust; a typo
-  // here silently forks a second counter, so keep the list in sync.
+  // Names must match the Add()/Increment() sites in src/robust,
+  // src/linalg/rsvd.cc, and src/tensor/tucker.cc; a typo here silently
+  // forks a second counter, so keep the list in sync.
   static const char* const kNames[] = {
       "robust.watchdog.stalls",   "robust.watchdog.hard_fires",
       "robust.failpoint_fires",   "robust.cancel.fired",
       "robust.retry_attempts",    "robust.retry_success",
       "robust.retry_exhausted",   "robust.checkpoint_marks",
+      "linalg.rsvd.sketches",     "linalg.rsvd.power_iterations",
+      "linalg.rsvd.exact_fallbacks",
+      "hooi.init.randomized",     "hooi.init.deterministic",
   };
   for (const char* name : kNames) GetCounter(name);
 }

@@ -38,6 +38,16 @@ double FitFromCore(const DenseTensor& core, double input_norm) {
   return input_norm > 0.0 ? 1.0 - std::sqrt(err_sq) / input_norm : 1.0;
 }
 
+/// Translates the HOOI warm-start knob into the HOSVD factor-solve policy.
+HosvdOptions InitOptions(const HooiOptions& options) {
+  HosvdOptions init;
+  if (options.init == HooiInit::kRandomized) {
+    init.factor.method = linalg::GramFactorMethod::kRandomized;
+    init.factor.sketch = options.sketch;
+  }
+  return init;
+}
+
 /// Shared ALS loop; `chain` computes the all-but-one projections and the
 /// core, memoizing the shared TTM-chain prefix across consecutive modes
 /// when HooiOptions::memoize_ttm_chains is set (bit-identical either
@@ -153,7 +163,7 @@ Result<TuckerDecomposition> HooiSparse(const SparseTensor& x,
   // (either channel) is a plain error: no usable factors exist yet.
   TuckerDecomposition init;
   try {
-    M2TD_ASSIGN_OR_RETURN(init, HosvdSparse(x, ranks));
+    M2TD_ASSIGN_OR_RETURN(init, HosvdSparse(x, ranks, InitOptions(options)));
   } catch (const robust::CancelledError& error) {
     return error.ToStatus();
   }
@@ -178,7 +188,7 @@ Result<TuckerDecomposition> HooiDense(const DenseTensor& x,
   }
   TuckerDecomposition init;
   try {
-    M2TD_ASSIGN_OR_RETURN(init, HosvdDense(x, ranks));
+    M2TD_ASSIGN_OR_RETURN(init, HosvdDense(x, ranks, InitOptions(options)));
   } catch (const robust::CancelledError& error) {
     return error.ToStatus();
   }

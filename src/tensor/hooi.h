@@ -10,6 +10,19 @@
 
 namespace m2td::tensor {
 
+/// How the warm-start factors for the ALS sweeps are computed.
+enum class HooiInit {
+  /// Full deterministic HOSVD (Gram + Jacobi per mode) — the bit-exact
+  /// oracle path; results are identical to every pre-knob release.
+  kHosvd,
+  /// Sketched randomized HOSVD: each mode's factor comes from
+  /// linalg::RandomizedRangeFactor on its Gram (independent per-mode
+  /// sketches, mode-parallel over the pool), then one TTM-chain pass
+  /// forms the core. Seeded and bit-deterministic at any `--threads`;
+  /// gated against the deterministic fit by tests and bench-smoke.
+  kRandomized,
+};
+
 /// Options for the alternating-least-squares Tucker refinement.
 struct HooiOptions {
   /// Maximum number of ALS sweeps over all modes.
@@ -21,6 +34,13 @@ struct HooiOptions {
   /// the cache only skips recomputing identical mode products — so this
   /// is purely a speed knob; off replicates the naive per-mode chains.
   bool memoize_ttm_chains = true;
+  /// Warm-start policy. The ALS sweeps themselves always refine with the
+  /// exact eigensolve — only the one-shot init is sketched, which is where
+  /// the `symmetric_eigen` time concentrates for large modes.
+  HooiInit init = HooiInit::kHosvd;
+  /// Sketch parameters for `init == kRandomized` (oversampling, power
+  /// iterations, seed); ignored for kHosvd.
+  linalg::RandomizedSvdOptions sketch;
 };
 
 /// Convergence report for a HOOI run.

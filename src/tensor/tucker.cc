@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "linalg/svd.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "tensor/matricize.h"
@@ -72,14 +73,36 @@ Status ComputeModeFactors(
 
 }  // namespace
 
+namespace {
+
+// One shared bookkeeping point for both HOSVD variants: annotate the
+// enclosing span with the chosen init and bump the hooi.init.* counters the
+// run report keys on.
+void RecordInitChoice(obs::ObsSpan& span, const HosvdOptions& options) {
+  const bool randomized =
+      options.factor.method == linalg::GramFactorMethod::kRandomized;
+  span.Annotate("init", randomized ? std::uint64_t{1} : std::uint64_t{0});
+  if (randomized) {
+    static obs::Counter& c = obs::GetCounter("hooi.init.randomized");
+    c.Increment();
+  } else {
+    static obs::Counter& c = obs::GetCounter("hooi.init.deterministic");
+    c.Increment();
+  }
+}
+
+}  // namespace
+
 Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
-                                        std::vector<std::uint64_t> ranks) {
+                                        std::vector<std::uint64_t> ranks,
+                                        const HosvdOptions& options) {
   M2TD_RETURN_IF_ERROR(CheckRanks(x.num_modes(), ranks));
   if (!x.IsSorted()) {
     return Status::InvalidArgument("HosvdSparse requires a coalesced tensor");
   }
   obs::ObsSpan span("hosvd");
   span.Annotate("nnz", x.NumNonZeros());
+  RecordInitChoice(span, options);
   TuckerDecomposition out;
   M2TD_RETURN_IF_ERROR(ComputeModeFactors(
       x.num_modes(),
@@ -90,7 +113,7 @@ Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
             std::min<std::uint64_t>(ranks[m], x.dim(m)));
         mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
         M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGram(x, m));
-        return linalg::LeftSingularVectorsFromGram(gram, rank);
+        return linalg::GramFactor(gram, rank, options.factor.ForMode(m));
       },
       &out.factors));
   M2TD_ASSIGN_OR_RETURN(out.core, CoreFromSparse(x, out.factors));
@@ -98,10 +121,12 @@ Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
 }
 
 Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
-                                       std::vector<std::uint64_t> ranks) {
+                                       std::vector<std::uint64_t> ranks,
+                                       const HosvdOptions& options) {
   M2TD_RETURN_IF_ERROR(CheckRanks(x.num_modes(), ranks));
   obs::ObsSpan span("hosvd");
   span.Annotate("elements", x.NumElements());
+  RecordInitChoice(span, options);
   TuckerDecomposition out;
   M2TD_RETURN_IF_ERROR(ComputeModeFactors(
       x.num_modes(),
@@ -112,7 +137,7 @@ Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
             std::min<std::uint64_t>(ranks[m], x.dim(m)));
         mode_span.Annotate("rank", static_cast<std::uint64_t>(rank));
         M2TD_ASSIGN_OR_RETURN(linalg::Matrix gram, ModeGramDense(x, m));
-        return linalg::LeftSingularVectorsFromGram(gram, rank);
+        return linalg::GramFactor(gram, rank, options.factor.ForMode(m));
       },
       &out.factors));
   M2TD_ASSIGN_OR_RETURN(out.core, CoreFromDense(x, out.factors));

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/rsvd.h"
 #include "tensor/dense_tensor.h"
 #include "tensor/sparse_tensor.h"
 #include "util/result.h"
@@ -26,18 +27,36 @@ struct TuckerDecomposition {
   std::vector<std::uint64_t> Ranks() const { return core.shape(); }
 };
 
+/// \brief Options for the one-shot HOSVD init.
+///
+/// Defaults reproduce the deterministic Gram + Jacobi factors bit-exactly;
+/// setting `factor.method = linalg::GramFactorMethod::kRandomized` switches
+/// every mode's factor solve to the sketched range finder
+/// (linalg::RandomizedRangeFactor), each mode drawing an independent
+/// sketch via `factor.ForMode(m)` — the embarrassingly mode-parallel
+/// randomized Tucker recipe.
+struct HosvdOptions {
+  /// Per-Gram factor-solve policy (deterministic oracle vs sketched).
+  linalg::GramFactorOptions factor;
+};
+
 /// \brief HOSVD of a sparse tensor (Algorithm 1 of the paper).
 ///
-/// Per mode: accumulate the Gram of the mode-n matricization from COO,
-/// take its leading `ranks[n]` eigenvectors as U^(n); finally recover the
-/// core by the TTM chain. `ranks` entries are clamped to the mode lengths.
+/// Per mode: accumulate the Gram of the mode-n matricization (walking CSF
+/// fibers as presorted column groups, with a COO fallback), take its
+/// leading `ranks[n]` eigenvectors as U^(n) — exactly, or via the sketched
+/// randomized range finder per `options.factor` — finally recover the core
+/// in one TTM-chain pass. `ranks` entries are clamped to the mode lengths.
 /// The input must be coalesced.
 Result<TuckerDecomposition> HosvdSparse(const SparseTensor& x,
-                                        std::vector<std::uint64_t> ranks);
+                                        std::vector<std::uint64_t> ranks,
+                                        const HosvdOptions& options = {});
 
-/// HOSVD of a dense tensor (test oracle / small inputs).
+/// HOSVD of a dense tensor (test oracle / small inputs). Same factor-solve
+/// policy knob as HosvdSparse.
 Result<TuckerDecomposition> HosvdDense(const DenseTensor& x,
-                                       std::vector<std::uint64_t> ranks);
+                                       std::vector<std::uint64_t> ranks,
+                                       const HosvdOptions& options = {});
 
 /// Reconstructs the dense approximation from a Tucker decomposition.
 Result<DenseTensor> Reconstruct(const TuckerDecomposition& tucker);

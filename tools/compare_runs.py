@@ -24,6 +24,17 @@ Per-call means are the right wall-time unit: google-benchmark adapts its
 iteration counts to --benchmark_min_time, so raw phase totals (and call
 counts) differ run to run even at identical speed.
 
+Two gates look only at the CURRENT run (self-checks rather than diffs):
+  * --assert_faster fast:slow   the fixed-iteration smoke per-call time of
+                phase `fast` must be strictly below phase `slow` — e.g.
+                randomized_hosvd:deterministic_hosvd keeps the sketched
+                init ahead of the exact solve it replaces.
+  * --max_result key:limit      the result value `key` (a result.* flag
+                in run reports / results entry in legacy BENCH files)
+                must be present and <= limit — e.g.
+                randomized_hosvd_fit_gap:0.02 bounds the accuracy cost
+                of sketching on the paper systems.
+
 Usage (what the `bench-smoke` CMake target runs):
   compare_runs.py RUN_REPORT_micro_kernels.json \
       build/bench/RUN_REPORT_micro_kernels.json \
@@ -100,6 +111,19 @@ def per_call_seconds(baseline, current, phase):
     return phase_seconds(baseline, phase), phase_seconds(current, phase)
 
 
+def result_value(data, key):
+    """A named result scalar: result.<key> flag (run report) or results
+    entry (legacy BENCH). None when absent or non-numeric."""
+    if is_run_report(data):
+        value = data.get("flags", {}).get(f"result.{key}")
+    else:
+        value = data.get("results", {}).get(key)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
 def resource(data, key):
     if not is_run_report(data):
         return None
@@ -132,6 +156,14 @@ def main():
                         help="allowed fractional peak-RSS growth")
     parser.add_argument("--alloc_tolerance", type=float, default=0.30,
                         help="allowed fractional allocation-volume growth")
+    parser.add_argument("--assert_faster", nargs="*", default=[],
+                        metavar="FAST:SLOW",
+                        help="require smoke phase FAST to be faster than "
+                             "SLOW in the current run")
+    parser.add_argument("--max_result", nargs="*", default=[],
+                        metavar="KEY:LIMIT",
+                        help="require current-run result KEY to be present "
+                             "and <= LIMIT")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -148,6 +180,45 @@ def main():
             continue
         check_ratio(phase, base * 1e6, cur * 1e6, args.tolerance, "us/call",
                     failures)
+
+    for spec in args.assert_faster:
+        try:
+            fast, slow = spec.split(":", 1)
+        except ValueError:
+            raise SystemExit(f"[run-diff] --assert_faster '{spec}': "
+                             "expected FAST:SLOW")
+        fast_sec = smoke_seconds(current, fast)
+        slow_sec = smoke_seconds(current, slow)
+        if fast_sec is None or slow_sec is None:
+            missing = fast if fast_sec is None else slow
+            failures.append(f"assert_faster {spec}: smoke_{missing}_"
+                            "us_per_call missing from current run")
+            continue
+        verdict = "OK" if fast_sec < slow_sec else "FAILED"
+        print(f"[run-diff] assert_faster: {fast} {fast_sec * 1e6:.2f} us "
+              f"vs {slow} {slow_sec * 1e6:.2f} us "
+              f"({slow_sec / fast_sec:.2f}x) {verdict}")
+        if fast_sec >= slow_sec:
+            failures.append(f"assert_faster {spec}: {fast} is not faster "
+                            f"than {slow}")
+
+    for spec in args.max_result:
+        try:
+            key, limit_text = spec.split(":", 1)
+            limit = float(limit_text)
+        except ValueError:
+            raise SystemExit(f"[run-diff] --max_result '{spec}': "
+                             "expected KEY:LIMIT")
+        value = result_value(current, key)
+        if value is None:
+            failures.append(f"max_result {spec}: {key} missing from "
+                            "current run")
+            continue
+        verdict = "OK" if value <= limit else "EXCEEDED"
+        print(f"[run-diff] max_result: {key} = {value:.6g} "
+              f"(limit {limit:g}) {verdict}")
+        if value > limit:
+            failures.append(f"max_result {spec}: {value:.6g} > {limit:g}")
 
     base_rss = resource(baseline, "peak_rss_bytes")
     cur_rss = resource(current, "peak_rss_bytes")

@@ -121,6 +121,50 @@ Result<std::unique_ptr<m2td::ensemble::DynamicalSystemModel>> BuildModel(
       "unknown system (double_pendulum | triple_pendulum | lorenz)");
 }
 
+// Shared --init/--oversampling/--power_iters/--sketch_seed flag group for
+// the subcommands that run factor solves. The values land in the
+// run_report.json flag digest like every other --key=value argument.
+struct InitFlags {
+  std::string init = "deterministic";
+  std::int64_t oversampling = 8;
+  std::int64_t power_iters = 2;
+  std::int64_t sketch_seed = 3;
+
+  void Register(FlagParser& parser) {
+    parser.AddString("init",
+                     "factor init: deterministic | randomized (sketched)",
+                     &init);
+    parser.AddInt64("oversampling",
+                    "randomized init: sketch columns beyond the rank",
+                    &oversampling);
+    parser.AddInt64("power_iters",
+                    "randomized init: subspace power iterations",
+                    &power_iters);
+    parser.AddInt64("sketch_seed", "randomized init: Gaussian sketch seed",
+                    &sketch_seed);
+  }
+
+  Result<m2td::linalg::GramFactorOptions> ToOptions() const {
+    m2td::linalg::GramFactorOptions options;
+    if (init == "randomized") {
+      options.method = m2td::linalg::GramFactorMethod::kRandomized;
+    } else if (init != "deterministic") {
+      return Status::InvalidArgument(
+          "--init must be 'deterministic' or 'randomized'");
+    }
+    if (oversampling < 0) {
+      return Status::InvalidArgument("--oversampling must be >= 0");
+    }
+    if (power_iters < 0) {
+      return Status::InvalidArgument("--power_iters must be >= 0");
+    }
+    options.sketch.oversampling = static_cast<std::size_t>(oversampling);
+    options.sketch.power_iterations = static_cast<int>(power_iters);
+    options.sketch.seed = static_cast<std::uint64_t>(sketch_seed);
+    return options;
+  }
+};
+
 int RunExperiment(int argc, const char* const* argv) {
   std::string system = "double_pendulum";
   std::string scheme = "select";
@@ -148,9 +192,13 @@ int RunExperiment(int argc, const char* const* argv) {
   parser.AddDouble("cell_density", "fraction of PxE cells simulated",
                    &cell_density);
   parser.AddBool("zero_join", "use zero-join stitching", &zero_join);
+  InitFlags init_flags;
+  init_flags.Register(parser);
   auto positional = parser.Parse(argc, argv);
   if (!positional.ok()) return Fail(positional.status());
   NoteSeed(seed);
+  auto init = init_flags.ToOptions();
+  if (!init.ok()) return Fail(init.status());
 
   auto model = BuildModel(system, resolution);
   if (!model.ok()) return Fail(model.status());
@@ -178,7 +226,7 @@ int RunExperiment(int argc, const char* const* argv) {
     stitch.zero_join = zero_join;
     outcome = m2td::core::RunM2td(model->get(), *ground_truth, *partition,
                                   method, static_cast<std::uint64_t>(rank),
-                                  sub_options, stitch);
+                                  sub_options, stitch, *init);
   } else {
     m2td::ensemble::ConventionalScheme conventional;
     if (scheme == "random") {
@@ -194,7 +242,8 @@ int RunExperiment(int argc, const char* const* argv) {
         2ULL * resolution * resolution;  // M2TD-equivalent default
     outcome = m2td::core::RunConventional(
         model->get(), *ground_truth, conventional, budget,
-        static_cast<std::uint64_t>(rank), static_cast<std::uint64_t>(seed));
+        static_cast<std::uint64_t>(rank), static_cast<std::uint64_t>(seed),
+        *init);
   }
   if (!outcome.ok()) return Fail(outcome.status());
 
@@ -414,11 +463,15 @@ int RunDecompose(int argc, const char* const* argv) {
                    &save);
   parser.AddInt64("rank", "target rank (uniform)", &rank);
   parser.AddInt64("iterations", "ALS iteration cap (hooi/cp)", &iterations);
+  InitFlags init_flags;
+  init_flags.Register(parser);
   auto positional = parser.Parse(argc, argv);
   if (!positional.ok()) return Fail(positional.status());
   if (input.empty()) {
     return Fail(Status::InvalidArgument("--input is required"));
   }
+  auto init = init_flags.ToOptions();
+  if (!init.ok()) return Fail(init.status());
 
   auto x = LoadTensorAuto(input);
   if (!x.ok()) return Fail(x.status());
@@ -438,7 +491,9 @@ int RunDecompose(int argc, const char* const* argv) {
                                          static_cast<std::uint64_t>(rank));
   double fit = 0.0;
   if (algorithm == "hosvd") {
-    auto tucker = m2td::tensor::HosvdSparse(*x, ranks);
+    m2td::tensor::HosvdOptions hosvd;
+    hosvd.factor = *init;
+    auto tucker = m2td::tensor::HosvdSparse(*x, ranks, hosvd);
     if (!tucker.ok()) return Fail(tucker.status());
     auto reconstructed = m2td::tensor::Reconstruct(*tucker);
     if (!reconstructed.ok()) return Fail(reconstructed.status());
@@ -448,6 +503,10 @@ int RunDecompose(int argc, const char* const* argv) {
   } else if (algorithm == "hooi") {
     m2td::tensor::HooiOptions options;
     options.max_iterations = static_cast<int>(iterations);
+    if (init->method == m2td::linalg::GramFactorMethod::kRandomized) {
+      options.init = m2td::tensor::HooiInit::kRandomized;
+      options.sketch = init->sketch;
+    }
     m2td::tensor::HooiInfo info;
     auto tucker = m2td::tensor::HooiSparse(*x, ranks, options, &info);
     if (!tucker.ok()) return Fail(tucker.status());

@@ -170,6 +170,84 @@ class CompareRunsTest(unittest.TestCase):
                       "--tolerance", "0.50"),
             0)
 
+    @staticmethod
+    def _with_hosvd_results(report, fast_us=50.0, slow_us=500.0, gap=0.005):
+        report["flags"]["result.smoke_randomized_hosvd_us_per_call"] = (
+            f"{fast_us:.17g}")
+        report["flags"]["result.smoke_deterministic_hosvd_us_per_call"] = (
+            f"{slow_us:.17g}")
+        report["flags"]["result.randomized_hosvd_fit_gap"] = f"{gap:.17g}"
+        return report
+
+    def test_assert_faster_passes_when_fast_wins(self):
+        baseline = self._with_hosvd_results(run_report())
+        current = self._with_hosvd_results(run_report())
+        self.assertEqual(
+            self._run(baseline, current, "--assert_faster",
+                      "randomized_hosvd:deterministic_hosvd"),
+            0)
+
+    def test_assert_faster_fails_when_sketch_is_slower(self):
+        baseline = self._with_hosvd_results(run_report())
+        current = self._with_hosvd_results(run_report(), fast_us=600.0)
+        self.assertEqual(
+            self._run(baseline, current, "--assert_faster",
+                      "randomized_hosvd:deterministic_hosvd"),
+            1)
+
+    def test_assert_faster_fails_when_key_missing(self):
+        # A vanished smoke key means the measurement was dropped — the
+        # gate must fail rather than silently stop checking.
+        baseline = self._with_hosvd_results(run_report())
+        self.assertEqual(
+            self._run(baseline, run_report(), "--assert_faster",
+                      "randomized_hosvd:deterministic_hosvd"),
+            1)
+
+    def test_max_result_within_limit_passes(self):
+        baseline = self._with_hosvd_results(run_report())
+        current = self._with_hosvd_results(run_report(), gap=0.01)
+        self.assertEqual(
+            self._run(baseline, current, "--max_result",
+                      "randomized_hosvd_fit_gap:0.02"),
+            0)
+
+    def test_max_result_exceeding_limit_fails(self):
+        baseline = self._with_hosvd_results(run_report())
+        current = self._with_hosvd_results(run_report(), gap=0.05)
+        self.assertEqual(
+            self._run(baseline, current, "--max_result",
+                      "randomized_hosvd_fit_gap:0.02"),
+            1)
+
+    def test_max_result_missing_key_fails(self):
+        self.assertEqual(
+            self._run(run_report(), run_report(), "--max_result",
+                      "randomized_hosvd_fit_gap:0.02"),
+            1)
+
+    def test_max_result_on_legacy_bench_json(self):
+        good = bench_json()
+        good["results"]["randomized_hosvd_fit_gap"] = 0.001
+        self.assertEqual(
+            self._run(bench_json(), good, "--max_result",
+                      "randomized_hosvd_fit_gap:0.02"),
+            0)
+        bad = bench_json()
+        bad["results"]["randomized_hosvd_fit_gap"] = 0.5
+        self.assertEqual(
+            self._run(bench_json(), bad, "--max_result",
+                      "randomized_hosvd_fit_gap:0.02"),
+            1)
+
+    def test_malformed_gate_specs_are_refused(self):
+        with self.assertRaises(SystemExit):
+            self._run(run_report(), run_report(), "--assert_faster",
+                      "no-colon-here")
+        with self.assertRaises(SystemExit):
+            self._run(run_report(), run_report(), "--max_result",
+                      "randomized_hosvd_fit_gap:not-a-number")
+
 
 if __name__ == "__main__":
     unittest.main()
