@@ -30,7 +30,9 @@ enum class DistBackend {
 /// that just received a p2 map task") are deterministic, not timing-based.
 struct DistEvent {
   /// One of: "spawn", "assign", "done", "fail", "death", "lease_expired",
-  /// "reassign", "map_reexec", "stage_done", "drain".
+  /// "reassign", "map_reexec", "stage_done", "drain", "connect",
+  /// "reconnect", "disconnect", "speculate", "speculate_won",
+  /// "speculate_cancelled".
   std::string kind;
   /// Phase the event belongs to ("p1map", "p2red", "p3map_1", ...); empty
   /// for lifecycle events.
@@ -64,6 +66,47 @@ struct DistProcessOptions {
   /// Test hook observing scheduling events, called inline from the
   /// coordinator loop. Null in production.
   std::function<void(const DistEvent&)> event_hook;
+
+  /// Control-channel transport: "pipe" (default — workers are forked
+  /// with their stdin/stdout on inherited pipes) or "socket" (the
+  /// coordinator listens on `listen` and workers attach over TCP with
+  /// m2td_worker --connect). Results are bit-identical either way.
+  std::string transport = "pipe";
+  /// Socket transport: the address the coordinator listens on. Port 0
+  /// binds an ephemeral port (its actual value is what spawned workers
+  /// are told to dial).
+  std::string listen = "127.0.0.1:0";
+  /// Socket transport: when false the coordinator forks nothing and
+  /// waits for `num_workers` external workers to dial in — the remote-
+  /// worker deployment. When true (default) it forks local workers that
+  /// connect back over loopback.
+  bool spawn_workers = true;
+  /// Per-connection frame IO deadline: a read or write blocked this long
+  /// surfaces kDeadlineExceeded instead of hanging on a half-open peer.
+  double io_deadline_ms = 5000.0;
+  /// Net fault specs (robust/netfault.h grammar) armed in the
+  /// coordinator's transport before the run; empty = none.
+  std::string net_faults;
+  /// Net fault specs passed to spawned workers (--net_faults) so the
+  /// worker-side transport misbehaves deterministically too.
+  std::string worker_net_faults;
+  /// Socket transport: how long a disconnected worker keeps redialing
+  /// (capped seeded exponential backoff) before giving up, and how long
+  /// the coordinator tolerates a dropped connection before the worker's
+  /// heartbeat lease declares it dead anyway.
+  double redial_ms = 10000.0;
+  /// Speculative execution of stragglers (see DistSpeculationOptions).
+  struct Speculation {
+    bool enabled = false;
+    /// A task becomes speculatable once its runtime exceeds
+    /// max(floor_ms, multiplier * quantile(completed sibling runtimes)).
+    double quantile = 0.75;
+    double multiplier = 2.0;
+    /// Minimum completed siblings in the stage before quantiles mean
+    /// anything.
+    int min_completed = 3;
+    double floor_ms = 250.0;
+  } speculation;
 };
 
 /// Options for the distributed decomposition.
@@ -103,6 +146,23 @@ struct DistStats {
   /// their committed shuffle blobs.
   std::uint64_t map_reexecutions = 0;
   std::uint64_t task_retries = 0;
+  /// Socket transport: connections accepted / identities resumed within
+  /// their lease after a redial / connections lost mid-run.
+  std::uint64_t net_connects = 0;
+  std::uint64_t net_reconnects = 0;
+  std::uint64_t net_disconnects = 0;
+  /// Speculative straggler execution: racing attempts launched, races a
+  /// speculative attempt won, losing attempts cancelled.
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_won = 0;
+  std::uint64_t speculative_cancelled = 0;
+  /// Workers that exited with the malformed-frame code
+  /// (dm2td_tasks::kWorkerExitMalformedFrame).
+  std::uint64_t malformed_frame_exits = 0;
+  /// Human-readable details of abnormal worker exits, surfaced into the
+  /// run report's exit_outcome detail ("worker 2 exited 5 (malformed
+  /// frame)").
+  std::vector<std::string> worker_exit_details;
 };
 
 /// Per-phase wall-clock and MapReduce statistics.

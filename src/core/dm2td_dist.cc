@@ -27,11 +27,12 @@
 #include "core/dm2td_internal.h"
 #include "core/dm2td_tasks.h"
 #include "io/chunk_store.h"
-#include "mapreduce/wire.h"
+#include "mapreduce/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robust/cancel.h"
 #include "robust/heartbeat.h"
+#include "robust/netfault.h"
 #include "util/logging.h"
 
 namespace m2td::core {
@@ -60,14 +61,31 @@ class SigpipeGuard {
 
 struct WorkerProc {
   int id = -1;
+  /// -1 for external workers (socket transport with spawn_workers off).
   pid_t pid = -1;
-  int to_fd = -1;    // coordinator -> worker stdin
-  int from_fd = -1;  // worker stdout -> coordinator
-  std::unique_ptr<mapreduce::wire::FrameReader> reader;
+  mapreduce::transport::Connection conn;
+  /// The identity is live: its process (if spawned) has not been reaped
+  /// and its heartbeat lease has not lapsed. Socket workers stay alive
+  /// across connection drops — disconnect is not death.
   bool alive = false;
+  /// Ever declared dead; a dead identity is never resurrected by a late
+  /// hello.
+  bool dead = false;
+  bool connected = false;
+  bool ever_connected = false;
+  bool reaped = false;
   bool busy = false;
+  /// Steady-clock micros of the current task's (first) assignment —
+  /// straggler detection compares siblings against this.
+  double assign_us = 0.0;
   TaskRequest current;
 };
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 using TaskKey = std::pair<std::string, int>;  // (phase, index)
 
@@ -79,6 +97,21 @@ struct StagePlan {
   int count = 0;
   TaskRequest prototype;
   const TaskRequest* map_prototype = nullptr;
+};
+
+/// Per-stage scheduling state threaded through the frame handlers; the
+/// network pump receives it as null outside any stage (attach window).
+struct StageCtx {
+  const StagePlan* plan = nullptr;
+  std::deque<TaskRequest>* pending = nullptr;
+  std::set<int>* done = nullptr;
+  std::vector<std::pair<TaskRequest, TaskKey>>* blocked = nullptr;
+  std::set<TaskKey>* reexec_inflight = nullptr;
+  /// Runtimes (ms) of this stage's first-completed attempts — the
+  /// straggler quantile's sample.
+  std::vector<double>* completed_ms = nullptr;
+  /// Keys with a speculative attempt launched, and that attempt's number.
+  std::map<TaskKey, int>* spec_attempt = nullptr;
 };
 
 class Coordinator {
@@ -97,10 +130,19 @@ class Coordinator {
   Status SpawnWorkers() {
     const int count = options_.num_workers;
     workers_.resize(static_cast<std::size_t>(count));
-    for (int k = 0; k < count; ++k) {
-      M2TD_RETURN_IF_ERROR(SpawnWorker(k));
+    for (int k = 0; k < count; ++k) workers_[static_cast<std::size_t>(k)].id = k;
+    if (UseSocket()) {
+      M2TD_ASSIGN_OR_RETURN(
+          listener_,
+          mapreduce::transport::Listener::Listen(options_.process.listen));
     }
-    stats_.workers_spawned = count;
+    if (!UseSocket() || options_.process.spawn_workers) {
+      for (int k = 0; k < count; ++k) {
+        M2TD_RETURN_IF_ERROR(SpawnWorker(k));
+      }
+      stats_.workers_spawned = count;
+    }
+    if (UseSocket()) return WaitForAttach();
     return Status::OK();
   }
 
@@ -117,6 +159,16 @@ class Coordinator {
     std::set<int> done;
     std::vector<std::pair<TaskRequest, TaskKey>> blocked;
     std::set<TaskKey> reexec_inflight;
+    std::vector<double> completed_ms;
+    std::map<TaskKey, int> spec_attempt;
+    StageCtx ctx;
+    ctx.plan = &plan;
+    ctx.pending = &pending;
+    ctx.done = &done;
+    ctx.blocked = &blocked;
+    ctx.reexec_inflight = &reexec_inflight;
+    ctx.completed_ms = &completed_ms;
+    ctx.spec_attempt = &spec_attempt;
 
     const double lease_ms = options_.process.task_lease_ms;
     const int poll_ms = static_cast<int>(std::clamp(
@@ -145,24 +197,27 @@ class Coordinator {
         if (!any_busy) break;
       }
 
-      // Assign pending tasks to idle live workers.
+      // Assign pending tasks to idle attached workers.
       for (WorkerProc& w : workers_) {
         if (pending.empty()) break;
-        if (!w.alive || w.busy) continue;
+        if (!w.alive || !w.connected || w.busy) continue;
         TaskRequest task = pending.front();
-        const Status sent =
-            mapreduce::wire::WriteFrame(w.to_fd, EncodeTaskFrame(task));
+        const Status sent = w.conn.WriteFrame(
+            EncodeTaskFrame(task), options_.process.io_deadline_ms);
         if (!sent.ok()) {
-          // Worker died between polls; its pipe is gone.
-          DeclareDead(w, "death", &pending, &blocked);
+          // The channel is gone; the task stays queued for someone else.
+          HandleChannelLoss(w, &ctx);
           continue;
         }
         pending.pop_front();
         w.busy = true;
         w.current = std::move(task);
+        w.assign_us = NowUs();
         lease_.Arm(w.id);
         Emit("assign", w.current.phase, w.current.index, w.id, w.pid);
       }
+
+      if (pending.empty() && !stage_complete) MaybeSpeculate(ctx);
 
       if (CountAlive() == 0) {
         return Status::Internal("all " +
@@ -170,12 +225,21 @@ class Coordinator {
                                 " workers died during phase " + plan.phase);
       }
 
-      // Poll every live worker's pipe.
+      // Poll the listener, unidentified connections, and every attached
+      // worker.
       std::vector<pollfd> fds;
-      std::vector<int> fd_worker;
+      std::vector<int> fd_worker;  // worker id, or -1 for listener/pending
+      if (listener_.listening()) {
+        fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+        fd_worker.push_back(-1);
+      }
+      for (const mapreduce::transport::Connection& p : pending_) {
+        fds.push_back(pollfd{p.read_fd(), POLLIN, 0});
+        fd_worker.push_back(-1);
+      }
       for (const WorkerProc& w : workers_) {
-        if (!w.alive) continue;
-        fds.push_back(pollfd{w.from_fd, POLLIN, 0});
+        if (!w.alive || !w.connected) continue;
+        fds.push_back(pollfd{w.conn.read_fd(), POLLIN, 0});
         fd_worker.push_back(w.id);
       }
       const int ready = ::poll(fds.data(),
@@ -184,23 +248,25 @@ class Coordinator {
         return Status::IOError(std::string("coordinator poll failed: ") +
                                std::strerror(errno));
       }
+      M2TD_RETURN_IF_ERROR(PumpNetwork(&ctx));
       for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fd_worker[i] < 0) continue;
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         WorkerProc& w = workers_[static_cast<std::size_t>(fd_worker[i])];
-        if (!w.alive) continue;
-        std::vector<std::string> frames;
-        const Result<bool> open = w.reader->Poll(&frames);
-        for (const std::string& frame : frames) {
-          M2TD_RETURN_IF_ERROR(HandleFrame(w, frame, plan, &pending, &done,
-                                           &blocked, &reexec_inflight));
-        }
-        if (!open.ok() || !*open) {
-          if (w.alive) DeclareDead(w, "death", &pending, &blocked);
-        }
+        if (!w.alive || !w.connected) continue;
+        M2TD_RETURN_IF_ERROR(DrainWorker(w, &ctx));
+      }
+
+      // Disconnected spawned workers may have actually died — reap
+      // promptly instead of waiting out the lease.
+      for (WorkerProc& w : workers_) {
+        if (w.alive && !w.connected) TryReap(w, &ctx);
       }
 
       // Lease policy: a silent heartbeat or an overrunning task both mean
-      // the worker is gone or wedged — SIGKILL, reap, reassign.
+      // the worker is gone or wedged — SIGKILL, reap, reassign. A
+      // disconnected socket worker that redials in time never reaches
+      // this point: its lease clock was resumed by the rebind.
       for (int id : hb_.Expired(lease_ms)) {
         WorkerProc& w = workers_[static_cast<std::size_t>(id)];
         if (!w.alive) continue;
@@ -208,7 +274,7 @@ class Coordinator {
              w.busy ? w.current.index : -1, w.id, w.pid);
         stats_.lease_expirations++;
         obs::GetCounter("dist.lease_expired").Increment();
-        DeclareDead(w, "death", &pending, &blocked);
+        DeclareDead(w, "death", &ctx);
       }
       for (int id : lease_.Expired(lease_ms)) {
         WorkerProc& w = workers_[static_cast<std::size_t>(id)];
@@ -216,7 +282,7 @@ class Coordinator {
         Emit("lease_expired", w.current.phase, w.current.index, w.id, w.pid);
         stats_.lease_expirations++;
         obs::GetCounter("dist.lease_expired").Increment();
-        DeclareDead(w, "death", &pending, &blocked);
+        DeclareDead(w, "death", &ctx);
       }
 
       // Reassignment-storm backstop.
@@ -233,14 +299,17 @@ class Coordinator {
     return Status::OK();
   }
 
-  /// Graceful shutdown: quit frames, closed stdin, bounded wait, SIGKILL
-  /// stragglers.
+  /// Graceful shutdown: quit frames, closed channels, bounded wait,
+  /// SIGKILL stragglers.
   void Drain() {
     for (WorkerProc& w : workers_) {
       if (!w.alive) continue;
-      (void)mapreduce::wire::WriteFrame(w.to_fd, "quit");
-      ::close(w.to_fd);
-      w.to_fd = -1;
+      if (w.connected) {
+        (void)w.conn.WriteFrame("quit", 1000.0);
+      }
+      w.conn.Close();
+      w.connected = false;
+      if (w.pid < 0) CloseWorker(w);  // external: nothing to reap
     }
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(5);
@@ -251,6 +320,8 @@ class Coordinator {
         int status = 0;
         const pid_t reaped = ::waitpid(w.pid, &status, WNOHANG);
         if (reaped == w.pid) {
+          w.reaped = true;
+          RecordExit(w, status);
           CloseWorker(w);
         } else {
           any = true;
@@ -264,6 +335,8 @@ class Coordinator {
 
  private:
   static constexpr int kMaxReassignments = 16;
+
+  bool UseSocket() const { return options_.process.transport == "socket"; }
 
   int CountAlive() const {
     int alive = 0;
@@ -286,16 +359,6 @@ class Coordinator {
   int NextAttempt(const TaskKey& key) { return attempts_[key]++; }
 
   Status SpawnWorker(int k) {
-    int to_pipe[2], from_pipe[2];
-    if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0) {
-      return Status::IOError(std::string("pipe failed: ") +
-                             std::strerror(errno));
-    }
-    // Pipe ends must not leak into sibling workers; the child's dup2
-    // onto fds 0/1 clears CLOEXEC on the two ends it keeps.
-    for (int fd : {to_pipe[0], to_pipe[1], from_pipe[0], from_pipe[1]}) {
-      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
-    }
     std::vector<std::string> args;
     args.push_back(worker_binary_);
     args.push_back("--job_dir=" + job_dir_);
@@ -304,6 +367,27 @@ class Coordinator {
                    std::to_string(options_.process.heartbeat_ms));
     args.push_back("--trace_epoch_us=" +
                    std::to_string(obs::Tracer::NowMicros()));
+    if (UseSocket()) {
+      args.push_back("--connect=" + listener_.bound_address());
+      args.push_back("--redial_ms=" +
+                     std::to_string(options_.process.redial_ms));
+    }
+    if (!options_.process.worker_net_faults.empty()) {
+      args.push_back("--net_faults=" + options_.process.worker_net_faults);
+    }
+
+    int to_pipe[2] = {-1, -1}, from_pipe[2] = {-1, -1};
+    if (!UseSocket()) {
+      if (::pipe(to_pipe) != 0 || ::pipe(from_pipe) != 0) {
+        return Status::IOError(std::string("pipe failed: ") +
+                               std::strerror(errno));
+      }
+      // Pipe ends must not leak into sibling workers; the child's dup2
+      // onto fds 0/1 clears CLOEXEC on the two ends it keeps.
+      for (int fd : {to_pipe[0], to_pipe[1], from_pipe[0], from_pipe[1]}) {
+        ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+      }
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -316,34 +400,224 @@ class Coordinator {
     }
     if (pid == 0) {
       // Child: only async-signal-safe calls until exec.
-      ::dup2(to_pipe[0], 0);
-      ::dup2(from_pipe[1], 1);
+      if (!UseSocket()) {
+        ::dup2(to_pipe[0], 0);
+        ::dup2(from_pipe[1], 1);
+      }
       ::execv(worker_binary_.c_str(), argv.data());
       _exit(127);
     }
-    ::close(to_pipe[0]);
-    ::close(from_pipe[1]);
-    const int flags = ::fcntl(from_pipe[0], F_GETFL, 0);
-    ::fcntl(from_pipe[0], F_SETFL, flags | O_NONBLOCK);
 
     WorkerProc& w = workers_[static_cast<std::size_t>(k)];
     w.id = k;
     w.pid = pid;
-    w.to_fd = to_pipe[1];
-    w.from_fd = from_pipe[0];
-    w.reader =
-        std::make_unique<mapreduce::wire::FrameReader>(from_pipe[0]);
     w.alive = true;
     w.busy = false;
+    if (!UseSocket()) {
+      ::close(to_pipe[0]);
+      ::close(from_pipe[1]);
+      w.conn = mapreduce::transport::Connection::FromFds(
+          from_pipe[0], to_pipe[1], "worker" + std::to_string(k));
+      M2TD_RETURN_IF_ERROR(w.conn.SetNonBlockingRead());
+      w.connected = true;
+      w.ever_connected = true;
+    }
     hb_.Arm(k);
     Emit("spawn", "", -1, k, pid);
     return Status::OK();
   }
 
+  /// Socket transport: wait until every worker slot has attached (said
+  /// hello) before the pipeline starts assigning.
+  Status WaitForAttach() {
+    const double budget_ms =
+        std::max(options_.process.task_lease_ms, 1000.0);
+    const double start_us = NowUs();
+    while (true) {
+      M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
+      bool all = true;
+      for (const WorkerProc& w : workers_) all &= w.ever_connected;
+      if (all) return Status::OK();
+      if ((NowUs() - start_us) / 1000.0 > budget_ms) {
+        int missing = 0;
+        for (const WorkerProc& w : workers_) missing += !w.ever_connected;
+        return Status::Internal(
+            std::to_string(missing) + " of " +
+            std::to_string(options_.num_workers) +
+            " workers never attached to " + listener_.bound_address());
+      }
+      std::vector<pollfd> fds;
+      fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+      for (const mapreduce::transport::Connection& p : pending_) {
+        fds.push_back(pollfd{p.read_fd(), POLLIN, 0});
+      }
+      const int ready =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+      if (ready < 0 && errno != EINTR) {
+        return Status::IOError(std::string("attach poll failed: ") +
+                               std::strerror(errno));
+      }
+      M2TD_RETURN_IF_ERROR(PumpNetwork(nullptr));
+      for (WorkerProc& w : workers_) {
+        if (w.alive && !w.connected) TryReap(w, nullptr);
+      }
+    }
+  }
+
+  /// Accepts pending sockets and binds the ones that have said hello.
+  Status PumpNetwork(StageCtx* ctx) {
+    if (!listener_.listening()) return Status::OK();
+    while (true) {
+      Result<mapreduce::transport::Connection> accepted = listener_.Accept();
+      if (!accepted.ok()) {
+        if (accepted.status().code() == StatusCode::kNotFound) break;
+        return accepted.status();
+      }
+      pending_.push_back(std::move(*accepted));
+    }
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      std::vector<std::string> frames;
+      const Result<bool> open = it->PollFrames(&frames);
+      int bound_id = -1;
+      bool reject = false;
+      std::size_t next_frame = 0;
+      for (; next_frame < frames.size(); ++next_frame) {
+        std::istringstream in(frames[next_frame]);
+        std::string verb;
+        int id = -1;
+        in >> verb >> id;
+        if (verb != "hello" || id < 0 ||
+            id >= static_cast<int>(workers_.size())) {
+          reject = true;
+          break;
+        }
+        if (!BindConnection(id, std::move(*it))) {
+          reject = true;
+          break;
+        }
+        bound_id = id;
+        ++next_frame;
+        break;
+      }
+      if (bound_id >= 0) {
+        WorkerProc& w = workers_[static_cast<std::size_t>(bound_id)];
+        for (; next_frame < frames.size(); ++next_frame) {
+          M2TD_RETURN_IF_ERROR(HandleFrame(w, frames[next_frame], ctx));
+        }
+        it = pending_.erase(it);
+        if (w.busy && w.connected) {
+          // Re-send the in-flight assignment: the worker either still
+          // runs it (duplicate, ignored) or lost it with the connection.
+          (void)w.conn.WriteFrame(EncodeTaskFrame(w.current),
+                                  options_.process.io_deadline_ms);
+        }
+      } else if (reject || !open.ok() || !*open) {
+        it->Close();
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Adopts `conn` as worker `id`'s channel; false when the identity must
+  /// not come back (already declared dead, or its lease lapsed).
+  bool BindConnection(int id, mapreduce::transport::Connection conn) {
+    WorkerProc& w = workers_[static_cast<std::size_t>(id)];
+    const double lease_ms = options_.process.task_lease_ms;
+    if (w.dead) {
+      (void)conn.WriteFrame("quit", 100.0);
+      conn.Close();
+      return false;
+    }
+    if (!w.alive) {
+      // First attach of an external worker: register the identity.
+      w.alive = true;
+      hb_.Arm(id);
+    } else if (!hb_.ResumeWithinLease(id, lease_ms)) {
+      // Beyond the lease: the expiry sweep owns this identity's fate.
+      conn.Close();
+      return false;
+    }
+    conn.set_peer("worker" + std::to_string(id));
+    w.conn = std::move(conn);
+    w.connected = true;
+    if (w.ever_connected) {
+      stats_.net_reconnects++;
+      obs::GetCounter("dist.net.reconnects").Increment();
+      Emit("reconnect", w.busy ? w.current.phase : "",
+           w.busy ? w.current.index : -1, w.id, w.pid);
+    } else {
+      w.ever_connected = true;
+      stats_.net_connects++;
+      Emit("connect", "", -1, w.id, w.pid);
+    }
+    return true;
+  }
+
+  /// Drains every frame the worker's channel has buffered; channel loss
+  /// is a disconnect (socket) or a death (pipe).
+  Status DrainWorker(WorkerProc& w, StageCtx* ctx) {
+    std::vector<std::string> frames;
+    const Result<bool> open = w.conn.PollFrames(&frames);
+    for (const std::string& frame : frames) {
+      M2TD_RETURN_IF_ERROR(HandleFrame(w, frame, ctx));
+    }
+    if (!open.ok() || !*open) {
+      if (w.alive) HandleChannelLoss(w, ctx);
+    }
+    return Status::OK();
+  }
+
+  /// The control channel to `w` broke. Pipes cannot come back, so this is
+  /// death; a socket worker stays alive under its heartbeat lease and may
+  /// redial (its in-flight task stays leased to it, not reassigned).
+  void HandleChannelLoss(WorkerProc& w, StageCtx* ctx) {
+    if (!UseSocket()) {
+      DeclareDead(w, "death", ctx);
+      return;
+    }
+    if (!w.connected) return;
+    w.conn.Close();
+    w.connected = false;
+    stats_.net_disconnects++;
+    obs::GetCounter("dist.net.disconnects").Increment();
+    Emit("disconnect", w.busy ? w.current.phase : "",
+         w.busy ? w.current.index : -1, w.id, w.pid);
+    // If the process is actually gone, don't wait out the lease.
+    TryReap(w, ctx);
+  }
+
+  /// Non-blocking reap of a spawned worker; on real exit the identity is
+  /// dead immediately and its exit status is recorded.
+  void TryReap(WorkerProc& w, StageCtx* ctx) {
+    if (w.pid < 0 || w.reaped || !w.alive) return;
+    int status = 0;
+    if (::waitpid(w.pid, &status, WNOHANG) != w.pid) return;
+    w.reaped = true;
+    RecordExit(w, status);
+    DeclareDead(w, "death", ctx);
+  }
+
+  /// Folds a worker's wait status into the stats the run report surfaces
+  /// (satellite of the malformed-frame exit path).
+  void RecordExit(WorkerProc& w, int status) {
+    if (!WIFEXITED(status) || WEXITSTATUS(status) == 0) return;
+    const int code = WEXITSTATUS(status);
+    if (code == dm2td_tasks::kWorkerExitMalformedFrame) {
+      stats_.malformed_frame_exits++;
+    }
+    stats_.worker_exit_details.push_back(
+        "worker " + std::to_string(w.id) + " exited " + std::to_string(code) +
+        " (" + dm2td_tasks::WorkerExitCodeName(code) + ")");
+    M2TD_LOG_WARNING() << "m2td_worker " << w.id << " exited " << code << " ("
+                       << dm2td_tasks::WorkerExitCodeName(code) << ")";
+  }
+
   void CloseWorker(WorkerProc& w) {
-    if (w.to_fd >= 0) ::close(w.to_fd);
-    if (w.from_fd >= 0) ::close(w.from_fd);
-    w.to_fd = w.from_fd = -1;
+    w.conn.Close();
+    w.connected = false;
     w.alive = false;
     w.busy = false;
     hb_.Disarm(w.id);
@@ -352,37 +626,120 @@ class Coordinator {
 
   /// SIGKILL + reap + requeue the worker's in-flight task. Death replay
   /// is recovery, not a retry: it never consumes the retry budget.
-  void DeclareDead(WorkerProc& w,
-                   const char* kind,
-                   std::deque<TaskRequest>* pending,
-                   std::vector<std::pair<TaskRequest, TaskKey>>* blocked) {
-    (void)blocked;
-    ::kill(w.pid, SIGKILL);
-    int status = 0;
-    ::waitpid(w.pid, &status, 0);
+  void DeclareDead(WorkerProc& w, const char* kind, StageCtx* ctx) {
+    if (w.pid >= 0 && !w.reaped) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.reaped = true;
+      RecordExit(w, status);
+    }
     const bool was_busy = w.busy;
     TaskRequest task = w.current;
     CloseWorker(w);
+    w.dead = true;
     stats_.worker_deaths++;
     obs::GetCounter("dist.worker_deaths").Increment();
     Emit(kind, was_busy ? task.phase : "", was_busy ? task.index : -1, w.id,
          w.pid);
-    if (was_busy) {
-      const TaskKey key{task.phase, task.index};
-      reassigned_[key]++;
+    if (was_busy && ctx != nullptr) RequeueIfNeeded(std::move(task), ctx);
+  }
+
+  /// Requeues a dead worker's task at a fresh attempt — unless the stage
+  /// already has its result, or a racing sibling attempt is still running
+  /// (speculation makes both possible).
+  void RequeueIfNeeded(TaskRequest task, StageCtx* ctx) {
+    const TaskKey key{task.phase, task.index};
+    if (task.phase == ctx->plan->phase &&
+        ctx->done->count(task.index) != 0) {
+      return;
+    }
+    for (const WorkerProc& o : workers_) {
+      if (o.busy && o.current.phase == task.phase &&
+          o.current.index == task.index) {
+        return;
+      }
+    }
+    reassigned_[key]++;
+    task.attempt = NextAttempt(key);
+    Emit("reassign", task.phase, task.index, -1, -1);
+    ctx->pending->push_front(std::move(task));
+    stats_.tasks_reassigned++;
+    obs::GetCounter("dist.tasks_reassigned").Increment();
+  }
+
+  /// Launches racing attempts for stage tasks whose runtime exceeds the
+  /// configured quantile of completed siblings. First committed attempt
+  /// wins; the commit is atomic and both attempts produce identical
+  /// bytes, so the race never affects results.
+  void MaybeSpeculate(StageCtx& ctx) {
+    const auto& spec = options_.process.speculation;
+    if (!spec.enabled) return;
+    if (static_cast<int>(ctx.completed_ms->size()) < spec.min_completed) {
+      return;
+    }
+    std::vector<double> sorted = *ctx.completed_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double q = std::clamp(spec.quantile, 0.0, 1.0);
+    const double quantile_ms =
+        sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+    const double threshold_ms =
+        std::max(spec.floor_ms, spec.multiplier * quantile_ms);
+    for (WorkerProc& w : workers_) {
+      if (!w.alive || !w.busy) continue;
+      if (w.current.phase != ctx.plan->phase) continue;
+      const TaskKey key{w.current.phase, w.current.index};
+      if (ctx.done->count(w.current.index) != 0 ||
+          ctx.spec_attempt->count(key) != 0) {
+        continue;
+      }
+      if ((NowUs() - w.assign_us) / 1000.0 <= threshold_ms) continue;
+      WorkerProc* idle = nullptr;
+      for (WorkerProc& v : workers_) {
+        if (v.alive && v.connected && !v.busy && v.id != w.id) {
+          idle = &v;
+          break;
+        }
+      }
+      if (idle == nullptr) return;
+      TaskRequest task = w.current;
       task.attempt = NextAttempt(key);
-      pending->push_front(std::move(task));
-      stats_.tasks_reassigned++;
-      obs::GetCounter("dist.tasks_reassigned").Increment();
-      Emit("reassign", w.current.phase, w.current.index, -1, -1);
+      const Status sent = idle->conn.WriteFrame(
+          EncodeTaskFrame(task), options_.process.io_deadline_ms);
+      if (!sent.ok()) {
+        HandleChannelLoss(*idle, &ctx);
+        continue;
+      }
+      idle->busy = true;
+      idle->current = std::move(task);
+      idle->assign_us = NowUs();
+      lease_.Arm(idle->id);
+      (*ctx.spec_attempt)[key] = idle->current.attempt;
+      stats_.speculative_launched++;
+      obs::GetCounter("dist.speculative_launched").Increment();
+      Emit("speculate", key.first, key.second, idle->id, idle->pid);
+    }
+  }
+
+  /// The winner of (phase, index) just reported: cancel every other
+  /// attempt still in flight.
+  void CancelLosers(const std::string& phase, int index,
+                    const WorkerProc& winner) {
+    for (WorkerProc& o : workers_) {
+      if (o.id == winner.id || !o.busy || !o.connected) continue;
+      if (o.current.phase != phase || o.current.index != index) continue;
+      (void)o.conn.WriteFrame("cancel " + phase + " " +
+                                  std::to_string(index) + " " +
+                                  std::to_string(o.current.attempt),
+                              options_.process.io_deadline_ms);
+      stats_.speculative_cancelled++;
+      obs::GetCounter("dist.speculative_cancelled").Increment();
+      Emit("speculate_cancelled", phase, index, o.id, o.pid);
     }
   }
 
   Status HandleFrame(WorkerProc& w, const std::string& frame,
-                     const StagePlan& plan, std::deque<TaskRequest>* pending,
-                     std::set<int>* done,
-                     std::vector<std::pair<TaskRequest, TaskKey>>* blocked,
-                     std::set<TaskKey>* reexec_inflight) {
+                     StageCtx* ctx) {
     std::istringstream in(frame.substr(0, frame.find('\n')));
     std::string verb;
     in >> verb;
@@ -392,29 +749,48 @@ class Coordinator {
       obs::GetCounter("dist.heartbeats").Increment();
       return Status::OK();
     }
+    if (ctx == nullptr) {
+      // Attach window: task traffic cannot exist yet; drop defensively.
+      return Status::OK();
+    }
+    const StagePlan& plan = *ctx->plan;
     if (verb == "done") {
       std::string phase;
       int index = 0, attempt = 0;
       if (!(in >> phase >> index >> attempt)) {
         return Status::Internal("malformed done frame '" + frame + "'");
       }
+      const double elapsed_ms = (NowUs() - w.assign_us) / 1000.0;
       w.busy = false;
       lease_.Disarm(w.id);
       Emit("done", phase, index, w.id, w.pid);
       if (phase == plan.phase) {
-        done->insert(index);
+        const bool first = ctx->done->insert(index).second;
+        if (first) {
+          ctx->completed_ms->push_back(elapsed_ms);
+          const TaskKey key{phase, index};
+          auto spec = ctx->spec_attempt->find(key);
+          if (spec != ctx->spec_attempt->end()) {
+            if (attempt == spec->second) {
+              stats_.speculative_won++;
+              obs::GetCounter("dist.speculative_won").Increment();
+              Emit("speculate_won", phase, index, w.id, w.pid);
+            }
+            CancelLosers(phase, index, w);
+          }
+        }
         return Status::OK();
       }
       // A re-executed map task finished: unblock its dependents.
       const TaskKey culprit{phase, index};
-      reexec_inflight->erase(culprit);
-      auto it = blocked->begin();
-      while (it != blocked->end()) {
+      ctx->reexec_inflight->erase(culprit);
+      auto it = ctx->blocked->begin();
+      while (it != ctx->blocked->end()) {
         if (it->second == culprit) {
           TaskRequest task = std::move(it->first);
           task.attempt = NextAttempt(TaskKey{task.phase, task.index});
-          pending->push_back(std::move(task));
-          it = blocked->erase(it);
+          ctx->pending->push_back(std::move(task));
+          it = ctx->blocked->erase(it);
         } else {
           ++it;
         }
@@ -435,9 +811,16 @@ class Coordinator {
       Emit("fail", phase, index, w.id, w.pid);
       const Status failure(static_cast<StatusCode>(code), message);
 
+      // A cancelled speculative loser acknowledging its cancel, or a
+      // stale attempt of a task the stage already has: just free the
+      // worker.
+      if (robust::IsCancellation(failure)) return Status::OK();
+      if (phase == plan.phase && ctx->done->count(index) != 0) {
+        return Status::OK();
+      }
+
       if (failure.code() == StatusCode::kDataLoss) {
-        return HandleDataLoss(phase, index, message, plan, pending, blocked,
-                              reexec_inflight, failure);
+        return HandleDataLoss(phase, index, message, ctx, failure);
       }
       // Transient task failure: consumes the per-task retry budget.
       const TaskKey key{phase, index};
@@ -448,7 +831,7 @@ class Coordinator {
         obs::GetCounter("dist.task_retries").Increment();
         TaskRequest task = RebuildTask(phase, index, plan);
         task.attempt = NextAttempt(key);
-        pending->push_back(std::move(task));
+        ctx->pending->push_back(std::move(task));
         return Status::OK();
       }
       return failure;
@@ -461,11 +844,9 @@ class Coordinator {
   /// task (its fresh commit atomically replaces the poisoned one) and
   /// hold the reducer until it lands — never retry the poisoned bytes.
   Status HandleDataLoss(const std::string& phase, int index,
-                        const std::string& message, const StagePlan& plan,
-                        std::deque<TaskRequest>* pending,
-                        std::vector<std::pair<TaskRequest, TaskKey>>* blocked,
-                        std::set<TaskKey>* reexec_inflight,
+                        const std::string& message, StageCtx* ctx,
                         const Status& failure) {
+    const StagePlan& plan = *ctx->plan;
     const std::size_t open = message.rfind("[task ");
     const std::size_t close =
         open == std::string::npos ? std::string::npos : message.find(']', open);
@@ -491,8 +872,8 @@ class Coordinator {
                      << culprit_index
                      << " failed its integrity check; re-executing the map "
                         "task (reducer " << phase << ":" << index << " held)";
-    blocked->push_back({RebuildTask(phase, index, plan), culprit});
-    if (reexec_inflight->insert(culprit).second) {
+    ctx->blocked->push_back({RebuildTask(phase, index, plan), culprit});
+    if (ctx->reexec_inflight->insert(culprit).second) {
       // The poisoned commit is deliberately left in place: other
       // reducers still reading it must see a commit (their untouched
       // shard blobs are fine; clearing would fail them with NotFound
@@ -501,7 +882,7 @@ class Coordinator {
       TaskRequest task = *plan.map_prototype;
       task.index = culprit_index;
       task.attempt = NextAttempt(culprit);
-      pending->push_front(std::move(task));
+      ctx->pending->push_front(std::move(task));
       stats_.map_reexecutions++;
       obs::GetCounter("dist.map_reexecutions").Increment();
       Emit("map_reexec", culprit_phase, culprit_index, -1, -1);
@@ -523,11 +904,17 @@ class Coordinator {
   void KillAll() {
     for (WorkerProc& w : workers_) {
       if (!w.alive) continue;
-      ::kill(w.pid, SIGKILL);
-      int status = 0;
-      ::waitpid(w.pid, &status, 0);
+      if (w.pid >= 0 && !w.reaped) {
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.reaped = true;
+      }
       CloseWorker(w);
     }
+    for (mapreduce::transport::Connection& p : pending_) p.Close();
+    pending_.clear();
+    listener_.Close();
   }
 
   const DM2tdOptions& options_;
@@ -535,6 +922,9 @@ class Coordinator {
   std::string job_dir_;
   std::string worker_binary_;
   std::vector<WorkerProc> workers_;
+  mapreduce::transport::Listener listener_;
+  /// Accepted sockets that have not yet identified themselves ("hello").
+  std::vector<mapreduce::transport::Connection> pending_;
   robust::HeartbeatMonitor hb_;     // worker heartbeats
   robust::HeartbeatMonitor lease_;  // in-flight task leases
   DistStats stats_;
@@ -906,6 +1296,16 @@ Result<DM2tdResult> DM2tdDecomposeProcess(
   }
 
   SigpipeGuard sigpipe_guard;
+  // Coordinator-side net faults are armed for the run's duration only.
+  struct NetFaultScope {
+    ~NetFaultScope() { if (armed) robust::DisarmAllNetFaults(); }
+    bool armed = false;
+  } netfault_scope;
+  if (!options.process.net_faults.empty()) {
+    M2TD_RETURN_IF_ERROR(
+        robust::ArmNetFaultsFromString(options.process.net_faults));
+    netfault_scope.armed = true;
+  }
   Result<DM2tdResult> outcome = [&]() -> Result<DM2tdResult> {
     Coordinator coord(options, store, job_dir, worker_binary);
     M2TD_RETURN_IF_ERROR(coord.SpawnWorkers());

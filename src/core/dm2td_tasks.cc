@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "robust/cancel.h"
 #include "robust/durable.h"
 #include "robust/failpoint.h"
 
@@ -78,6 +79,34 @@ void MaybeChaosSleep() {
   const long parsed = std::strtol(ms, nullptr, 10);
   if (parsed > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(parsed));
+  }
+}
+
+/// Applies the M2TD_DIST_STRAGGLER knob ("<phase>:<index>:<ms>
+/// [:<max_attempt>]") to `task`. Cancel-aware: a fired ambient token ends
+/// the sleep early, so a cancelled speculative loser unwinds promptly.
+void MaybeStragglerSleep(const TaskRequest& task) {
+  const char* spec = std::getenv(kStragglerEnv);
+  if (spec == nullptr || *spec == '\0') return;
+  std::istringstream in(spec);
+  std::string phase, field;
+  if (!std::getline(in, phase, ':') || phase != task.phase) return;
+  if (!std::getline(in, field, ':') ||
+      std::strtol(field.c_str(), nullptr, 10) != task.index) {
+    return;
+  }
+  if (!std::getline(in, field, ':')) return;
+  const double ms = std::strtod(field.c_str(), nullptr);
+  long max_attempt = 0;
+  if (std::getline(in, field, ':')) {
+    max_attempt = std::strtol(field.c_str(), nullptr, 10);
+  }
+  if (task.attempt > max_attempt || ms <= 0) return;
+  const robust::CancelToken token = robust::CurrentCancelToken();
+  if (token.CanBeCancelled()) {
+    token.WaitForMillis(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
   }
 }
 
@@ -589,8 +618,28 @@ Status RunDistTask(const io::ShuffleStore& store,
   span.Annotate("attempt", static_cast<std::int64_t>(task.attempt));
   M2TD_RETURN_IF_ERROR(robust::CheckFailpoint(
       task.is_map ? "dist.map_task" : "dist.reduce_task"));
+  MaybeStragglerSleep(task);
+  M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
   if (task.is_map) return RunMapTask(store, config, task);
   return RunReduceTask(store, config, task);
+}
+
+const char* WorkerExitCodeName(int code) {
+  switch (code) {
+    case kWorkerExitOk:
+      return "ok";
+    case kWorkerExitTornPipe:
+      return "torn control channel";
+    case kWorkerExitBadInvocation:
+      return "bad invocation";
+    case kWorkerExitBadJob:
+      return "unreadable job";
+    case kWorkerExitMalformedFrame:
+      return "malformed frame";
+    case kWorkerExitLostCoordinator:
+      return "lost coordinator";
+  }
+  return "unknown";
 }
 
 }  // namespace m2td::core::dm2td_tasks

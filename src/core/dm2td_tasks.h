@@ -34,6 +34,33 @@ namespace m2td::core::dm2td_tasks {
 /// "mid-shuffle-write".
 inline constexpr char kChaosSleepEnv[] = "M2TD_DIST_CHAOS_SLEEP_MS";
 
+/// Environment knob "<phase>:<index>:<ms>[:<max_attempt>]": the named
+/// task sleeps `ms` milliseconds at its start when its attempt number is
+/// <= max_attempt (default 0, i.e. only the first attempt) — a
+/// deterministic straggler for speculative-execution tests. The sleep is
+/// cancel-aware, so a coordinator cancel frame cuts it short.
+inline constexpr char kStragglerEnv[] = "M2TD_DIST_STRAGGLER";
+
+/// Exit codes of the m2td_worker binary, surfaced by the coordinator via
+/// waitpid into DistStats::worker_exit_details and the run report.
+enum WorkerExitCode {
+  kWorkerExitOk = 0,
+  /// Torn control channel (unexpected error reading the coordinator).
+  kWorkerExitTornPipe = 1,
+  /// Bad command line / failed arming of chaos specs.
+  kWorkerExitBadInvocation = 2,
+  /// Could not open the shuffle store or load the job config.
+  kWorkerExitBadJob = 3,
+  /// A received frame failed to decode; the worker logs the offending
+  /// frame header (first bytes, hex) before exiting with this code.
+  kWorkerExitMalformedFrame = 5,
+  /// Socket transport: the redial budget ran out without reattaching.
+  kWorkerExitLostCoordinator = 6,
+};
+
+/// Human-readable meaning of a worker exit code ("malformed frame", ...).
+const char* WorkerExitCodeName(int code);
+
 /// Job-wide parameters, written once by the coordinator as
 /// `<job_dir>/job.m2td` and loaded by every worker.
 struct DistJobConfig {

@@ -44,6 +44,19 @@ void EnsureFaultCountersRegistered() {
       "linalg.rsvd.sketches",     "linalg.rsvd.power_iterations",
       "linalg.rsvd.exact_fallbacks",
       "hooi.init.randomized",     "hooi.init.deterministic",
+      // Distributed transport + scheduler counters (src/mapreduce/
+      // transport.cc, src/robust/netfault.cc, src/core/dm2td_dist.cc):
+      // force-registered to zero so run_report.json keys are stable for
+      // tools/compare_runs.py whatever the backend.
+      "dist.net.accepts",         "dist.net.connects",
+      "dist.net.redials",         "dist.net.reconnects",
+      "dist.net.disconnects",     "dist.net.frames_sent",
+      "dist.net.frames_received", "dist.net.deadline_expiries",
+      "dist.net.faults_injected", "dist.net.injected_drops",
+      "dist.net.injected_delays", "dist.net.injected_truncations",
+      "dist.net.injected_corruptions",
+      "dist.speculative_launched", "dist.speculative_won",
+      "dist.speculative_cancelled",
   };
   for (const char* name : kNames) GetCounter(name);
 }

@@ -35,6 +35,25 @@ class HeartbeatMonitor {
   /// Removes `id` from monitoring (death, graceful exit, task done).
   void Disarm(int id) { last_.erase(id); }
 
+  /// Reconnect semantics: a member that comes back while still armed and
+  /// inside its lease resumes its identity — its clock resets and true is
+  /// returned. A member that was never armed, was disarmed (declared
+  /// dead), or whose lease has already lapsed must NOT be resurrected
+  /// through this path (the caller re-registers it as a fresh member, or
+  /// rejects it): false, and the monitor is left untouched. This is what
+  /// keeps a redialing worker from being double-reassigned — its in-
+  /// flight lease stays the single source of truth.
+  bool ResumeWithinLease(int id, double lease_ms) {
+    auto it = last_.find(id);
+    if (it == last_.end()) return false;
+    if (std::chrono::duration<double, std::milli>(Clock::now() - it->second)
+            .count() > lease_ms) {
+      return false;
+    }
+    it->second = Clock::now();
+    return true;
+  }
+
   bool IsArmed(int id) const { return last_.count(id) != 0; }
 
   /// Milliseconds since the last beat (or since Arm) of `id`; 0 for

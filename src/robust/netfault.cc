@@ -1,0 +1,218 @@
+#include "robust/netfault.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace m2td::robust {
+
+namespace {
+
+struct ArmedNetFault {
+  NetFaultSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t injections = 0;
+  Rng rng{0};
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// Arming order is election order, so overlapping specs resolve
+/// deterministically.
+std::vector<ArmedNetFault>& Registry() {
+  static auto* registry = new std::vector<ArmedNetFault>();
+  return *registry;
+}
+
+const char* ActionCounterName(NetFaultAction action) {
+  switch (action) {
+    case NetFaultAction::kDrop:
+      return "dist.net.injected_drops";
+    case NetFaultAction::kDelay:
+      return "dist.net.injected_delays";
+    case NetFaultAction::kTruncate:
+      return "dist.net.injected_truncations";
+    case NetFaultAction::kCorrupt:
+      return "dist.net.injected_corruptions";
+    case NetFaultAction::kNone:
+      break;
+  }
+  return "dist.net.injected_none";
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_netfault_armed_count{0};
+
+NetFaultDecision ConsultNetFaultSlow(std::string_view peer) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (ArmedNetFault& armed : Registry()) {
+    if (!armed.spec.peer.empty() &&
+        peer.find(armed.spec.peer) == std::string_view::npos) {
+      continue;
+    }
+    const std::uint64_t hit = armed.hits++;
+    if (hit < armed.spec.after) continue;
+    if (armed.injections >= armed.spec.times) continue;
+    if (armed.spec.probability < 1.0 &&
+        armed.rng.UniformDouble() >= armed.spec.probability) {
+      continue;
+    }
+    ++armed.injections;
+    obs::GetCounter("dist.net.faults_injected").Increment();
+    obs::GetCounter(ActionCounterName(armed.spec.action)).Increment();
+    obs::Tracer::Get().RecordInstant(
+        std::string("netfault:") + NetFaultActionName(armed.spec.action));
+    NetFaultDecision decision;
+    decision.action = armed.spec.action;
+    decision.delay_ms = armed.spec.delay_ms;
+    decision.truncate_at =
+        static_cast<std::size_t>(armed.spec.truncate_at);
+    return decision;
+  }
+  return NetFaultDecision{};
+}
+
+}  // namespace internal
+
+const char* NetFaultActionName(NetFaultAction action) {
+  switch (action) {
+    case NetFaultAction::kNone:
+      return "none";
+    case NetFaultAction::kDrop:
+      return "drop";
+    case NetFaultAction::kDelay:
+      return "delay";
+    case NetFaultAction::kTruncate:
+      return "truncate";
+    case NetFaultAction::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+Result<NetFaultSpec> ParseNetFaultSpec(const std::string& spec) {
+  NetFaultSpec parsed;
+  const std::size_t colon = spec.find(':');
+  const std::string action = spec.substr(0, colon);
+  if (action == "drop") {
+    parsed.action = NetFaultAction::kDrop;
+  } else if (action == "delay") {
+    parsed.action = NetFaultAction::kDelay;
+  } else if (action == "truncate") {
+    parsed.action = NetFaultAction::kTruncate;
+  } else if (action == "corrupt") {
+    parsed.action = NetFaultAction::kCorrupt;
+  } else {
+    return Status::InvalidArgument(
+        "net fault action must be drop|delay|truncate|corrupt: '" + spec +
+        "'");
+  }
+  if (colon == std::string::npos) return parsed;
+  for (const std::string& field : Split(spec.substr(colon + 1), ',')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("net fault option without '=': '" +
+                                     field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "after" || key == "times" || key == "seed" || key == "at") {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer in net fault spec: '" +
+                                       field + "'");
+      }
+      if (key == "after") parsed.after = v;
+      if (key == "times") parsed.times = v;
+      if (key == "seed") parsed.seed = v;
+      if (key == "at") parsed.truncate_at = v;
+    } else if (key == "prob") {
+      const double p = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || p <= 0.0 || p > 1.0) {
+        return Status::InvalidArgument("net fault prob must be in (0,1]: '" +
+                                       field + "'");
+      }
+      parsed.probability = p;
+    } else if (key == "ms") {
+      const double ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || ms < 0.0) {
+        return Status::InvalidArgument("net fault ms must be >= 0: '" +
+                                       field + "'");
+      }
+      parsed.delay_ms = ms;
+    } else if (key == "peer") {
+      parsed.peer = value;
+    } else {
+      return Status::InvalidArgument(
+          "unknown net fault option '" + key +
+          "' (after|times|prob|seed|ms|at|peer)");
+    }
+  }
+  return parsed;
+}
+
+Status ArmNetFault(const NetFaultSpec& spec) {
+  if (spec.action == NetFaultAction::kNone) {
+    return Status::InvalidArgument("net fault action must not be none");
+  }
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  ArmedNetFault armed;
+  armed.spec = spec;
+  armed.rng = Rng(spec.seed);
+  Registry().push_back(std::move(armed));
+  internal::g_netfault_armed_count.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ArmNetFaultsFromString(const std::string& specs) {
+  for (const std::string& one : Split(specs, ';')) {
+    if (one.empty()) continue;
+    M2TD_ASSIGN_OR_RETURN(NetFaultSpec spec, ParseNetFaultSpec(one));
+    M2TD_RETURN_IF_ERROR(ArmNetFault(spec));
+  }
+  return Status::OK();
+}
+
+Status ArmNetFaultsFromEnv() {
+  const char* env = std::getenv("M2TD_NET_FAULTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmNetFaultsFromString(env);
+}
+
+void DisarmAllNetFaults() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  internal::g_netfault_armed_count.fetch_sub(
+      static_cast<int>(Registry().size()), std::memory_order_relaxed);
+  Registry().clear();
+}
+
+std::uint64_t NetFaultHits(NetFaultAction action) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::uint64_t hits = 0;
+  for (const ArmedNetFault& armed : Registry()) {
+    if (armed.spec.action == action) hits += armed.hits;
+  }
+  return hits;
+}
+
+std::uint64_t NetFaultInjections(NetFaultAction action) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::uint64_t injections = 0;
+  for (const ArmedNetFault& armed : Registry()) {
+    if (armed.spec.action == action) injections += armed.injections;
+  }
+  return injections;
+}
+
+}  // namespace m2td::robust

@@ -1,0 +1,123 @@
+#ifndef M2TD_ROBUST_NETFAULT_H_
+#define M2TD_ROBUST_NETFAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace m2td::robust {
+
+/// \brief Deterministic network fault injection at the frame-transport
+/// seam (mapreduce/transport.h).
+///
+/// Where robust/failpoint makes *task bodies* fail on demand, the net
+/// fault injector makes the *control plane* misbehave: an armed fault
+/// elects, per outgoing frame, to drop it, delay it, truncate it
+/// mid-frame (tearing the connection like a half-open TCP peer), or
+/// corrupt its length prefix (which the receiver detects as DataLoss).
+/// Like failpoints, elections are a pure function of (spec, hit
+/// sequence): draws come from a per-fault PRNG seeded by the spec, so a
+/// chaos schedule replays exactly.
+///
+/// Spec grammar (';'-separated list accepted by ArmNetFaultsFromString,
+/// the M2TD_NET_FAULTS environment variable, and m2td_worker
+/// --net_faults):
+///
+///   <action>[:key=value[,key=value...]]
+///
+///   action    drop | delay | truncate | corrupt
+///   after=N   skip the first N eligible frames. Default 0.
+///   times=K   inject at most K times, then disarm behavior-wise.
+///             Default unlimited.
+///   prob=P    inject each eligible frame with probability P in (0,1],
+///             drawn from the per-fault PRNG. Default 1.
+///   seed=S    seeds the per-fault PRNG. Default 0.
+///   ms=D      delay only: milliseconds to hold the frame. Default 20.
+///   at=B      truncate only: bytes of the frame actually written before
+///             the connection is torn. Default 2 (mid-header).
+///   peer=SUB  only frames whose connection peer label contains SUB
+///             (e.g. "worker1", "coordinator"). Default: every peer.
+///
+/// Examples: "drop:prob=0.05,seed=11", "truncate:after=20,times=1",
+/// "corrupt:times=1,peer=worker0", "delay:ms=40,prob=0.2,seed=3".
+///
+/// Each injection increments `dist.net.faults_injected` plus a
+/// per-action counter (`dist.net.injected_drops` / `_delays` /
+/// `_truncations` / `_corruptions`) and records a trace instant. With
+/// nothing armed a consult costs one relaxed atomic load.
+enum class NetFaultAction {
+  kNone = 0,
+  kDrop,
+  kDelay,
+  kTruncate,
+  kCorrupt,
+};
+
+/// Stable lower-case name of an action ("drop", "delay", ...).
+const char* NetFaultActionName(NetFaultAction action);
+
+struct NetFaultSpec {
+  NetFaultAction action = NetFaultAction::kNone;
+  std::uint64_t after = 0;
+  std::uint64_t times = ~0ULL;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  /// kDelay: how long the frame is held.
+  double delay_ms = 20.0;
+  /// kTruncate: bytes of the frame written before the tear.
+  std::uint64_t truncate_at = 2;
+  /// Substring filter on the connection's peer label; empty = all peers.
+  std::string peer;
+};
+
+/// What the transport should do to the frame it is about to write.
+struct NetFaultDecision {
+  NetFaultAction action = NetFaultAction::kNone;
+  double delay_ms = 0.0;
+  std::size_t truncate_at = 0;
+};
+
+/// Parses one spec in the grammar above. InvalidArgument on malformed
+/// input.
+Result<NetFaultSpec> ParseNetFaultSpec(const std::string& spec);
+
+/// Arms (or re-arms, resetting counters) one fault.
+Status ArmNetFault(const NetFaultSpec& spec);
+
+/// Parses and arms a ';'-separated list of specs.
+Status ArmNetFaultsFromString(const std::string& specs);
+
+/// Arms every spec in the M2TD_NET_FAULTS environment variable; OK and a
+/// no-op when unset or empty.
+Status ArmNetFaultsFromEnv();
+
+void DisarmAllNetFaults();
+
+/// Frames consulted / injections performed for `action` since arming.
+std::uint64_t NetFaultHits(NetFaultAction action);
+std::uint64_t NetFaultInjections(NetFaultAction action);
+
+namespace internal {
+extern std::atomic<int> g_netfault_armed_count;
+NetFaultDecision ConsultNetFaultSlow(std::string_view peer);
+}  // namespace internal
+
+/// The per-frame hook, consulted by transport WriteFrame with the
+/// connection's peer label. First armed fault (in arming order) that
+/// elects to inject wins; kNone when nothing armed or nothing fires.
+inline NetFaultDecision ConsultNetFault(std::string_view peer) {
+  if (internal::g_netfault_armed_count.load(std::memory_order_relaxed) ==
+      0) {
+    return NetFaultDecision{};
+  }
+  return internal::ConsultNetFaultSlow(peer);
+}
+
+}  // namespace m2td::robust
+
+#endif  // M2TD_ROBUST_NETFAULT_H_

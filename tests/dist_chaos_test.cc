@@ -221,6 +221,124 @@ TEST_F(DistChaosTest, RepeatedKillsAcrossPhasesStayBitIdentical) {
   EXPECT_GE(result->dist.worker_deaths, 3u);
 }
 
+// ---------------------------------------------- socket transport chaos
+
+/// Points the spawned workers' deterministic straggler at one task for
+/// the lifetime of the scope (workers inherit the test environment).
+class StragglerScope {
+ public:
+  explicit StragglerScope(const std::string& spec) {
+    ::setenv(core::dm2td_tasks::kStragglerEnv, spec.c_str(), 1);
+  }
+  ~StragglerScope() { ::unsetenv(core::dm2td_tasks::kStragglerEnv); }
+};
+
+TEST_F(DistChaosTest, SocketBackendNoChaosMatchesThread) {
+  core::DM2tdOptions options = BaseOptions();
+  options.backend = core::DistBackend::kProcess;
+  options.num_workers = 3;
+  options.process.worker_binary = M2TD_WORKER_BIN;
+  options.process.transport = "socket";
+  options.process.job_dir = (root_ / "socket_clean").string();
+  auto result = core::DM2tdDecompose(subs_, partition_,
+                                     model_->space().Shape(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(*result, baseline_, "socket workers=3");
+  EXPECT_EQ(result->dist.net_connects, 3u);
+  EXPECT_EQ(result->dist.worker_deaths, 0u);
+}
+
+TEST_F(DistChaosTest, SocketBackendKillMidPhaseIsRecoveredBitIdentical) {
+  // A real SIGKILL on the socket backend: the disconnect is observed
+  // first, then TryReap turns it into a death immediately (no 30 s lease
+  // wait), and the in-flight task is reassigned.
+  ChaosSleepScope sleep(100);
+  core::DM2tdOptions options = BaseOptions();
+  options.backend = core::DistBackend::kProcess;
+  options.num_workers = 4;
+  options.process.worker_binary = M2TD_WORKER_BIN;
+  options.process.transport = "socket";
+  options.process.job_dir = (root_ / "socket_kill").string();
+  bool killed = false;
+  options.process.event_hook = [&](const core::DistEvent& event) {
+    if (killed || event.kind != "assign" || event.phase != "p1map") return;
+    ::kill(event.pid, SIGKILL);
+    killed = true;
+  };
+  auto result = core::DM2tdDecompose(subs_, partition_,
+                                     model_->space().Shape(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(killed);
+  ExpectBitIdentical(*result, baseline_, "socket SIGKILL p1map");
+  EXPECT_GE(result->dist.worker_deaths, 1u);
+  EXPECT_GE(result->dist.net_disconnects, 1u);
+  EXPECT_GE(result->dist.tasks_reassigned, 1u);
+}
+
+TEST_F(DistChaosTest, SocketBackendSurvivesInjectedFrameChaos) {
+  // Deterministic transport chaos at both ends of the channel:
+  //  - coordinator side: one mid-frame truncation (tears a worker's
+  //    connection — it must redial and resume its identity), one dropped
+  //    frame (its task recovers via the shortened lease), and random
+  //    small delays;
+  //  - worker side: random small delays on the reply path.
+  // Under all of that, results stay bit-identical to the thread backend.
+  core::DM2tdOptions options = BaseOptions();
+  options.backend = core::DistBackend::kProcess;
+  options.num_workers = 2;
+  options.process.worker_binary = M2TD_WORKER_BIN;
+  options.process.transport = "socket";
+  options.process.job_dir = (root_ / "socket_chaos").string();
+  options.process.task_lease_ms = 1500.0;
+  options.process.net_faults =
+      "truncate:after=3,times=1;drop:after=12,times=1;"
+      "delay:prob=0.15,ms=4,seed=5";
+  options.process.worker_net_faults = "delay:prob=0.15,ms=4,seed=11";
+  auto result = core::DM2tdDecompose(subs_, partition_,
+                                     model_->space().Shape(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(*result, baseline_, "socket frame chaos");
+  // The torn connection produced a disconnect + an in-lease reconnect.
+  EXPECT_GE(result->dist.net_disconnects, 1u);
+  EXPECT_GE(result->dist.net_reconnects, 1u);
+}
+
+TEST_F(DistChaosTest, SpeculativeExecutionRacesStragglerBitIdentical) {
+  // p1map task 0's first attempt sleeps 2.5 s (cancel-aware); its three
+  // siblings finish in milliseconds. Speculation launches a racing
+  // attempt on an idle worker, the racer wins, and the straggling
+  // attempt is cancelled — all without affecting the result bits.
+  StragglerScope straggler("p1map:0:2500");
+  core::DM2tdOptions options = BaseOptions();
+  options.backend = core::DistBackend::kProcess;
+  options.num_workers = 2;
+  options.process.worker_binary = M2TD_WORKER_BIN;
+  options.process.transport = "socket";
+  options.process.job_dir = (root_ / "speculate").string();
+  options.process.speculation.enabled = true;
+  options.process.speculation.quantile = 0.75;
+  options.process.speculation.multiplier = 2.0;
+  options.process.speculation.min_completed = 3;
+  options.process.speculation.floor_ms = 100.0;
+  int speculated = 0, won = 0, cancelled = 0;
+  options.process.event_hook = [&](const core::DistEvent& event) {
+    speculated += event.kind == "speculate";
+    won += event.kind == "speculate_won";
+    cancelled += event.kind == "speculate_cancelled";
+  };
+  auto result = core::DM2tdDecompose(subs_, partition_,
+                                     model_->space().Shape(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectBitIdentical(*result, baseline_, "speculative race");
+  EXPECT_GE(result->dist.speculative_launched, 1u);
+  EXPECT_GE(result->dist.speculative_won, 1u);
+  EXPECT_GE(result->dist.speculative_cancelled, 1u);
+  EXPECT_EQ(result->dist.speculative_launched,
+            static_cast<std::uint64_t>(speculated));
+  EXPECT_EQ(result->dist.speculative_won, static_cast<std::uint64_t>(won));
+  EXPECT_EQ(result->dist.worker_deaths, 0u);
+}
+
 // ------------------------------------------- coordinator SIGTERM drain
 
 /// Child body for the coordinator-drain subprocess test: a real SIGTERM

@@ -8,11 +8,16 @@
 // M2TD_WORKER_BIN definition (see tests/CMakeLists.txt), so the test
 // works from any CWD ctest chooses.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -24,6 +29,8 @@
 #include "ensemble/simulation_model.h"
 #include "io/chunk_store.h"
 #include "linalg/matrix.h"
+#include "mapreduce/wire.h"
+#include "robust/heartbeat.h"
 #include "tensor/tucker.h"
 
 namespace m2td {
@@ -254,6 +261,30 @@ TEST_F(DistTest, JobConfigRoundtrip) {
   EXPECT_EQ(tasks::MapPhaseOf("p3red_4"), "p3map_4");
 }
 
+// --------------------------------------------- heartbeat lease semantics
+
+TEST_F(DistTest, ResumeWithinLeaseKeepsRedialingWorkerAlive) {
+  robust::HeartbeatMonitor hb;
+  hb.Arm(3);
+  // A worker that redials inside its lease resumes its identity — it is
+  // NOT declared dead and its task is not double-reassigned.
+  EXPECT_TRUE(hb.ResumeWithinLease(3, /*lease_ms=*/30000.0));
+  EXPECT_TRUE(hb.IsArmed(3));
+  // The resume reset the silence clock.
+  EXPECT_LT(hb.SilentMillis(3), 1000.0);
+
+  // Never armed: a stranger cannot claim an identity.
+  EXPECT_FALSE(hb.ResumeWithinLease(7, 30000.0));
+  // Declared dead (disarmed): no resurrection through the resume path.
+  hb.Disarm(3);
+  EXPECT_FALSE(hb.ResumeWithinLease(3, 30000.0));
+  // Lease already lapsed: the expiry sweep owns the identity's fate.
+  hb.Arm(4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(hb.ResumeWithinLease(4, /*lease_ms=*/1.0));
+  EXPECT_TRUE(hb.IsArmed(4));  // left for Expired() to collect
+}
+
 // ----------------------------------------- process-backend bit-identity
 
 std::unique_ptr<ensemble::DynamicalSystemModel> SmallModel() {
@@ -315,6 +346,37 @@ TEST_F(DistTest, ProcessBackendMatchesThreadBitIdentical) {
   EXPECT_GT(process_result->dist.heartbeats, 0u);
 }
 
+TEST_F(DistTest, SocketTransportMatchesThreadBitIdentical) {
+  auto model = SmallModel();
+  auto partition = core::MakePartition(5, {0});
+  ASSERT_TRUE(partition.ok());
+  auto subs = core::BuildSubEnsembles(model.get(), *partition, {});
+  ASSERT_TRUE(subs.ok());
+
+  core::DM2tdOptions options;
+  options.ranks = std::vector<std::uint64_t>(5, 2);
+  options.num_workers = 3;
+  auto thread_result = core::DM2tdDecompose(
+      *subs, *partition, model->space().Shape(), options);
+  ASSERT_TRUE(thread_result.ok()) << thread_result.status();
+
+  options.backend = core::DistBackend::kProcess;
+  options.process.worker_binary = M2TD_WORKER_BIN;
+  options.process.transport = "socket";
+  options.num_workers = 2;
+  options.process.job_dir = Path("job");
+  auto socket_result = core::DM2tdDecompose(
+      *subs, *partition, model->space().Shape(), options);
+  ASSERT_TRUE(socket_result.ok()) << socket_result.status();
+
+  ExpectBitIdentical(*socket_result, *thread_result);
+  EXPECT_EQ(socket_result->dist.workers_spawned, 2);
+  EXPECT_EQ(socket_result->dist.worker_deaths, 0u);
+  EXPECT_EQ(socket_result->dist.net_connects, 2u);
+  EXPECT_EQ(socket_result->dist.net_disconnects, 0u);
+  EXPECT_GT(socket_result->dist.heartbeats, 0u);
+}
+
 TEST_F(DistTest, ShardCountNeverAffectsResults) {
   auto model = SmallModel();
   auto partition = core::MakePartition(5, {0});
@@ -366,6 +428,56 @@ TEST_F(DistTest, ZeroJoinProcessMatchesThread) {
       *subs, *partition, model->space().Shape(), options);
   ASSERT_TRUE(process_result.ok()) << process_result.status();
   ExpectBitIdentical(*process_result, *thread_result);
+}
+
+TEST_F(DistTest, MalformedFrameExitsWorkerWithDistinctCode) {
+  // A worker that receives an undecodable frame must log the offending
+  // header and exit with kWorkerExitMalformedFrame — the code the
+  // coordinator folds into DistStats::worker_exit_details and the run
+  // report's exit detail.
+  ASSERT_TRUE(io::ShuffleStore::Create(Path("")).ok());
+  tasks::DistJobConfig config;
+  config.full_shape = {4, 4, 4, 4, 4};
+  config.shape1 = {4, 4, 4};
+  config.shape2 = {4, 4, 4};
+  config.pivot_modes = {0};
+  config.side1_modes = {1, 2};
+  config.side2_modes = {3, 4};
+  config.shards = 2;
+  ASSERT_TRUE(tasks::SaveJobConfig(Path("job.m2td"), config).ok());
+
+  int to_pipe[2], from_pipe[2];
+  ASSERT_EQ(::pipe(to_pipe), 0);
+  ASSERT_EQ(::pipe(from_pipe), 0);
+  const std::string job_dir_flag = "--job_dir=" + root_.string();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_pipe[0], 0);
+    ::dup2(from_pipe[1], 1);
+    ::close(to_pipe[1]);
+    ::close(from_pipe[0]);
+    ::execl(M2TD_WORKER_BIN, M2TD_WORKER_BIN, job_dir_flag.c_str(),
+            "--worker_id=0", nullptr);
+    _exit(127);
+  }
+  ::close(to_pipe[0]);
+  ::close(from_pipe[1]);
+
+  auto hello = mapreduce::wire::ReadFrame(from_pipe[0]);
+  ASSERT_TRUE(hello.ok()) << hello.status();
+  EXPECT_EQ(*hello, "hello 0");
+  ASSERT_TRUE(
+      mapreduce::wire::WriteFrame(to_pipe[1], "gibberish \x01\x02").ok());
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ::close(to_pipe[1]);
+  ::close(from_pipe[0]);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), tasks::kWorkerExitMalformedFrame);
+  EXPECT_STREQ(tasks::WorkerExitCodeName(tasks::kWorkerExitMalformedFrame),
+               "malformed frame");
 }
 
 TEST_F(DistTest, MissingWorkerBinaryIsNotFound) {

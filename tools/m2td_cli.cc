@@ -258,6 +258,10 @@ int RunExperiment(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Abnormal worker exit details of the last dm2td run ("worker 2 exited
+/// 5 (malformed frame)"), folded into the run report's exit detail.
+std::string g_worker_exit_detail;
+
 int RunDm2td(int argc, const char* const* argv) {
   std::string system = "double_pendulum";
   std::string backend = "thread";
@@ -271,6 +275,15 @@ int RunDm2td(int argc, const char* const* argv) {
   double task_lease_ms = 30000.0;
   bool keep_job_dir = false;
   bool zero_join = false;
+  std::string transport = "pipe";
+  std::string listen = "127.0.0.1:0";
+  bool spawn_workers = true;
+  double io_deadline_ms = 5000.0;
+  double redial_ms = 10000.0;
+  std::string net_faults;
+  std::string worker_net_faults;
+  bool speculative = false;
+  double speculative_floor_ms = 250.0;
 
   FlagParser parser(
       "m2td_cli dm2td: run the three-phase distributed D-M2TD pipeline");
@@ -308,6 +321,46 @@ int RunDm2td(int argc, const char* const* argv) {
                  "exports) even on success",
                  &keep_job_dir);
   parser.AddBool("zero_join", "use zero-join stitching", &zero_join);
+  parser.AddString("transport",
+                   "process backend control channel: pipe (forked workers "
+                   "on inherited pipes) | socket (workers attach over TCP; "
+                   "results bit-identical either way)",
+                   &transport);
+  parser.AddString("listen",
+                   "socket transport: coordinator listen address "
+                   "(host:port, port 0 = ephemeral)",
+                   &listen);
+  parser.AddBool("spawn_workers",
+                 "socket transport: fork local workers that dial back "
+                 "(--nospawn_workers waits for --workers external "
+                 "`m2td_worker --connect` processes instead)",
+                 &spawn_workers);
+  parser.AddDouble("io_deadline_ms",
+                   "per-connection frame IO deadline (half-open peers "
+                   "surface kDeadlineExceeded instead of hanging)",
+                   &io_deadline_ms);
+  parser.AddDouble("redial_ms",
+                   "socket transport: how long a disconnected worker "
+                   "redials (capped seeded exponential backoff) before "
+                   "giving up",
+                   &redial_ms);
+  parser.AddString("net_faults",
+                   "deterministic transport fault specs armed in the "
+                   "coordinator (robust/netfault.h grammar, e.g. "
+                   "'drop:prob=0.05,seed=11;delay:ms=40')",
+                   &net_faults);
+  parser.AddString("worker_net_faults",
+                   "fault specs passed to spawned workers (--net_faults "
+                   "on their command line)",
+                   &worker_net_faults);
+  parser.AddBool("speculative",
+                 "speculatively re-launch straggling tasks (runtime > "
+                 "quantile of completed siblings); first committed "
+                 "attempt wins, results unchanged",
+                 &speculative);
+  parser.AddDouble("speculative_floor_ms",
+                   "minimum task runtime before speculation can trigger",
+                   &speculative_floor_ms);
   auto positional = parser.Parse(argc, argv);
   if (!positional.ok()) return Fail(positional.status());
 
@@ -336,6 +389,19 @@ int RunDm2td(int argc, const char* const* argv) {
   options.process.keep_job_dir = keep_job_dir;
   options.process.heartbeat_ms = worker_heartbeat_ms;
   options.process.task_lease_ms = task_lease_ms;
+  if (transport != "pipe" && transport != "socket") {
+    return Fail(
+        Status::InvalidArgument("--transport must be pipe | socket"));
+  }
+  options.process.transport = transport;
+  options.process.listen = listen;
+  options.process.spawn_workers = spawn_workers;
+  options.process.io_deadline_ms = io_deadline_ms;
+  options.process.redial_ms = redial_ms;
+  options.process.net_faults = net_faults;
+  options.process.worker_net_faults = worker_net_faults;
+  options.process.speculation.enabled = speculative;
+  options.process.speculation.floor_ms = speculative_floor_ms;
   if (g_robust_flags.max_retries > 0) {
     options.retry.max_retries = static_cast<int>(g_robust_flags.max_retries);
   }
@@ -343,6 +409,12 @@ int RunDm2td(int argc, const char* const* argv) {
   auto result = m2td::core::DM2tdDecompose(*subs, *partition,
                                            (*model)->space().Shape(),
                                            options);
+  if (result.ok()) {
+    for (const std::string& detail : result->dist.worker_exit_details) {
+      if (!g_worker_exit_detail.empty()) g_worker_exit_detail += "; ";
+      g_worker_exit_detail += detail;
+    }
+  }
   if (!result.ok()) return Fail(result.status());
 
   auto ground_truth = m2td::ensemble::BuildFullTensor(model->get());
@@ -370,6 +442,20 @@ int RunDm2td(int argc, const char* const* argv) {
               << " (tasks reassigned: " << result->dist.tasks_reassigned
               << ", map re-executions: " << result->dist.map_reexecutions
               << ")\n";
+    if (transport == "socket") {
+      std::cout << "network:     " << result->dist.net_connects
+                << " connects, " << result->dist.net_reconnects
+                << " reconnects, " << result->dist.net_disconnects
+                << " disconnects\n";
+    }
+    if (speculative) {
+      std::cout << "speculation: " << result->dist.speculative_launched
+                << " launched, " << result->dist.speculative_won << " won, "
+                << result->dist.speculative_cancelled << " cancelled\n";
+    }
+    if (!g_worker_exit_detail.empty()) {
+      std::cout << "worker exits: " << g_worker_exit_detail << "\n";
+    }
   }
   return 0;
 }
@@ -733,7 +819,8 @@ void PrintTopLevelUsage() {
       "  dm2td       three-phase distributed D-M2TD (--backend=thread |\n"
       "              process; process spawns --workers m2td_worker\n"
       "              processes with a durable shuffle and worker-death\n"
-      "              recovery — see --worker_heartbeat_ms, --task_lease_ms)\n"
+      "              recovery — see --worker_heartbeat_ms, --task_lease_ms,\n"
+      "              --transport=pipe|socket, --speculative, --net_faults)\n"
       "  simulate    sample an ensemble into a tensor file\n"
       "  decompose   decompose a stored tensor (hosvd | hooi | cp)\n"
       "  analyze     M2TD patterns / interactions / outliers report\n"
@@ -1077,7 +1164,7 @@ int main(int argc, char** argv) {
                    cancelled
                        ? m2td::robust::CancelCauseName(
                              root_source.token().cause())
-                       : "");
+                       : g_worker_exit_detail);
     const Status written = report.WriteFile(obs_flags.report_out);
     if (!written.ok()) {
       std::cerr << "error: " << written << "\n";
