@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "bench_common.h"
 #include "core/je_stitch.h"
@@ -19,6 +20,7 @@
 #include "tensor/sparse_tensor.h"
 #include "tensor/ttm.h"
 #include "tensor/tucker.h"
+#include "util/cpu_features.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -38,6 +40,28 @@ SparseTensor MakeSparse(std::uint64_t dim, std::size_t modes,
       idx[m] = static_cast<std::uint32_t>(rng.UniformInt(dim));
     }
     x.AppendEntry(idx, rng.Gaussian());
+  }
+  x.SortAndCoalesce();
+  return x;
+}
+
+// Ensemble-regime tensor: fully sampled fibers along mode 0 (the time
+// mode in the paper's simulation ensembles), sparse across the remaining
+// modes. This is the shape the CSF SIMD kernels target — long contiguous
+// leaf runs — as opposed to MakeSparse's uniform scatter.
+SparseTensor MakeFiberDense(std::uint64_t dim, std::size_t modes,
+                            std::uint64_t fibers, std::uint64_t seed) {
+  Rng rng(seed);
+  SparseTensor x(std::vector<std::uint64_t>(modes, dim));
+  std::vector<std::uint32_t> idx(modes);
+  for (std::uint64_t f = 0; f < fibers; ++f) {
+    for (std::size_t m = 1; m < modes; ++m) {
+      idx[m] = static_cast<std::uint32_t>(rng.UniformInt(dim));
+    }
+    for (std::uint64_t i = 0; i < dim; ++i) {
+      idx[0] = static_cast<std::uint32_t>(i);
+      x.AppendEntry(idx, rng.Gaussian());
+    }
   }
   x.SortAndCoalesce();
   return x;
@@ -412,6 +436,210 @@ void RunRandomizedHosvdSmoke(m2td::bench::BenchJson* json) {
   json->Add("randomized_hosvd_fit_gap", max_gap);
 }
 
+/// QL-vs-Jacobi eigensolver smoke, fixed-iteration. Both methods run on
+/// the same symmetric inputs (the Gram sizes HOSVD meets) in the same
+/// process, so the ratio is apples-to-apples whatever the host.
+/// bench-smoke gates `--assert_faster symmetric_eigen_ql:symmetric_eigen`
+/// plus `symmetric_eigen_ql_ratio` <= 1/3 (the >= 3x tentpole target) and
+/// `symmetric_eigen_method_gap` (eigenvalue agreement) small.
+void RunEigenSmoke(m2td::bench::BenchJson* json) {
+  constexpr int kCalls = 20;
+  std::cout << "\nQL vs Jacobi symmetric eigensolver (" << kCalls
+            << " calls per size, n = 32 / 64):\n";
+  std::vector<Matrix> inputs;
+  for (std::size_t n : {std::size_t{32}, std::size_t{64}}) {
+    Rng rng(3);
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        a(i, j) = a(j, i) = rng.Gaussian();
+      }
+    }
+    inputs.push_back(std::move(a));
+  }
+
+  double jacobi_us = 0.0;
+  {
+    m2td::Timer timer;
+    for (const Matrix& a : inputs) {
+      for (int c = 0; c < kCalls; ++c) {
+        auto eig = m2td::linalg::SymmetricEigen(a);
+        benchmark::DoNotOptimize(eig);
+      }
+    }
+    jacobi_us = timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+  }
+  m2td::linalg::EigenOptions ql;
+  ql.method = m2td::linalg::EigenMethod::kTridiagonalQL;
+  double ql_us = 0.0;
+  {
+    m2td::Timer timer;
+    for (const Matrix& a : inputs) {
+      for (int c = 0; c < kCalls; ++c) {
+        auto eig = m2td::linalg::SymmetricEigen(a, ql);
+        benchmark::DoNotOptimize(eig);
+      }
+    }
+    ql_us = timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+  }
+
+  // Agreement: worst relative eigenvalue difference across the inputs.
+  double gap = 0.0;
+  for (const Matrix& a : inputs) {
+    auto jac_eig = m2td::linalg::SymmetricEigen(a);
+    auto ql_eig = m2td::linalg::SymmetricEigen(a, ql);
+    M2TD_CHECK(jac_eig.ok() && ql_eig.ok());
+    const double scale = std::max(1.0, a.FrobeniusNorm());
+    for (std::size_t i = 0; i < jac_eig->eigenvalues.size(); ++i) {
+      gap = std::max(gap, std::fabs(jac_eig->eigenvalues[i] -
+                                    ql_eig->eigenvalues[i]) /
+                              scale);
+    }
+  }
+
+  const double ratio = jacobi_us > 0.0 ? ql_us / jacobi_us : 1.0;
+  json->Add("smoke_symmetric_eigen_us_per_call", jacobi_us);
+  json->Add("smoke_symmetric_eigen_ql_us_per_call", ql_us);
+  json->Add("symmetric_eigen_ql_ratio", ratio);
+  json->Add("symmetric_eigen_method_gap", gap);
+  std::cout << "  jacobi " << jacobi_us << " us/call\n"
+            << "  tridiagonal_ql " << ql_us << " us/call ("
+            << (ratio > 0.0 ? 1.0 / ratio : 0.0)
+            << "x, eigenvalue gap " << gap << ")\n";
+}
+
+/// SIMD-vs-scalar kernel smoke, fixed-iteration: each kernel runs the
+/// identical call sequence with the fast-kernels knob off (the scalar
+/// bit-exact baseline) and on (dispatching util::ResolvedSimdIsa()).
+/// bench-smoke gates the `_simd` keys faster than their scalar twins and
+/// the per-kernel ratios under the 1.5x tentpole target. On a host whose
+/// resolved ISA is scalar these gates will fail — by design: the gate
+/// certifies this box's dispatch, and compare_runs.py separately refuses
+/// to diff reports from different ISA levels.
+void RunSimdSmoke(m2td::bench::BenchJson* json) {
+  constexpr int kCalls = 100;
+  m2td::util::SetFastKernelsEnabled(false);
+  std::cout << "\nSIMD vs scalar kernels (dispatch "
+            << m2td::util::SimdIsaName(m2td::util::ResolvedSimdIsa())
+            << ", " << kCalls << " calls per config):\n";
+
+  // Dense multiply: tall-times-wide shapes sized like the HOSVD factor
+  // products (tiles divide evenly; ~7 Mflop per call).
+  {
+    const Matrix a = RandomFactor(96, 384, 61);
+    const Matrix b = RandomFactor(384, 96, 67);
+    constexpr int kMulCalls = 200;
+    double scalar_us = 0.0;
+    {
+      m2td::Timer timer;
+      for (int c = 0; c < kMulCalls; ++c) {
+        auto prod = m2td::linalg::Multiply(a, b);
+        benchmark::DoNotOptimize(prod);
+      }
+      scalar_us = timer.ElapsedSeconds() * 1e6 / kMulCalls;
+    }
+    m2td::util::SetFastKernelsEnabled(true);
+    double simd_us = 0.0;
+    {
+      m2td::Timer timer;
+      for (int c = 0; c < kMulCalls; ++c) {
+        auto prod = m2td::linalg::Multiply(a, b);
+        benchmark::DoNotOptimize(prod);
+      }
+      simd_us = timer.ElapsedSeconds() * 1e6 / kMulCalls;
+    }
+    m2td::util::SetFastKernelsEnabled(false);
+    const double ratio = scalar_us > 0.0 ? simd_us / scalar_us : 1.0;
+    json->Add("smoke_dense_multiply_us_per_call", scalar_us);
+    json->Add("smoke_dense_multiply_simd_us_per_call", simd_us);
+    json->Add("dense_multiply_simd_ratio", ratio);
+    std::cout << "  dense_multiply scalar " << scalar_us << " us/call, simd "
+              << simd_us << " us/call (x"
+              << (ratio > 0.0 ? 1.0 / ratio : 0.0) << ")\n";
+  }
+
+  // ModeGram on fiber-dense (ensemble-regime) tensors, where the CSF
+  // leaf runs are long enough to vectorize; MakeSparse's uniform scatter
+  // produces 2-4 entry fibers that stay on the scalar fallback.
+  {
+    std::vector<SparseTensor> inputs;
+    inputs.push_back(MakeFiberDense(16, 3, 200, 11));
+    inputs.push_back(MakeFiberDense(64, 3, 1500, 11));
+    double scalar_us = 0.0;
+    {
+      m2td::Timer timer;
+      for (const SparseTensor& x : inputs) {
+        for (int c = 0; c < kCalls; ++c) {
+          auto gram = m2td::tensor::ModeGram(x, 0);
+          benchmark::DoNotOptimize(gram);
+        }
+      }
+      scalar_us = timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+    }
+    m2td::util::SetFastKernelsEnabled(true);
+    double simd_us = 0.0;
+    {
+      m2td::Timer timer;
+      for (const SparseTensor& x : inputs) {
+        for (int c = 0; c < kCalls; ++c) {
+          auto gram = m2td::tensor::ModeGram(x, 0);
+          benchmark::DoNotOptimize(gram);
+        }
+      }
+      simd_us = timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+    }
+    m2td::util::SetFastKernelsEnabled(false);
+    const double ratio = scalar_us > 0.0 ? simd_us / scalar_us : 1.0;
+    json->Add("smoke_mode_gram_fiber_us_per_call", scalar_us);
+    json->Add("smoke_mode_gram_fiber_simd_us_per_call", simd_us);
+    json->Add("mode_gram_simd_ratio", ratio);
+    std::cout << "  mode_gram_fiber scalar " << scalar_us
+              << " us/call, simd " << simd_us << " us/call (x"
+              << (ratio > 0.0 ? 1.0 / ratio : 0.0) << ")\n";
+  }
+
+  // SparseModeProduct at decomposition rank 16 on the fiber-dense input:
+  // each 64-entry fiber runs 64 contiguous rank-16 axpys into the scratch
+  // accumulator, so the vector share dominates the per-fiber overhead.
+  // (The legacy rank-5 MakeSparse smoke key stays scalar-only.)
+  {
+    std::vector<SparseTensor> inputs;
+    inputs.push_back(MakeFiberDense(64, 3, 1500, 17));
+    const Matrix u = RandomFactor(64, 16, 19);
+    double scalar_us = 0.0;
+    {
+      m2td::Timer timer;
+      for (const SparseTensor& x : inputs) {
+        for (int c = 0; c < kCalls; ++c) {
+          auto y = m2td::tensor::SparseModeProduct(x, u, 0, true);
+          benchmark::DoNotOptimize(y);
+        }
+      }
+      scalar_us = timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+    }
+    m2td::util::SetFastKernelsEnabled(true);
+    double simd_us = 0.0;
+    {
+      m2td::Timer timer;
+      for (const SparseTensor& x : inputs) {
+        for (int c = 0; c < kCalls; ++c) {
+          auto y = m2td::tensor::SparseModeProduct(x, u, 0, true);
+          benchmark::DoNotOptimize(y);
+        }
+      }
+      simd_us = timer.ElapsedSeconds() * 1e6 / (kCalls * inputs.size());
+    }
+    m2td::util::SetFastKernelsEnabled(false);
+    const double ratio = scalar_us > 0.0 ? simd_us / scalar_us : 1.0;
+    json->Add("smoke_sparse_mode_product_fiber_us_per_call", scalar_us);
+    json->Add("smoke_sparse_mode_product_fiber_simd_us_per_call", simd_us);
+    json->Add("sparse_mode_product_simd_ratio", ratio);
+    std::cout << "  sparse_mode_product_fiber scalar " << scalar_us
+              << " us/call, simd " << simd_us << " us/call (x"
+              << (ratio > 0.0 ? 1.0 / ratio : 0.0) << ")\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -421,6 +649,8 @@ int main(int argc, char** argv) {
   RunThreadSweep(&json);
   RunSmokeKernels(&json);
   RunRandomizedHosvdSmoke(&json);
+  RunEigenSmoke(&json);
+  RunSimdSmoke(&json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

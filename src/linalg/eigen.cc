@@ -1,7 +1,9 @@
 #include "linalg/eigen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "obs/metrics.h"
@@ -17,6 +19,8 @@ namespace {
 // Rows below this stay serial: a Jacobi convergence check on a small
 // Gram matrix is cheaper than a pool region.
 constexpr std::size_t kParallelEigenRows = 64;
+
+std::atomic<EigenMethod> g_default_method{EigenMethod::kJacobi};
 
 double OffDiagonalNorm(const Matrix& a) {
   auto row_range_sum = [&a](std::uint64_t rb, std::uint64_t re) {
@@ -43,52 +47,40 @@ double OffDiagonalNorm(const Matrix& a) {
   return std::sqrt(sum);
 }
 
-}  // namespace
+// Sorts (diag, columns of v) by decreasing diag into a packed result.
+SymmetricEigenResult PackSortedEigenpairs(const std::vector<double>& diag,
+                                          const Matrix& v, int sweeps,
+                                          bool converged) {
+  const std::size_t n = diag.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&diag](std::size_t x, std::size_t y) {
+    return diag[x] > diag[y];
+  });
 
-Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
-                                            const JacobiOptions& options) {
-  const std::size_t n = input.rows();
-  if (input.cols() != n) {
-    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
-  }
-  const double fro = input.FrobeniusNorm();
-  // Max asymmetry over the upper triangle. max() is exact (no rounding),
-  // so any chunking gives the identical value; the reduce is only worth
-  // a region on matrices past the size guard.
-  auto max_asymmetry = [&input](std::uint64_t rb, std::uint64_t re) {
-    double worst = 0.0;
-    for (std::size_t i = static_cast<std::size_t>(rb);
-         i < static_cast<std::size_t>(re); ++i) {
-      for (std::size_t j = i + 1; j < input.rows(); ++j) {
-        worst = std::max(worst, std::fabs(input(i, j) - input(j, i)));
-      }
+  SymmetricEigenResult result;
+  result.sweeps = sweeps;
+  result.converged = converged;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = v(i, order[j]);
     }
-    return worst;
-  };
-  const double asym =
-      n < kParallelEigenRows
-          ? max_asymmetry(0, n)
-          : parallel::ParallelReduce<double>(
-                0, n, 0, 0.0, max_asymmetry,
-                [](double& acc, double partial) {
-                  acc = std::max(acc, partial);
-                },
-                "symmetry_check");
-  if (asym > 1e-9 * std::max(1.0, fro)) {
-    return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
   }
+  return result;
+}
 
+Result<SymmetricEigenResult> SymmetricEigenJacobi(const Matrix& input,
+                                                  const EigenOptions& options,
+                                                  double fro) {
+  const std::size_t n = input.rows();
   Matrix a = input;
   Matrix v = Matrix::Identity(n);
-  if (n <= 1) {
-    SymmetricEigenResult result;
-    result.eigenvalues.assign(n, n == 1 ? a(0, 0) : 0.0);
-    result.eigenvectors = v;
-    result.converged = true;
-    return result;
-  }
 
   obs::ObsSpan span("symmetric_eigen");
+  span.Annotate("method", std::string_view("jacobi"));
   const double threshold = options.tolerance * std::max(fro, 1e-300);
   int sweeps = 0;
   bool converged = false;
@@ -156,31 +148,257 @@ Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
                        << "); returning the partial diagonalization";
   }
 
-  // Sort eigenpairs by decreasing eigenvalue.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
   std::vector<double> diag(n);
   for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
-  std::sort(order.begin(), order.end(), [&diag](std::size_t x, std::size_t y) {
-    return diag[x] > diag[y];
-  });
+  return PackSortedEigenpairs(diag, v, sweeps, converged);
+}
 
-  SymmetricEigenResult result;
-  result.sweeps = sweeps;
-  result.converged = converged;
-  result.eigenvalues.resize(n);
-  result.eigenvectors = Matrix(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    result.eigenvalues[j] = diag[order[j]];
-    for (std::size_t i = 0; i < n; ++i) {
-      result.eigenvectors(i, j) = v(i, order[j]);
+// Householder reduction of the symmetric matrix held in `z` to
+// tridiagonal form (tred2 lineage): on return `d` holds the diagonal,
+// `e` the subdiagonal (e[0] = 0), and `z` the accumulated orthogonal
+// transform Q with Q^T A Q tridiagonal.
+void HouseholderTridiagonalize(Matrix& z, std::vector<double>& d,
+                               std::vector<double>& e) {
+  const int n = static_cast<int>(d.size());
+  for (int i = n - 1; i >= 1; --i) {
+    const int l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (int k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (int j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (int k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (int k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int j = 0; j <= l; ++j) {
+          f = z(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (int k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[k] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate the product of the Householder reflectors into z.
+  for (int i = 0; i < n; ++i) {
+    const int l = i - 1;
+    if (d[i] != 0.0) {
+      for (int j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (int k = 0; k <= l; ++k) g += z(i, k) * z(k, j);
+        for (int k = 0; k <= l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (int j = 0; j <= l; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
     }
   }
-  return result;
+}
+
+Result<SymmetricEigenResult> SymmetricEigenTridiagonalQL(
+    const Matrix& input, const EigenOptions& options) {
+  const std::size_t n = input.rows();
+  obs::ObsSpan span("symmetric_eigen");
+  span.Annotate("method", std::string_view("tridiagonal_ql"));
+  obs::GetCounter("linalg.eigen.ql_solves").Increment();
+
+  Matrix z = input;
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+  HouseholderTridiagonalize(z, d, e);
+
+  // Implicit-shift QL on the tridiagonal (d, e) with the plane rotations
+  // applied to z's columns (tql2 lineage). Subdiagonal entries deflate
+  // once they are negligible relative to their neighboring diagonals —
+  // the machine-epsilon criterion, independent of options.tolerance.
+  const int ni = static_cast<int>(n);
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (int i = 1; i < ni; ++i) e[i - 1] = e[i];
+  e[ni - 1] = 0.0;
+  int total_iterations = 0;
+  bool converged = true;
+  for (int l = 0; l < ni; ++l) {
+    // Per-eigenvalue cancellation point, mirroring Jacobi's per-sweep
+    // check.
+    M2TD_RETURN_IF_ERROR(robust::CheckCancelled());
+    int iter = 0;
+    int m = l;
+    do {
+      for (m = l; m < ni - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= eps * dd) break;
+      }
+      if (m == l) break;
+      if (iter == options.max_ql_iterations) {
+        converged = false;
+        break;
+      }
+      ++iter;
+      ++total_iterations;
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool underflow = false;
+      for (int i = m - 1; i >= l; --i) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          // Recover from underflow: skip the rest of this QL step.
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        // Rotate the accumulated basis: columns i and i+1 of z.
+        for (int k = 0; k < ni; ++k) {
+          f = z(k, i + 1);
+          z(k, i + 1) = s * z(k, i) + c * f;
+          z(k, i) = c * z(k, i) - s * f;
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    } while (m != l);
+    if (!converged) break;
+  }
+
+  obs::GetCounter("linalg.eigen.ql_iterations")
+      .Add(static_cast<std::uint64_t>(total_iterations));
+  if (!converged) {
+    obs::GetCounter("linalg.eigen.nonconverged").Increment();
+    span.Annotate("nonconverged", std::string_view("true"));
+    M2TD_LOG_WARNING() << "QL eigensolver: an eigenvalue did not converge "
+                          "within "
+                       << options.max_ql_iterations
+                       << " implicit-shift iterations; returning the "
+                          "partial diagonalization";
+  }
+  return PackSortedEigenpairs(d, z, total_iterations, converged);
+}
+
+}  // namespace
+
+const char* EigenMethodName(EigenMethod method) {
+  switch (method) {
+    case EigenMethod::kTridiagonalQL:
+      return "tridiagonal_ql";
+    case EigenMethod::kJacobi:
+      break;
+  }
+  return "jacobi";
+}
+
+bool ParseEigenMethod(std::string_view name, EigenMethod* out) {
+  if (name == "jacobi") {
+    *out = EigenMethod::kJacobi;
+  } else if (name == "tridiagonal_ql") {
+    *out = EigenMethod::kTridiagonalQL;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetDefaultEigenMethod(EigenMethod method) {
+  g_default_method.store(method, std::memory_order_release);
+}
+
+EigenMethod DefaultEigenMethod() {
+  return g_default_method.load(std::memory_order_acquire);
+}
+
+Result<SymmetricEigenResult> SymmetricEigen(const Matrix& input,
+                                            const EigenOptions& options) {
+  const std::size_t n = input.rows();
+  if (input.cols() != n) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const double fro = input.FrobeniusNorm();
+  // Max asymmetry over the upper triangle. max() is exact (no rounding),
+  // so any chunking gives the identical value; the reduce is only worth
+  // a region on matrices past the size guard.
+  auto max_asymmetry = [&input](std::uint64_t rb, std::uint64_t re) {
+    double worst = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(rb);
+         i < static_cast<std::size_t>(re); ++i) {
+      for (std::size_t j = i + 1; j < input.rows(); ++j) {
+        worst = std::max(worst, std::fabs(input(i, j) - input(j, i)));
+      }
+    }
+    return worst;
+  };
+  const double asym =
+      n < kParallelEigenRows
+          ? max_asymmetry(0, n)
+          : parallel::ParallelReduce<double>(
+                0, n, 0, 0.0, max_asymmetry,
+                [](double& acc, double partial) {
+                  acc = std::max(acc, partial);
+                },
+                "symmetry_check");
+  if (asym > 1e-9 * std::max(1.0, fro)) {
+    return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
+  }
+
+  if (n <= 1) {
+    SymmetricEigenResult result;
+    result.eigenvalues.assign(n, n == 1 ? input(0, 0) : 0.0);
+    result.eigenvectors = Matrix::Identity(n);
+    result.converged = true;
+    return result;
+  }
+
+  const EigenMethod method = options.method.value_or(DefaultEigenMethod());
+  if (method == EigenMethod::kTridiagonalQL) {
+    return SymmetricEigenTridiagonalQL(input, options);
+  }
+  return SymmetricEigenJacobi(input, options, fro);
 }
 
 Result<Matrix> LeadingEigenvectors(const Matrix& gram, std::size_t rank,
-                                   const JacobiOptions& options) {
+                                   const EigenOptions& options) {
   M2TD_ASSIGN_OR_RETURN(SymmetricEigenResult eig,
                         SymmetricEigen(gram, options));
   const std::size_t k = std::min(rank, gram.rows());

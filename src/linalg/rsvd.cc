@@ -140,7 +140,7 @@ Result<Matrix> GramFactor(const Matrix& gram, std::size_t rank,
     case GramFactorMethod::kDeterministic:
       break;
   }
-  return LeftSingularVectorsFromGram(gram, rank);
+  return LeftSingularVectorsFromGram(gram, rank, options.eigen);
 }
 
 }  // namespace m2td::linalg

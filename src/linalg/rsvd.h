@@ -83,6 +83,10 @@ struct GramFactorOptions {
   GramFactorMethod method = GramFactorMethod::kDeterministic;
   /// Sketch parameters; only read when `method == kRandomized`.
   RandomizedSvdOptions sketch;
+  /// Symmetric eigensolver used by the deterministic path (the
+  /// randomized path's small projected solve follows the process-wide
+  /// default). Unset method = DefaultEigenMethod().
+  EigenOptions eigen;
 
   /// Per-mode decorrelated copy: mixes `mode` into the sketch seed
   /// (SplitMix64-style) so independently sketched modes draw independent

@@ -1,0 +1,54 @@
+#ifndef M2TD_LINALG_SIMD_H_
+#define M2TD_LINALG_SIMD_H_
+
+#include <cstddef>
+
+#include "util/cpu_features.h"
+
+namespace m2td::linalg::simd {
+
+/// Function table of the three inner kernels every hot loop in the
+/// library reduces to, specialized per ISA level. The scalar table
+/// replicates the historical inner loops instruction-for-instruction, so
+/// a forced-scalar dispatch (`M2TD_FORCE_ISA=scalar`) with the
+/// fast-kernels knob on is bit-identical to the knob-off path. The
+/// vector tables fuse multiply-adds and sum lanes pairwise — different
+/// fp rounding/association, same O(eps) accuracy — which is why they sit
+/// behind the opt-in knob. Every kernel is a pure function of its
+/// arguments (no thread-count dependence), so any dispatch level is
+/// bit-identical across `--threads` values.
+struct Kernels {
+  /// The ISA these kernels are compiled for.
+  util::SimdIsa isa;
+  /// y[i] += a * x[i] for i in [0, n). The workhorse of Multiply /
+  /// MultiplyTransA row updates, CSF fiber scatter, and Gram row
+  /// accumulation.
+  void (*axpy)(std::size_t n, double a, const double* x, double* y);
+  /// Returns sum_i x[i] * y[i] (single accumulator in the scalar table).
+  double (*dot)(std::size_t n, const double* x, const double* y);
+  /// Four simultaneous dot products sharing one streaming pass over `x`:
+  /// out[q] = sum_i x[i] * yq[i]. Matches MultiplyTransB's
+  /// register-blocked quad-dot.
+  void (*dot4)(std::size_t n, const double* x, const double* y0,
+               const double* y1, const double* y2, const double* y3,
+               double* out);
+};
+
+/// True when the fast-kernels knob is on and kernel call sites should
+/// route through ActiveKernels() instead of their inline scalar loops.
+bool KernelsEnabled();
+
+/// The kernel table for util::ActiveSimdIsa(). Each call increments the
+/// matching `linalg.simd.dispatch_{avx2,neon,scalar}` counter, so call
+/// it once per kernel-level invocation (one Multiply, one ModeGram, one
+/// SparseModeProduct), not per inner loop.
+const Kernels& ActiveKernels();
+
+/// Kernel table for an explicit ISA level, without touching dispatch
+/// counters. Requesting a level the binary lacks returns the scalar
+/// table. For oracle tests that pin both sides of a comparison.
+const Kernels& KernelsForIsa(util::SimdIsa isa);
+
+}  // namespace m2td::linalg::simd
+
+#endif  // M2TD_LINALG_SIMD_H_

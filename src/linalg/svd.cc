@@ -66,8 +66,9 @@ Result<SvdResult> TruncatedSvd(const Matrix& a, std::size_t rank,
 }
 
 Result<Matrix> LeftSingularVectorsFromGram(const Matrix& gram,
-                                           std::size_t rank) {
-  return LeadingEigenvectors(gram, rank);
+                                           std::size_t rank,
+                                           const EigenOptions& eigen) {
+  return LeadingEigenvectors(gram, rank, eigen);
 }
 
 Result<std::vector<double>> SingularValuesFromGram(const Matrix& gram,

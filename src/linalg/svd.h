@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "linalg/eigen.h"
 #include "linalg/matrix.h"
 #include "util/result.h"
 
@@ -35,8 +36,12 @@ Result<SvdResult> TruncatedSvd(const Matrix& a, std::size_t rank,
 /// This is the HOSVD entry point: the sparse tensor layer accumulates G
 /// directly from COO data (never materializing the matricization), then
 /// calls this. Returns an (n x rank) matrix; rank is clamped to n.
+/// `eigen` selects the underlying symmetric eigensolver; the default
+/// follows the process-wide DefaultEigenMethod().
 Result<Matrix> LeftSingularVectorsFromGram(const Matrix& gram,
-                                           std::size_t rank);
+                                           std::size_t rank,
+                                           const EigenOptions& eigen =
+                                               EigenOptions());
 
 /// Singular values from a Gram matrix (sqrt of clamped eigenvalues),
 /// decreasing, length min(rank, n).

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/atomic_file.h"
+#include "util/cpu_features.h"
 
 namespace m2td::obs {
 
@@ -57,6 +58,12 @@ void EnsureFaultCountersRegistered() {
       "dist.net.injected_corruptions",
       "dist.speculative_launched", "dist.speculative_won",
       "dist.speculative_cancelled",
+      // SIMD dispatch + eigensolver counters (src/linalg/simd.cc,
+      // src/linalg/eigen.cc).
+      "linalg.simd.dispatch_avx2", "linalg.simd.dispatch_neon",
+      "linalg.simd.dispatch_scalar",
+      "linalg.eigen.ql_solves",    "linalg.eigen.ql_iterations",
+      "linalg.eigen.nonconverged",
   };
   for (const char* name : kNames) GetCounter(name);
 }
@@ -87,7 +94,31 @@ void RunReport::WriteJson(std::ostream& os) const {
 
   os << ",\"hardware\":{\"hardware_threads\":"
      << std::thread::hardware_concurrency()
-     << ",\"page_size_bytes\":" << sysconf(_SC_PAGESIZE) << "}";
+     << ",\"page_size_bytes\":" << sysconf(_SC_PAGESIZE);
+  // Detected ISA extensions plus the SIMD level the kernels would
+  // dispatch to (detected capped by M2TD_FORCE_ISA, independent of the
+  // fast-kernels knob so it is stable across knob-on/off sections of one
+  // run). compare_runs.py refuses to diff reports whose simd_dispatch
+  // differs — a perf delta between ISA levels is a hardware delta, not
+  // a regression.
+  const util::CpuFeatures& cpu = util::HostCpuFeatures();
+  os << ",\"cpu_features\":[";
+  {
+    bool first = true;
+    auto emit = [&](bool present, const char* name) {
+      if (!present) return;
+      if (!first) os << ",";
+      first = false;
+      WriteQuoted(os, name);
+    };
+    emit(cpu.avx2, "avx2");
+    emit(cpu.fma, "fma");
+    emit(cpu.neon, "neon");
+  }
+  os << "],\"simd_dispatch\":";
+  WriteQuoted(os, util::SimdIsaName(util::ResolvedSimdIsa()));
+  os << ",\"fast_kernels\":"
+     << (util::FastKernelsEnabled() ? "true" : "false") << "}";
 
   os << ",\"flags\":{";
   for (std::size_t i = 0; i < flags_.size(); ++i) {

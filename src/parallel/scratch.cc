@@ -54,7 +54,7 @@ template <typename T>
 ScratchLease<T> Lease(ScratchArena* arena, internal::ScratchPool<T>& pool,
                       std::size_t n) {
   bool reused = false;
-  std::vector<T> buf = pool.Acquire(n, &reused);
+  internal::ScratchVector<T> buf = pool.Acquire(n, &reused);
   CountAcquire(reused);
   CountFreshBytes(n * sizeof(T), reused);
   return ScratchLease<T>(arena, std::move(buf));

@@ -3,12 +3,54 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <utility>
 #include <vector>
 
 namespace m2td::parallel {
 
 namespace internal {
+
+/// Cache-line (64-byte) alignment for every scratch lease, so SIMD
+/// kernels may use aligned vector loads on scratch accumulators and two
+/// threads' leases never share a cache line.
+inline constexpr std::size_t kScratchAlignment = 64;
+
+/// Minimal std::allocator drop-in returning kScratchAlignment-aligned
+/// storage via the C++17 aligned operator new (which the
+/// M2TD_ALLOC_TRACKING shim intercepts, so leased bytes stay counted).
+template <typename T>
+struct AlignedScratchAllocator {
+  /// Element type, allocator-traits requirement.
+  using value_type = T;
+
+  /// Default-constructs (stateless allocator).
+  AlignedScratchAllocator() = default;
+  /// Rebinding copy, allocator-traits requirement.
+  template <typename U>
+  AlignedScratchAllocator(const AlignedScratchAllocator<U>&) {}
+
+  /// Allocates storage for `n` elements at kScratchAlignment.
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kScratchAlignment}));
+  }
+  /// Releases storage obtained from allocate().
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kScratchAlignment});
+  }
+
+  /// Stateless allocators always compare equal.
+  friend bool operator==(const AlignedScratchAllocator&,
+                         const AlignedScratchAllocator&) {
+    return true;
+  }
+};
+
+/// Buffer type handed out by the arena: a vector whose data() is
+/// 64-byte aligned.
+template <typename T>
+using ScratchVector = std::vector<T, AlignedScratchAllocator<T>>;
 
 /// Per-type free list backing ScratchLease. One instance lives in each
 /// thread's ScratchArena; not thread-safe on its own (the arena's
@@ -19,21 +61,21 @@ class ScratchPool {
   /// Pops a buffer of capacity >= n (or allocates one), sized to exactly
   /// n elements, zero-initialized. `*reused` reports whether the free
   /// list served the request.
-  std::vector<T> Acquire(std::size_t n, bool* reused) {
+  ScratchVector<T> Acquire(std::size_t n, bool* reused) {
     if (!free_.empty()) {
       *reused = true;
-      std::vector<T> buf = std::move(free_.back());
+      ScratchVector<T> buf = std::move(free_.back());
       free_.pop_back();
       buf.clear();
       buf.resize(n, T{});
       return buf;
     }
     *reused = false;
-    return std::vector<T>(n, T{});
+    return ScratchVector<T>(n, T{});
   }
 
   /// Returns a buffer to the free list for reuse.
-  void Release(std::vector<T>&& buf) {
+  void Release(ScratchVector<T>&& buf) {
     if (free_.size() < kMaxFreeBuffers) free_.push_back(std::move(buf));
   }
 
@@ -41,7 +83,7 @@ class ScratchPool {
   // Bound the list so a one-off huge kernel cannot pin memory forever;
   // the hot kernels lease at most a couple of buffers at a time.
   static constexpr std::size_t kMaxFreeBuffers = 8;
-  std::vector<std::vector<T>> free_;
+  std::vector<ScratchVector<T>> free_;
 };
 
 }  // namespace internal
@@ -57,7 +99,9 @@ class ScratchLease;
 /// allocations into free-list pops after the first call. Thread safety is
 /// by construction: the arena is `thread_local`, so pool workers and the
 /// initiating thread each reuse their own buffers and no lock or atomic is
-/// involved (TSAN-clean). Buffers come back zeroed, sized to the request.
+/// involved (TSAN-clean). Buffers come back zeroed, sized to the request,
+/// and 64-byte aligned (internal::kScratchAlignment) so vectorized
+/// kernels can treat scratch accumulators as aligned streams.
 ///
 /// Usage:
 /// ```cpp
@@ -106,7 +150,7 @@ class ScratchLease {
  public:
   /// Wraps `buf` for return to `arena` on destruction (arena-internal;
   /// obtain leases via ScratchArena::Doubles/U32/U64).
-  ScratchLease(ScratchArena* arena, std::vector<T> buf)
+  ScratchLease(ScratchArena* arena, internal::ScratchVector<T> buf)
       : arena_(arena), buf_(std::move(buf)) {}
   /// Returns the buffer to the owning thread's free list.
   ~ScratchLease() {
@@ -135,7 +179,7 @@ class ScratchLease {
 
  private:
   ScratchArena* arena_;
-  std::vector<T> buf_;
+  internal::ScratchVector<T> buf_;
 };
 
 }  // namespace m2td::parallel

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "linalg/simd.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "tensor/csf.h"
@@ -12,13 +13,11 @@ namespace m2td::tensor {
 
 namespace {
 
-// Shared group-wise Gram accumulation for both the CSF and COO paths.
-// `group_offsets` delimits column groups (ascending column order);
-// row_of(e)/value_of(e) address the e-th entry of the group-ordered entry
-// sequence. Coalescing guarantees each Gram cell receives at most one
-// contribution per group (rows are unique within a column), so the result
-// does not depend on within-group entry permutation — only the ascending
-// group order and the chunking, which are identical for both paths.
+// Shared partial-Gram scaffolding for every accumulation variant.
+// `group_body(acc, group_begin, group_end)` accumulates one column
+// group's pair contributions into `acc`; this wrapper owns the
+// chunk/merge/mirror structure so each variant only differs in its
+// inner loop.
 //
 // Large inputs accumulate per-chunk partial Grams (chunks split at group
 // boundaries, never inside a group), merged in ascending chunk order.
@@ -28,28 +27,15 @@ namespace {
 // single-matrix path is used instead. The choice must NOT depend on the
 // pool size: chunked merge reassociates the sums, so gating it on the
 // thread count would break bit-identity across --threads values.
-template <typename RowFn, typename ValueFn>
-void AccumulateGram(linalg::Matrix* gram, std::size_t n,
-                    const std::vector<std::uint64_t>& group_offsets,
-                    const RowFn& row_of, const ValueFn& value_of) {
+template <typename GroupBody>
+void AccumulateGramGroups(linalg::Matrix* gram, std::size_t n,
+                          const std::vector<std::uint64_t>& group_offsets,
+                          const GroupBody& group_body) {
   const std::uint64_t num_groups = group_offsets.size() - 1;
   auto accumulate_groups = [&](linalg::Matrix& acc, std::uint64_t gb,
                                std::uint64_t ge) {
     for (std::uint64_t g = gb; g < ge; ++g) {
-      const std::uint64_t group_begin = group_offsets[g];
-      const std::uint64_t group_end = group_offsets[g + 1];
-      for (std::uint64_t i = group_begin; i < group_end; ++i) {
-        for (std::uint64_t j = i; j < group_end; ++j) {
-          const std::uint32_t ri = row_of(i);
-          const std::uint32_t rj = row_of(j);
-          const double contrib = value_of(i) * value_of(j);
-          if (ri <= rj) {
-            acc(ri, rj) += contrib;
-          } else {
-            acc(rj, ri) += contrib;
-          }
-        }
-      }
+      group_body(acc, group_offsets[g], group_offsets[g + 1]);
     }
   };
   const bool use_partials = num_groups >= 64 && n <= 512;
@@ -77,6 +63,102 @@ void AccumulateGram(linalg::Matrix* gram, std::size_t n,
       (*gram)(j, i) = (*gram)(i, j);
     }
   }
+}
+
+// Generic group-wise Gram accumulation for both the CSF and COO paths.
+// `group_offsets` delimits column groups (ascending column order);
+// row_of(e)/value_of(e) address the e-th entry of the group-ordered entry
+// sequence. Coalescing guarantees each Gram cell receives at most one
+// contribution per group (rows are unique within a column), so the result
+// does not depend on within-group entry permutation — only the ascending
+// group order and the chunking, which are identical for both paths.
+template <typename RowFn, typename ValueFn>
+void AccumulateGram(linalg::Matrix* gram, std::size_t n,
+                    const std::vector<std::uint64_t>& group_offsets,
+                    const RowFn& row_of, const ValueFn& value_of) {
+  AccumulateGramGroups(
+      gram, n, group_offsets,
+      [&](linalg::Matrix& acc, std::uint64_t group_begin,
+          std::uint64_t group_end) {
+        for (std::uint64_t i = group_begin; i < group_end; ++i) {
+          for (std::uint64_t j = i; j < group_end; ++j) {
+            const std::uint32_t ri = row_of(i);
+            const std::uint32_t rj = row_of(j);
+            const double contrib = value_of(i) * value_of(j);
+            if (ri <= rj) {
+              acc(ri, rj) += contrib;
+            } else {
+              acc(rj, ri) += contrib;
+            }
+          }
+        }
+      });
+}
+
+// CSF fast-kernels variant. Within a fiber the leaf coordinates ascend
+// and are unique, so for every pair j >= i the target cell is
+// acc(rows[i], rows[j]) with rows[j] ascending — the inner loop over j
+// is an axpy of values[j] into one Gram row, restricted to maximal runs
+// of consecutive row indices. Each (i, j) pair performs the identical
+// multiply-add into the identical cell as the generic loop (one
+// contribution per cell per group), so with the scalar kernel table this
+// is bit-identical to AccumulateGram; the vector tables fuse the
+// multiply-add, which is exactly what the fast-kernels knob opts into.
+void AccumulateGramCsfSimd(linalg::Matrix* gram, std::size_t n,
+                           const std::vector<std::uint64_t>& group_offsets,
+                           const std::uint32_t* rows, const double* values,
+                           const linalg::simd::Kernels& kern) {
+  // Vectorization pays only when the per-pivot axpy runs are long, i.e.
+  // when fibers are dense along the gram mode (the ensemble regime: time
+  // fibers are fully sampled, sparsity lives across tasks/parameters).
+  // Short groups take the scalar pair loop — identical arithmetic, no
+  // dispatch overhead — so random ultra-sparse tensors do not regress.
+  constexpr std::uint64_t kMinSimdGroup = 8;
+  AccumulateGramGroups(
+      gram, n, group_offsets,
+      [&](linalg::Matrix& acc, std::uint64_t group_begin,
+          std::uint64_t group_end) {
+        const std::uint64_t len = group_end - group_begin;
+        if (len < kMinSimdGroup) {
+          for (std::uint64_t i = group_begin; i < group_end; ++i) {
+            const double vi = values[i];
+            double* acc_row = acc.RowPtr(rows[i]);
+            for (std::uint64_t j = i; j < group_end; ++j) {
+              acc_row[rows[j]] += vi * values[j];
+            }
+          }
+          return;
+        }
+        const bool contiguous =
+            rows[group_end - 1] - rows[group_begin] ==
+            static_cast<std::uint32_t>(len - 1);
+        if (contiguous) {
+          // Dense fiber: the whole upper-triangle tail for pivot i is one
+          // contiguous axpy starting at column rows[i].
+          for (std::uint64_t i = group_begin; i < group_end; ++i) {
+            kern.axpy(static_cast<std::size_t>(group_end - i), values[i],
+                      values + i, acc.RowPtr(rows[i]) + rows[i]);
+          }
+          return;
+        }
+        for (std::uint64_t i = group_begin; i < group_end; ++i) {
+          const double vi = values[i];
+          double* acc_row = acc.RowPtr(rows[i]);
+          std::uint64_t j = i;
+          while (j < group_end) {
+            const std::uint64_t run_begin = j;
+            const std::uint32_t run_row = rows[j];
+            ++j;
+            while (j < group_end &&
+                   rows[j] == run_row + static_cast<std::uint32_t>(
+                                            j - run_begin)) {
+              ++j;
+            }
+            kern.axpy(static_cast<std::size_t>(j - run_begin), vi,
+                      values + run_begin, acc_row + run_row);
+          }
+        }
+      });
 }
 
 Status CheckModeGramInputs(const SparseTensor& x, std::size_t mode) {
@@ -108,6 +190,11 @@ Result<linalg::Matrix> ModeGram(const SparseTensor& x, std::size_t mode) {
   const CsfModeIndex& csf = x.Csf(mode);
   const std::vector<std::uint32_t>& rows = csf.leaf_coords();
   const std::vector<double>& values = csf.values();
+  if (linalg::simd::KernelsEnabled()) {
+    AccumulateGramCsfSimd(&gram, n, csf.fiber_offsets(), rows.data(),
+                          values.data(), linalg::simd::ActiveKernels());
+    return gram;
+  }
   AccumulateGram(
       &gram, n, csf.fiber_offsets(),
       [&rows](std::uint64_t e) { return rows[static_cast<std::size_t>(e)]; },

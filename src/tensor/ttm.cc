@@ -1,5 +1,6 @@
 #include "tensor/ttm.h"
 
+#include "linalg/simd.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/scratch.h"
@@ -111,6 +112,14 @@ Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
   // target coordinate — the same per-output-element addition sequence the
   // COO slice kernel performs — so the result is bit-identical to
   // SparseModeProductCoo at any thread count.
+  //
+  // Fast-kernels knob: the transpose_u scatter acc += v * urow is a
+  // contiguous axpy over the scratch accumulator, dispatched through the
+  // SIMD table (one dispatch count per call). The non-transposed form
+  // reads u column-wise (strided) and stays scalar either way.
+  const linalg::simd::Kernels* kern =
+      linalg::simd::KernelsEnabled() ? &linalg::simd::ActiveKernels()
+                                     : nullptr;
   parallel::ParallelFor(
       0, csf.num_fibers(), 0,
       [&](std::uint64_t fb, std::uint64_t fe) {
@@ -135,6 +144,11 @@ Result<DenseTensor> SparseModeProduct(const SparseTensor& x,
             const std::uint32_t c = leafs[static_cast<std::size_t>(e)];
             if (transpose_u) {
               const double* urow = u.RowPtr(c);
+              if (kern != nullptr) {
+                kern->axpy(static_cast<std::size_t>(new_dim), v, urow,
+                           acc.data());
+                continue;
+              }
               for (std::uint64_t j = 0; j < new_dim; ++j) {
                 acc[j] += urow[static_cast<std::size_t>(j)] * v;
               }

@@ -1,0 +1,75 @@
+#ifndef M2TD_UTIL_CPU_FEATURES_H_
+#define M2TD_UTIL_CPU_FEATURES_H_
+
+#include <string_view>
+
+namespace m2td::util {
+
+/// Instruction-set extensions detected on the host CPU. Probed once per
+/// process (the answer cannot change while we run).
+struct CpuFeatures {
+  /// x86-64 AVX2 (256-bit integer/double vectors).
+  bool avx2 = false;
+  /// x86-64 FMA3 (fused multiply-add).
+  bool fma = false;
+  /// AArch64 Advanced SIMD (baseline on every 64-bit ARM core).
+  bool neon = false;
+};
+
+/// The host CPU's feature set, probed on first call and cached.
+const CpuFeatures& HostCpuFeatures();
+
+/// SIMD dispatch level for the hot inner kernels. `kScalar` is the
+/// bit-exact oracle path (the pre-SIMD loops); the vector levels fuse
+/// multiply-adds and reassociate lane sums, so they are opt-in via
+/// SetFastKernelsEnabled and never the default.
+enum class SimdIsa {
+  /// Portable scalar loops — bit-identical to the historical kernels.
+  kScalar = 0,
+  /// AVX2 + FMA 4-wide double kernels (x86-64 only).
+  kAvx2 = 1,
+  /// NEON 2-wide double kernels (AArch64 only).
+  kNeon = 2,
+};
+
+/// Stable lowercase name ("scalar" / "avx2" / "neon") for reports, logs,
+/// and the M2TD_FORCE_ISA override.
+const char* SimdIsaName(SimdIsa isa);
+
+/// Parses a SimdIsaName back into the enum. Returns false (and leaves
+/// `*out` untouched) for unknown names.
+bool ParseSimdIsa(std::string_view name, SimdIsa* out);
+
+/// Best ISA level both compiled into this binary and supported by the
+/// host CPU, ignoring any override or enable knob.
+SimdIsa DetectedSimdIsa();
+
+/// DetectedSimdIsa() capped by the `M2TD_FORCE_ISA` environment variable
+/// (`scalar`, `avx2`, or `neon`). Forcing `scalar` always works; forcing
+/// a vector ISA the host or binary lacks logs a warning and falls back
+/// to the detected level (we cannot execute instructions the CPU does
+/// not have). The env var is read once and cached; this is what the
+/// run-report `hardware.simd_dispatch` field records, independent of the
+/// enable knob, so baseline comparisons see a stable ISA per host.
+SimdIsa ResolvedSimdIsa();
+
+/// Enables/disables the vectorized kernel paths process-wide (the
+/// `--fast_kernels` CLI knob). Off — the default — routes every kernel
+/// through the scalar oracle loops, bit-identical to builds predating
+/// the SIMD layer.
+void SetFastKernelsEnabled(bool enabled);
+
+/// Current state of the fast-kernels knob (default false).
+bool FastKernelsEnabled();
+
+/// The ISA the kernels actually dispatch to right now:
+/// ResolvedSimdIsa() when the fast-kernels knob is on, kScalar otherwise.
+SimdIsa ActiveSimdIsa();
+
+/// Drops the cached M2TD_FORCE_ISA parse so tests can flip the
+/// environment variable mid-process and observe the new resolution.
+void RefreshSimdIsaForTesting();
+
+}  // namespace m2td::util
+
+#endif  // M2TD_UTIL_CPU_FEATURES_H_

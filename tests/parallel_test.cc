@@ -15,6 +15,7 @@
 
 #include "linalg/matrix.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scratch.h"
 #include "parallel/thread_pool.h"
 #include "tensor/dense_tensor.h"
 #include "tensor/hooi.h"
@@ -305,6 +306,58 @@ TEST(ParallelStressTest, ManySmallRegionsUnderContention) {
     }
   });
   EXPECT_EQ(total.load(), 16u * 50u * 64u);
+}
+
+// --------------------------------------------------- scratch alignment
+
+bool IsCacheAligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) %
+             parallel::internal::kScratchAlignment ==
+         0;
+}
+
+/// Every scratch lease must start on a 64-byte boundary (the SIMD
+/// kernels issue aligned-friendly 256-bit loads into lease buffers, and
+/// cache-line alignment keeps per-thread accumulators from false
+/// sharing) — including leases recycled through the per-thread pool,
+/// whose capacity may exceed the requested size.
+TEST(ScratchArenaTest, LeasesAreCacheLineAligned) {
+  auto& arena = parallel::ScratchArena::Get();
+  for (std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    auto d = arena.Doubles(n);
+    auto u32 = arena.U32(n);
+    auto u64 = arena.U64(n);
+    EXPECT_TRUE(IsCacheAligned(d.data())) << "Doubles n=" << n;
+    EXPECT_TRUE(IsCacheAligned(u32.data())) << "U32 n=" << n;
+    EXPECT_TRUE(IsCacheAligned(u64.data())) << "U64 n=" << n;
+  }
+}
+
+TEST(ScratchArenaTest, ReusedLeasesStayAligned) {
+  auto& arena = parallel::ScratchArena::Get();
+  const double* first = nullptr;
+  {
+    auto lease = arena.Doubles(512);
+    first = lease.data();
+    EXPECT_TRUE(IsCacheAligned(first));
+  }
+  // The freed buffer returns to the per-thread pool; a smaller request
+  // may recycle it. Recycled or fresh, alignment must hold.
+  for (int rep = 0; rep < 8; ++rep) {
+    auto lease = arena.Doubles(64 + 32 * rep);
+    EXPECT_TRUE(IsCacheAligned(lease.data())) << "rep=" << rep;
+  }
+}
+
+TEST(ScratchArenaTest, WorkerLeasesAreAlignedToo) {
+  PoolGuard guard(4);
+  std::atomic<int> misaligned{0};
+  ParallelFor(0, 64, 1, [&](std::uint64_t b, std::uint64_t e) {
+    auto lease = parallel::ScratchArena::Get().Doubles(256);
+    if (!IsCacheAligned(lease.data())) misaligned.fetch_add(1);
+    for (std::uint64_t i = b; i < e; ++i) lease.data()[i % 256] += 1.0;
+  });
+  EXPECT_EQ(misaligned.load(), 0);
 }
 
 TEST(ParallelStressTest, RepeatedResizeWithTraffic) {

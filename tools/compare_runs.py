@@ -44,6 +44,12 @@ A phase present in the baseline but missing from the current run fails:
 a span disappearing from the trace usually means its instrumentation was
 dropped, which would silently blind this gate. Reports with a newer
 schema_version than this tool understands are refused.
+
+When both reports record hardware.simd_dispatch (the ISA level the SIMD
+kernel table resolved to — scalar/avx2/neon), the levels must match: a
+perf delta between runs dispatched at different ISA levels is a hardware
+delta, not a regression. --allow_isa_mismatch overrides; reports from
+before the field existed are diffed as usual.
 """
 
 import argparse
@@ -111,6 +117,13 @@ def per_call_seconds(baseline, current, phase):
     return phase_seconds(baseline, phase), phase_seconds(current, phase)
 
 
+def simd_dispatch(data):
+    """hardware.simd_dispatch, or None for legacy/pre-field reports."""
+    if not is_run_report(data):
+        return None
+    return data.get("hardware", {}).get("simd_dispatch")
+
+
 def result_value(data, key):
     """A named result scalar: result.<key> flag (run report) or results
     entry (legacy BENCH). None when absent or non-numeric."""
@@ -164,10 +177,25 @@ def main():
                         metavar="KEY:LIMIT",
                         help="require current-run result KEY to be present "
                              "and <= LIMIT")
+    parser.add_argument("--allow_isa_mismatch", action="store_true",
+                        help="diff runs even when their SIMD dispatch "
+                             "levels differ")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
     current = load(args.current)
+
+    base_isa, cur_isa = simd_dispatch(baseline), simd_dispatch(current)
+    if (base_isa is not None and cur_isa is not None
+            and base_isa != cur_isa):
+        if not args.allow_isa_mismatch:
+            raise SystemExit(
+                f"[run-diff] refusing to diff: baseline SIMD dispatch "
+                f"'{base_isa}' != current '{cur_isa}' — a perf delta "
+                "between ISA levels is a hardware delta, not a "
+                "regression (--allow_isa_mismatch to override)")
+        print(f"[run-diff] WARNING: diffing across SIMD dispatch levels "
+              f"({base_isa} vs {cur_isa})")
 
     failures = []
     for phase in args.phases:

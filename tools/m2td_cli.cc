@@ -50,6 +50,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "linalg/eigen.h"
+#include "util/cpu_features.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -865,6 +867,17 @@ void PrintTopLevelUsage() {
       "                        (default: hardware concurrency; 1 = serial;\n"
       "                        results are bit-identical for any value —\n"
       "                        see docs/PERFORMANCE.md)\n"
+      "  --eigen_method=<m>    symmetric eigensolver for every Gram solve:\n"
+      "                        jacobi (default, bit-exact oracle) or\n"
+      "                        tridiagonal_ql (Householder + implicit-shift\n"
+      "                        QL, several times faster, reassociates fp\n"
+      "                        sums)\n"
+      "  --fast_kernels        dispatch the SIMD inner kernels (AVX2/NEON,\n"
+      "                        detected at startup; M2TD_FORCE_ISA=scalar|\n"
+      "                        avx2|neon overrides). Off by default: the\n"
+      "                        scalar path is the bit-exact baseline; SIMD\n"
+      "                        reassociates fp sums (still deterministic\n"
+      "                        at any --threads)\n"
       "run '<command> --help' for per-command flags\n";
 }
 
@@ -886,6 +899,11 @@ struct ObsFlags {
   long resource_sample_ms = 20;
   /// 0 = periodic OpenMetrics snapshots off.
   long metrics_snapshot_ms = 0;
+  /// Symmetric eigensolver for every Gram solve; empty keeps the
+  /// process default (jacobi).
+  std::string eigen_method;
+  /// Dispatch SIMD inner kernels (default off = scalar bit-exact path).
+  bool fast_kernels = false;
 };
 
 ObsFlags ExtractObsFlags(int argc, char** argv,
@@ -903,6 +921,7 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
   const std::string_view threads_prefix = "--threads=";
   const std::string_view deadline_prefix = "--deadline_ms=";
   const std::string_view soft_deadline_prefix = "--soft_deadline_ms=";
+  const std::string_view eigen_method_prefix = "--eigen_method=";
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.substr(0, trace_prefix.size()) == trace_prefix) {
@@ -956,6 +975,14 @@ ObsFlags ExtractObsFlags(int argc, char** argv,
       g_robust_flags.soft_deadline_ms = std::strtod(
           std::string(arg.substr(soft_deadline_prefix.size())).c_str(),
           nullptr);
+    } else if (arg.substr(0, eigen_method_prefix.size()) ==
+               eigen_method_prefix) {
+      flags.eigen_method =
+          std::string(arg.substr(eigen_method_prefix.size()));
+    } else if (arg == "--fast_kernels" || arg == "--fast_kernels=true") {
+      flags.fast_kernels = true;
+    } else if (arg == "--fast_kernels=false") {
+      flags.fast_kernels = false;
     } else {
       remaining->push_back(argv[i]);
     }
@@ -1035,6 +1062,15 @@ int main(int argc, char** argv) {
   if (obs_flags.threads > 0) {
     m2td::parallel::SetGlobalThreads(static_cast<int>(obs_flags.threads));
   }
+  if (!obs_flags.eigen_method.empty()) {
+    m2td::linalg::EigenMethod method;
+    if (!m2td::linalg::ParseEigenMethod(obs_flags.eigen_method, &method)) {
+      return Fail(Status::InvalidArgument(
+          "--eigen_method must be 'jacobi' or 'tridiagonal_ql'"));
+    }
+    m2td::linalg::SetDefaultEigenMethod(method);
+  }
+  m2td::util::SetFastKernelsEnabled(obs_flags.fast_kernels);
   const Status env_armed = m2td::robust::ArmFailpointsFromEnv();
   if (!env_armed.ok()) return Fail(env_armed);
   if (!g_robust_flags.fail_point.empty()) {

@@ -240,6 +240,41 @@ class CompareRunsTest(unittest.TestCase):
                       "randomized_hosvd_fit_gap:0.02"),
             1)
 
+    @staticmethod
+    def _with_dispatch(report, isa):
+        report["hardware"] = {"hardware_threads": 1,
+                              "page_size_bytes": 4096,
+                              "cpu_features": [], "simd_dispatch": isa,
+                              "fast_kernels": False}
+        return report
+
+    def test_matching_simd_dispatch_passes(self):
+        baseline = self._with_dispatch(run_report(), "avx2")
+        current = self._with_dispatch(run_report(), "avx2")
+        self.assertEqual(self._run(baseline, current), 0)
+
+    def test_simd_dispatch_mismatch_is_refused(self):
+        # Diffing an avx2 run against a scalar run would report the ISA
+        # delta as a perf regression; the tool must refuse outright.
+        baseline = self._with_dispatch(run_report(), "avx2")
+        current = self._with_dispatch(run_report(), "scalar")
+        with self.assertRaises(SystemExit):
+            self._run(baseline, current)
+
+    def test_simd_dispatch_mismatch_override(self):
+        baseline = self._with_dispatch(run_report(), "avx2")
+        current = self._with_dispatch(run_report(), "scalar")
+        self.assertEqual(
+            self._run(baseline, current, "--allow_isa_mismatch"), 0)
+
+    def test_missing_simd_dispatch_is_tolerated(self):
+        # Reports from before the hardware.simd_dispatch field existed
+        # (or legacy BENCH json) must keep diffing as usual.
+        baseline = run_report()  # no hardware section at all
+        current = self._with_dispatch(run_report(), "avx2")
+        self.assertEqual(self._run(baseline, current), 0)
+        self.assertEqual(self._run(current, baseline), 0)
+
     def test_malformed_gate_specs_are_refused(self):
         with self.assertRaises(SystemExit):
             self._run(run_report(), run_report(), "--assert_faster",
